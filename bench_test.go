@@ -1,0 +1,480 @@
+// Benchmarks mirroring every table and figure of the paper's evaluation
+// (Section VI), plus ablations of the design choices called out in
+// DESIGN.md. cmd/experiments produces the full tables; these benchmarks
+// track the cost of each experiment's kernel under `go test -bench`.
+package xmatch_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xmatch/internal/assignment"
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/mapgen"
+	"xmatch/internal/mapping"
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+// fixtures are shared across benchmarks and built once.
+var (
+	fixOnce sync.Once
+	fixD7   *dataset.Dataset
+	fixSets map[int]*mapping.Set // |M| -> set (D7)
+	fixDoc  *xmltree.Document
+	fixTree *core.BlockTree
+)
+
+func setup(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixD7 = dataset.MustLoad("D7")
+		fixSets = map[int]*mapping.Set{}
+		for _, m := range []int{30, 100, 200, 500} {
+			set, err := mapgen.TopH(fixD7.Matching, m, mapgen.Partition)
+			if err != nil {
+				panic(err)
+			}
+			fixSets[m] = set
+		}
+		fixDoc = fixD7.OrderDocument(3473, 42)
+		bt, err := core.Build(fixSets[100], core.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		fixTree = bt
+	})
+}
+
+// BenchmarkTable2ORatio measures the mapping-overlap statistic of Table II
+// (average pairwise o-ratio over |M|=100 mappings of D7).
+func BenchmarkTable2ORatio(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = set.AverageORatio()
+	}
+}
+
+// BenchmarkFig9aCompression measures block-tree construction plus mapping
+// compression at the default τ (Figure 9(a) kernel).
+func BenchmarkFig9aCompression(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt, err := core.Build(set, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = bt.Compress().CompressionRatio()
+	}
+}
+
+// BenchmarkFig9bBlocksVsTau measures construction across the τ sweep of
+// Figure 9(b).
+func BenchmarkFig9bBlocksVsTau(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	for _, tau := range []float64{0.02, 0.2, 0.9} {
+		b.Run(fmt.Sprintf("tau=%.2f", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(set, core.Options{Tau: tau}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9cStats measures the c-block size-distribution computation of
+// Figure 9(c).
+func BenchmarkFig9cStats(b *testing.B) {
+	setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fixTree.Stats()
+	}
+}
+
+// BenchmarkFig9dConstruct measures block-tree construction per dataset
+// (Figure 9(d), |M|=100).
+func BenchmarkFig9dConstruct(b *testing.B) {
+	for _, id := range dataset.IDs() {
+		d := dataset.MustLoad(id)
+		set, err := mapgen.TopH(d.Matching, 100, mapgen.Partition)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(set, core.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9eMaxB measures construction under the MAX_B cap sweep of
+// Figure 9(e).
+func BenchmarkFig9eMaxB(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	for _, maxB := range []int{20, 100, 300} {
+		b.Run(fmt.Sprintf("maxB=%d", maxB), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(set, core.Options{Tau: 0.2, MaxB: maxB}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9fQuery measures the Table III queries under both PTQ
+// algorithms at |M|=100 (Figure 9(f)).
+func BenchmarkFig9fQuery(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	for _, query := range dataset.Queries() {
+		q, err := core.PrepareQuery(query.Text, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(query.ID+"/basic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.EvaluateBasic(q, set, fixDoc)
+			}
+		})
+		b.Run(query.ID+"/blocktree", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.Evaluate(q, set, fixDoc, fixTree)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10aQuery500 measures a representative query at |M|=500
+// (Figure 10(a)).
+func BenchmarkFig10aQuery500(b *testing.B) {
+	setup(b)
+	set := fixSets[500]
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("basic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.EvaluateBasic(q, set, fixDoc)
+		}
+	})
+	b.Run("blocktree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.Evaluate(q, set, fixDoc, bt)
+		}
+	})
+}
+
+// BenchmarkFig10bTau measures Q10 under block trees built at different τ
+// (Figure 10(b)).
+func BenchmarkFig10bTau(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tau := range []float64{0.02, 0.22, 0.65} {
+		bt, err := core.Build(set, core.Options{Tau: tau})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("tau=%.2f", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.Evaluate(q, set, fixDoc, bt)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10cM measures Q10 across mapping-set sizes (Figure 10(c)).
+func BenchmarkFig10cM(b *testing.B) {
+	setup(b)
+	for _, m := range []int{30, 100, 200} {
+		set := fixSets[m]
+		bt, err := core.Build(set, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("M=%d/basic", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.EvaluateBasic(q, set, fixDoc)
+			}
+		})
+		b.Run(fmt.Sprintf("M=%d/blocktree", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.Evaluate(q, set, fixDoc, bt)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10dTopK measures top-k PTQ across k (Figure 10(d)).
+func BenchmarkFig10dTopK(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.EvaluateTopK(q, set, fixDoc, fixTree, k)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10eGenerate compares top-h mapping generation, murty vs
+// partition, on a small and a large dataset (Figure 10(e); h reduced to 10
+// to keep the murty baseline affordable under -bench).
+func BenchmarkFig10eGenerate(b *testing.B) {
+	for _, id := range []string{"D1", "D7"} {
+		d := dataset.MustLoad(id)
+		for _, method := range []mapgen.Method{mapgen.Murty, mapgen.Partition} {
+			b.Run(fmt.Sprintf("%s/%s", id, method), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := mapgen.TopH(d.Matching, 10, method); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10fH sweeps h on D1 for both generators (Figure 10(f)).
+func BenchmarkFig10fH(b *testing.B) {
+	d := dataset.MustLoad("D1")
+	for _, h := range []int{100, 500, 1000} {
+		for _, method := range []mapgen.Method{mapgen.Murty, mapgen.Partition} {
+			b.Run(fmt.Sprintf("h=%d/%s", h, method), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := mapgen.TopH(d.Matching, h, method); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationIDSetVsMap compares the bitset mapping-ID sets used in
+// blocks against a map-based alternative for the intersection workload that
+// dominates Algorithm 2 (DESIGN.md ablation).
+func BenchmarkAblationIDSetVsMap(b *testing.B) {
+	const n = 500
+	a1 := mapping.NewIDSet(n)
+	a2 := mapping.NewIDSet(n)
+	m1 := map[int]bool{}
+	m2 := map[int]bool{}
+	for i := 0; i < n; i += 2 {
+		a1.Add(i)
+		m1[i] = true
+	}
+	for i := 0; i < n; i += 3 {
+		a2.Add(i)
+		m2[i] = true
+	}
+	b.Run("bitset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a1.IntersectLen(a2)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := 0
+			for k := range m1 {
+				if m2[k] {
+					c++
+				}
+			}
+			_ = c
+		}
+	})
+}
+
+// BenchmarkAblationFilterThenSort isolates the top-k PTQ optimization of
+// Section IV-C: filtering and truncating the mapping set before evaluation
+// versus evaluating everything and truncating afterwards.
+func BenchmarkAblationFilterThenSort(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("topk-prefilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.EvaluateTopK(q, set, fixDoc, fixTree, 10)
+		}
+	})
+	b.Run("evaluate-then-truncate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := core.Evaluate(q, set, fixDoc, fixTree)
+			if len(res) > 10 {
+				res = res[:10]
+			}
+			_ = res
+		}
+	})
+}
+
+// BenchmarkAblationLemma2 measures block-tree construction with and without
+// the Lemma 2 child-pruning short-circuit (identical output, different
+// work; see core.Options).
+func BenchmarkAblationLemma2(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	b.Run("with-pruning", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(set, core.Options{Tau: 0.2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-pruning", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(set, core.Options{Tau: 0.2, NoLemma2Pruning: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIntersectionPruning measures Algorithm 2's incremental
+// intersection pruning against full combination enumeration.
+func BenchmarkAblationIntersectionPruning(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	b.Run("with-pruning", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(set, core.Options{Tau: 0.5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-pruning", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(set, core.Options{Tau: 0.5, NoIntersectionPruning: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKeywordQuery measures probabilistic keyword query evaluation
+// (the future-work extension) on the D7 workload.
+func BenchmarkKeywordQuery(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	q := core.PrepareKeywordQuery([]string{"Quantity", "UP"}, set, fixDoc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateKeywords(q, set, fixDoc)
+	}
+}
+
+// BenchmarkAggregateQuery measures aggregate PTQ evaluation (the ICDE 2009
+// aggregate semantics extension) on the D7 workload.
+func BenchmarkAggregateQuery(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	q, err := core.PrepareQuery(dataset.Queries()[4].Text, set) // Q5 -> Quantity
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaf := q.Pattern.Nodes()[q.Pattern.Size()-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateAggregate(q, set, fixDoc, fixTree, leaf, core.Sum)
+	}
+}
+
+// BenchmarkAblationTwigEngine compares the direct twig evaluator against
+// the TwigList-style two-phase (filter, then enumerate) evaluator on a
+// selective query, where early pruning pays.
+func BenchmarkAblationTwigEngine(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	q, err := core.PrepareQuery(dataset.Queries()[7].Text, set) // Q8, deep predicates
+	if err != nil {
+		b.Fatal(err)
+	}
+	emb := q.Embeddings[0]
+	m := set.Mappings[0]
+	binding := twig.PathBinding{}
+	ok := true
+	var walk func(n *twig.Node)
+	walk = func(n *twig.Node) {
+		s, found := m.SourceFor(emb[n.Index])
+		if !found {
+			ok = false
+			return
+		}
+		binding[n] = set.Source.ByID(s).Path
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(q.Pattern.Root)
+	if !ok {
+		b.Skip("best mapping does not cover Q8")
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = twig.MatchByPaths(fixDoc, q.Pattern.Root, binding)
+		}
+	})
+	b.Run("twiglist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = twig.MatchByPathsFiltered(fixDoc, q.Pattern.Root, binding)
+		}
+	})
+}
+
+// BenchmarkAblationLazyMurty compares lazy child evaluation in Murty's
+// ranking (children enter the heap with the parent's score as an upper
+// bound and are solved only when popped) against eager evaluation, on the
+// D7 matching.
+func BenchmarkAblationLazyMurty(b *testing.B) {
+	d := dataset.MustLoad("D7")
+	edges := make([]assignment.Edge, len(d.Matching.Corrs))
+	for i, c := range d.Matching.Corrs {
+		edges[i] = assignment.Edge{U: c.S, V: c.T, W: c.Score}
+	}
+	g := assignment.MustNewGraph(d.Source.Len(), d.Target.Len(), edges)
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.TopH(10)
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.TopHEager(10)
+		}
+	})
+}

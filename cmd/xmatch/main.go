@@ -1,0 +1,276 @@
+// Command xmatch is an end-to-end demonstration of the library: it loads a
+// Table II dataset (or matches two schema spec files), derives the top-h
+// possible mappings, builds the block tree, and answers probabilistic twig
+// queries over a generated source document.
+//
+// Usage:
+//
+//	xmatch stats    -d D7                 # matching + block-tree statistics
+//	xmatch mappings -d D7 -n 10           # show the 10 most probable mappings
+//	xmatch query    -d D7 -q 'Order/DeliverTo/Contact/EMail' [-k 10]
+//	xmatch match    -src a.spec -tgt b.spec   # run the COMA-style matcher
+//
+// Schema spec files use the indentation format of schema.ParseSpec.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/mapgen"
+	"xmatch/internal/mapping"
+	"xmatch/internal/matcher"
+	"xmatch/internal/schema"
+	"xmatch/internal/xsd"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "mappings":
+		err = runMappings(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "match":
+		err = runMatch(os.Args[2:])
+	case "keywords":
+		err = runKeywords(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|match> [flags]
+  stats    -d <D1..D10>                     matching and block-tree statistics
+  mappings -d <D1..D10> [-n 10] [-m 100]    most probable mappings
+  query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k)
+  keywords -d <D1..D10> -w "a,b,c"          probabilistic keyword query
+  match    -src <spec> -tgt <spec>          run the built-in matcher
+           (files ending in .xsd are parsed as XML Schema)`)
+}
+
+func loadSet(id string, m int) (*dataset.Dataset, *mapping.Set, error) {
+	d, err := dataset.Load(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := mapgen.TopH(d.Matching, m, mapgen.Partition)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, set, nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	id := fs.String("d", "D7", "dataset ID")
+	m := fs.Int("m", 100, "number of possible mappings")
+	tau := fs.Float64("tau", 0.2, "confidence threshold")
+	fs.Parse(args)
+
+	d, set, err := loadSet(*id, *m)
+	if err != nil {
+		return err
+	}
+	st := d.Matching.Stats()
+	fmt.Printf("dataset %s: %s (|S|=%d) -> %s (|T|=%d)\n",
+		d.Info.ID, d.Info.Src, d.Source.Len(), d.Info.Tgt, d.Target.Len())
+	fmt.Printf("matching: capacity=%d partitions=%d max-partition=%d avg=%.1f\n",
+		st.Capacity, st.NumPartitions, st.MaxPartition, st.AvgPartition)
+	fmt.Printf("mappings: |M|=%d avg o-ratio=%.3f (paper: %.2f)\n",
+		set.Len(), set.AverageORatio(), d.Info.PaperORatio)
+
+	bt, err := core.Build(set, core.Options{Tau: *tau})
+	if err != nil {
+		return err
+	}
+	bst := bt.Stats()
+	comp := bt.Compress()
+	fmt.Printf("block tree (tau=%.2f): %d c-blocks, avg size %.2f, max size %d (%.1f%% of target)\n",
+		*tau, bst.NumBlocks, bst.AvgSize, bst.MaxSize, 100*bst.MaxCoverage)
+	fmt.Printf("storage: raw=%dB compressed=%dB ratio=%.2f%%\n",
+		set.RawBytes(), comp.Bytes(), 100*comp.CompressionRatio())
+	return nil
+}
+
+func runMappings(args []string) error {
+	fs := flag.NewFlagSet("mappings", flag.ExitOnError)
+	id := fs.String("d", "D7", "dataset ID")
+	m := fs.Int("m", 100, "number of possible mappings to derive")
+	n := fs.Int("n", 10, "number of mappings to display")
+	fs.Parse(args)
+
+	d, set, err := loadSet(*id, *m)
+	if err != nil {
+		return err
+	}
+	show := *n
+	if show > set.Len() {
+		show = set.Len()
+	}
+	for i := 0; i < show; i++ {
+		mp := set.Mappings[i]
+		fmt.Printf("m%-3d prob=%.4f score=%.3f correspondences=%d\n", i+1, mp.Prob, mp.Score, mp.Len())
+		if i == 0 {
+			continue
+		}
+		// Show how this mapping differs from the most probable one.
+		best := set.Mappings[0]
+		for t := 0; t < d.Target.Len(); t++ {
+			s1, ok1 := best.SourceFor(t)
+			s2, ok2 := mp.SourceFor(t)
+			if ok1 == ok2 && (!ok1 || s1 == s2) {
+				continue
+			}
+			fmt.Printf("     %s: %s -> %s\n", d.Target.ByID(t).Path, srcName(d, s1, ok1), srcName(d, s2, ok2))
+		}
+	}
+	return nil
+}
+
+func srcName(d *dataset.Dataset, s int, ok bool) string {
+	if !ok {
+		return "(none)"
+	}
+	return d.Source.ByID(s).Path
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	id := fs.String("d", "D7", "dataset ID")
+	m := fs.Int("m", 100, "number of possible mappings")
+	qtext := fs.String("q", "", "twig query on the target schema (required)")
+	k := fs.Int("k", 0, "top-k PTQ; 0 evaluates all mappings")
+	docNodes := fs.Int("doc", 3473, "source document size")
+	fs.Parse(args)
+	if *qtext == "" {
+		return fmt.Errorf("query: -q is required")
+	}
+
+	_, set, err := loadSet(*id, *m)
+	if err != nil {
+		return err
+	}
+	d, _ := dataset.Load(*id)
+	doc := d.OrderDocument(*docNodes, 42)
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	q, err := core.PrepareQuery(*qtext, set)
+	if err != nil {
+		return err
+	}
+	var results []core.Result
+	if *k > 0 {
+		results = core.EvaluateTopK(q, set, doc, bt, *k)
+	} else {
+		results = core.Evaluate(q, set, doc, bt)
+	}
+	fmt.Printf("query %s: %d relevant mapping(s)\n", *qtext, len(results))
+	leaf := q.Pattern.Nodes()[q.Pattern.Size()-1]
+	answers := core.AggregateByNode(results, leaf)
+	for _, a := range answers {
+		vals := a.Values
+		const maxShow = 8
+		suffix := ""
+		if len(vals) > maxShow {
+			suffix = fmt.Sprintf(" ... (%d values)", len(vals))
+			vals = vals[:maxShow]
+		}
+		fmt.Printf("  p=%.4f  %s%s\n", a.Prob, strings.Join(vals, ", "), suffix)
+	}
+	return nil
+}
+
+func runMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	srcPath := fs.String("src", "", "source schema spec file (required)")
+	tgtPath := fs.String("tgt", "", "target schema spec file (required)")
+	threshold := fs.Float64("threshold", 0.55, "similarity threshold")
+	fs.Parse(args)
+	if *srcPath == "" || *tgtPath == "" {
+		return fmt.Errorf("match: -src and -tgt are required")
+	}
+	src, err := loadSpec(*srcPath)
+	if err != nil {
+		return err
+	}
+	tgt, err := loadSpec(*tgtPath)
+	if err != nil {
+		return err
+	}
+	u, err := matcher.New(matcher.Options{Threshold: *threshold}).Match(src, tgt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matching %s (%d elements) -> %s (%d elements): %d correspondences\n",
+		src.Name, src.Len(), tgt.Name, tgt.Len(), u.Capacity())
+	for _, c := range u.Corrs {
+		fmt.Printf("  %.3f  %s ~ %s\n", c.Score, src.ByID(c.S).Path, tgt.ByID(c.T).Path)
+	}
+	return nil
+}
+
+func runKeywords(args []string) error {
+	fs := flag.NewFlagSet("keywords", flag.ExitOnError)
+	id := fs.String("d", "D7", "dataset ID")
+	m := fs.Int("m", 100, "number of possible mappings")
+	words := fs.String("w", "", "comma-separated keywords (required)")
+	docNodes := fs.Int("doc", 3473, "source document size")
+	fs.Parse(args)
+	if *words == "" {
+		return fmt.Errorf("keywords: -w is required")
+	}
+	d, set, err := loadSet(*id, *m)
+	if err != nil {
+		return err
+	}
+	doc := d.OrderDocument(*docNodes, 42)
+	keywords := strings.Split(*words, ",")
+	for i := range keywords {
+		keywords[i] = strings.TrimSpace(keywords[i])
+	}
+	q := core.PrepareKeywordQuery(keywords, set, doc)
+	results := core.EvaluateKeywords(q, set, doc)
+	fmt.Printf("keywords %v: %d relevant mapping(s)\n", keywords, len(results))
+	for _, a := range core.AggregateKeywordAnswers(results) {
+		paths := a.Values
+		if len(paths) > 5 {
+			paths = paths[:5]
+		}
+		fmt.Printf("  p=%.4f SLCA %v (%d total)\n", a.Prob, paths, len(a.Values))
+	}
+	return nil
+}
+
+func loadSpec(path string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	if strings.HasSuffix(path, ".xsd") {
+		return xsd.ParseString(strings.TrimSuffix(name, ".xsd"), string(data), xsd.Options{})
+	}
+	return schema.ParseSpec(strings.TrimSuffix(name, ".spec"), string(data))
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildOnce compiles the xmatch binary into a temp dir shared by the
+// subcommand smoke tests.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping binary smoke tests in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "xmatch")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+func TestCLISmoke(t *testing.T) {
+	bin := buildBinary(t)
+
+	t.Run("stats", func(t *testing.T) {
+		out, err := run(t, bin, "stats", "-d", "D1", "-m", "20")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"dataset D1", "capacity=30", "block tree"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("stats output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("query", func(t *testing.T) {
+		out, err := run(t, bin, "query", "-d", "D7", "-m", "20", "-doc", "1200",
+			"-q", "Order/DeliverTo/Contact/EMail", "-k", "5")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "relevant mapping(s)") {
+			t.Errorf("query output unexpected:\n%s", out)
+		}
+	})
+
+	t.Run("keywords", func(t *testing.T) {
+		out, err := run(t, bin, "keywords", "-d", "D7", "-m", "20", "-doc", "1200", "-w", "Street,City")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "SLCA") {
+			t.Errorf("keywords output unexpected:\n%s", out)
+		}
+	})
+
+	t.Run("match-spec-and-xsd", func(t *testing.T) {
+		dir := t.TempDir()
+		spec := filepath.Join(dir, "a.spec")
+		if err := os.WriteFile(spec, []byte("Order\n  ContactName\n  Quantity\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		xsdFile := filepath.Join(dir, "b.xsd")
+		xsdText := `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="ORDER">
+    <xs:complexType><xs:sequence>
+      <xs:element name="CONTACT_NAME" type="xs:string"/>
+      <xs:element name="QTY" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+		if err := os.WriteFile(xsdFile, []byte(xsdText), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := run(t, bin, "match", "-src", spec, "-tgt", xsdFile)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "ContactName ~ ORDER.CONTACT_NAME") {
+			t.Errorf("match output missing expected correspondence:\n%s", out)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		if out, err := run(t, bin, "query", "-d", "D7"); err == nil {
+			t.Errorf("query without -q succeeded:\n%s", out)
+		}
+		if out, err := run(t, bin, "stats", "-d", "D99"); err == nil {
+			t.Errorf("unknown dataset succeeded:\n%s", out)
+		}
+		if out, err := run(t, bin, "nonsense"); err == nil {
+			t.Errorf("unknown subcommand succeeded:\n%s", out)
+		}
+	})
+}

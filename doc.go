@@ -1,0 +1,12 @@
+// Package xmatch reproduces "Managing Uncertainty of XML Schema Matching"
+// (Cheng, Gong, Cheung, ICDE 2010) as a Go library: possible-mapping
+// generation from scored schema matchings (Murty ranking and the paper's
+// partition-based divide-and-conquer), the block-tree compact
+// representation of possible mappings, and probabilistic twig query (PTQ)
+// evaluation, including top-k PTQ.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); cmd/experiments regenerates every table and figure of the paper's
+// evaluation, and bench_test.go in this package provides testing.B
+// benchmarks mirroring each experiment.
+package xmatch

@@ -1,0 +1,53 @@
+// Keyword demonstrates probabilistic keyword queries (the paper's stated
+// future work): keywords name concepts of the *target* schema, each
+// possible mapping rewrites them to the source document, and the answers
+// are SLCA nodes — the smallest document subtrees containing every keyword
+// — weighted by mapping probability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/mapgen"
+)
+
+func main() {
+	d, err := dataset.Load("D7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := mapgen.TopH(d.Matching, 100, mapgen.Partition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := d.OrderDocument(3473, 42)
+
+	for _, keywords := range [][]string{
+		{"Quantity", "UP"},   // which line item carries both?
+		{"Contact", "EMail"}, // contact info regions
+		{"Street", "City"},   // address regions
+		{"Quantity", "dave"}, // schema keyword + value term
+	} {
+		q := core.PrepareKeywordQuery(keywords, set, doc)
+		results := core.EvaluateKeywords(q, set, doc)
+		fmt.Printf("keywords %v: %d relevant mappings\n", keywords, len(results))
+		answers := core.AggregateKeywordAnswers(results)
+		shown := 0
+		for _, a := range answers {
+			if shown == 3 {
+				fmt.Printf("  ... %d more answer sets\n", len(answers)-shown)
+				break
+			}
+			paths := a.Values
+			if len(paths) > 3 {
+				paths = paths[:3]
+			}
+			fmt.Printf("  p=%.3f SLCA paths %v (%d total)\n", a.Prob, paths, len(a.Values))
+			shown++
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,57 @@
+// Mapgen compares the two top-h possible-mapping generators of Section V:
+// whole-graph ranked assignment (Murty's algorithm, the paper's baseline)
+// against the divide-and-conquer partitioning approach (Algorithm 5). Both
+// produce identical mapping scores; partitioning is faster because XML
+// schema matchings are sparse and decompose into many small components.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"xmatch/internal/dataset"
+	"xmatch/internal/mapgen"
+)
+
+func main() {
+	const h = 50
+	fmt.Printf("top-%d possible mappings, murty vs partition\n\n", h)
+	fmt.Printf("%-5s %-9s %-11s %-12s %-12s %s\n",
+		"ID", "capacity", "partitions", "murty", "partition", "speedup")
+	for _, id := range dataset.IDs() {
+		d, err := dataset.Load(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		a, err := mapgen.TopH(d.Matching, h, mapgen.Murty)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tM := time.Since(t0)
+		t1 := time.Now()
+		b, err := mapgen.TopH(d.Matching, h, mapgen.Partition)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tP := time.Since(t1)
+
+		// The two methods must agree on every mapping score.
+		if a.Len() != b.Len() {
+			log.Fatalf("%s: murty found %d mappings, partition %d", id, a.Len(), b.Len())
+		}
+		for i := range a.Mappings {
+			if math.Abs(a.Mappings[i].Score-b.Mappings[i].Score) > 1e-9 {
+				log.Fatalf("%s: rank %d scores differ: %v vs %v",
+					id, i, a.Mappings[i].Score, b.Mappings[i].Score)
+			}
+		}
+		fmt.Printf("%-5s %-9d %-11d %-12v %-12v %.1fx\n",
+			id, d.Matching.Capacity(), d.Matching.Stats().NumPartitions,
+			tM.Round(time.Microsecond), tP.Round(time.Microsecond),
+			float64(tM)/float64(tP))
+	}
+	fmt.Println("\nall ranked mapping scores identical across methods")
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAblationFlagsPreserveResults verifies that the two ablation switches
+// change only work done, never the constructed block tree.
+func TestAblationFlagsPreserveResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		f := makeFixture(t, rng, 25, 15, 20)
+		base, err := Build(f.set, Options{Tau: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{
+			{Tau: 0.2, NoLemma2Pruning: true},
+			{Tau: 0.2, NoIntersectionPruning: true},
+			{Tau: 0.2, NoLemma2Pruning: true, NoIntersectionPruning: true},
+		} {
+			alt, err := Build(f.set, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alt.NumBlocks != base.NumBlocks {
+				t.Fatalf("trial %d %+v: %d blocks vs %d", trial, opts, alt.NumBlocks, base.NumBlocks)
+			}
+			if err := alt.Validate(); err != nil {
+				t.Fatalf("trial %d %+v: %v", trial, opts, err)
+			}
+			for elemID := range base.Blocks {
+				if len(base.Blocks[elemID]) != len(alt.Blocks[elemID]) {
+					t.Fatalf("trial %d %+v: element %d block count differs", trial, opts, elemID)
+				}
+				for bi := range base.Blocks[elemID] {
+					a, b := base.Blocks[elemID][bi], alt.Blocks[elemID][bi]
+					if len(a.C) != len(b.C) || a.M.String() != b.M.String() {
+						t.Fatalf("trial %d %+v: block %d/%d differs", trial, opts, elemID, bi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaxFLimitsTrials verifies the failed-attempt cap cuts enumeration
+// short without corrupting blocks.
+func TestMaxFLimitsTrials(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := makeFixture(t, rng, 40, 25, 40)
+	capped, err := Build(f.set, Options{Tau: 0.5, MaxF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(f.set, Options{Tau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.NumBlocks > full.NumBlocks {
+		t.Fatalf("MaxF=1 produced more blocks (%d) than unlimited (%d)", capped.NumBlocks, full.NumBlocks)
+	}
+}

@@ -1,0 +1,63 @@
+// Package core implements the paper's primary contribution (Cheng, Gong,
+// Cheung, ICDE 2010): the block tree — a compact representation of a set of
+// possible mappings between two XML schemas — and the evaluation of
+// probabilistic twig queries (PTQ) and top-k PTQ over it.
+//
+// A block stores a set of correspondences shared by a set of mappings. A
+// constrained block (c-block) additionally has an anchor element in the
+// target schema whose complete subtree its correspondences cover, and is
+// shared by at least τ·|M| mappings (Definition 2). The block tree mirrors
+// the target schema's structure and links each element to its c-blocks
+// (Definition 3); a hash table keyed by target paths locates block-tree
+// nodes during query evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"xmatch/internal/mapping"
+)
+
+// Corr is a correspondence (x, y) between source element x = S and target
+// element y = T, stored inside blocks. Scores are not needed at this layer.
+type Corr struct {
+	S, T int
+}
+
+// Block is a c-block: a set of correspondences covering the complete target
+// subtree rooted at the anchor, shared by the mappings in M.
+type Block struct {
+	// Anchor is the target element ID b.a.
+	Anchor int
+	// C is the correspondence set, sorted by target element ID; |C|
+	// equals the number of elements in the subtree rooted at Anchor.
+	C []Corr
+	// M is the set of mapping IDs (indices into the mapping set) that
+	// share every correspondence in C.
+	M *mapping.IDSet
+}
+
+// sourceFor returns the source element corresponding to target element t in
+// the block's correspondence set, using binary search over the sorted C.
+func (b *Block) sourceFor(t int) (int, bool) {
+	i := sort.Search(len(b.C), func(i int) bool { return b.C[i].T >= t })
+	if i < len(b.C) && b.C[i].T == t {
+		return b.C[i].S, true
+	}
+	return 0, false
+}
+
+// Bytes returns the block's storage footprint under the byte-size model of
+// the compression-ratio metric: a fixed header, two element IDs per
+// correspondence, and the mapping-ID bitset.
+func (b *Block) Bytes() int {
+	return blockOverhead + mapping.CorrBytes*len(b.C) + b.M.Bytes()
+}
+
+const blockOverhead = 24 // anchor + lengths + list link
+
+// String renders the block compactly for debugging.
+func (b *Block) String() string {
+	return fmt.Sprintf("block{a=%d |C|=%d M=%s}", b.Anchor, len(b.C), b.M)
+}

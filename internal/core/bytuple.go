@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+
+	"xmatch/internal/twig"
+)
+
+// This file adds the by-tuple view of PTQ answers. The paper's PTQ follows
+// the by-table semantics of Dong, Halevy and Yu ("Data integration with
+// uncertainty", VLDB 2007): one mapping governs the whole document, so an
+// answer is a *set* of matches with the mapping's probability. Under the
+// by-tuple view each individual match is an event of its own, with
+// probability equal to the total probability of the mappings that produce
+// it — the XML analog of by-tuple certain answers. Because PTQ results
+// already carry per-mapping match sets, the by-tuple distribution is a
+// fold over them; no re-evaluation is needed.
+
+// TupleAnswer is one match with its by-tuple probability.
+type TupleAnswer struct {
+	// Match is a representative binding (identical matches produced by
+	// different mappings share document nodes by construction).
+	Match twig.Match
+	// Prob is the total probability of the mappings yielding the match.
+	Prob float64
+}
+
+// ByTupleAnswers folds PTQ results into the by-tuple distribution over
+// individual matches: each distinct match (by canonical binding identity)
+// appears once, with the summed probability of every mapping that produced
+// it. Answers are ordered by non-increasing probability, ties broken by
+// match identity. The probabilities of different answers may sum to more
+// than one — distinct matches are not disjoint events under by-tuple
+// semantics.
+func ByTupleAnswers(results []Result) []TupleAnswer {
+	probs := map[string]float64{}
+	reps := map[string]twig.Match{}
+	for _, r := range results {
+		for _, m := range r.Matches {
+			k := m.Key()
+			probs[k] += r.Prob
+			if _, ok := reps[k]; !ok {
+				reps[k] = m
+			}
+		}
+	}
+	out := make([]TupleAnswer, 0, len(probs))
+	for k, p := range probs {
+		out = append(out, TupleAnswer{Match: reps[k], Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Match.Key() < out[j].Match.Key()
+	})
+	return out
+}
+
+// ValueDistribution folds the by-tuple distribution further onto the text
+// values one query node binds: the probability that the node's answer
+// includes a given value. This is the presentation used when a user asks
+// "what are the possible contact names and how credible is each?" without
+// committing to a whole mapping.
+func ValueDistribution(results []Result, qn *twig.Node) []Answer {
+	probs := map[string]float64{}
+	for _, r := range results {
+		seen := map[string]bool{}
+		for _, m := range r.Matches {
+			d := m.Get(qn)
+			if d == nil || seen[d.Text] {
+				continue
+			}
+			seen[d.Text] = true
+			probs[d.Text] += r.Prob
+		}
+	}
+	out := make([]Answer, 0, len(probs))
+	for v, p := range probs {
+		out = append(out, Answer{Values: []string{v}, Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Values[0] < out[j].Values[0]
+	})
+	return out
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByTupleAnswers(t *testing.T) {
+	set, doc := keywordFixture(t) // two mappings, probs 0.6 and 0.4
+	q, err := PrepareQuery("//INVOICE_PARTY//CONTACT_NAME", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := Build(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Evaluate(q, set, doc, bt)
+	tuples := ByTupleAnswers(results)
+	// Mapping 0 binds BCN ("Cathy"), mapping 1 binds RCN ("Bob"); the two
+	// matches are distinct, each with its mapping's probability.
+	if len(tuples) != 2 {
+		t.Fatalf("tuples = %d, want 2", len(tuples))
+	}
+	if math.Abs(tuples[0].Prob-0.6) > 1e-9 || math.Abs(tuples[1].Prob-0.4) > 1e-9 {
+		t.Fatalf("probs = %v, %v", tuples[0].Prob, tuples[1].Prob)
+	}
+	if tuples[0].Prob < tuples[1].Prob {
+		t.Fatal("tuples not ordered by probability")
+	}
+
+	icn := q.Pattern.Nodes()[1]
+	vals := ValueDistribution(results, icn)
+	if len(vals) != 2 {
+		t.Fatalf("value distribution = %d entries", len(vals))
+	}
+	got := map[string]float64{}
+	for _, a := range vals {
+		got[a.Values[0]] = a.Prob
+	}
+	if math.Abs(got["Cathy"]-0.6) > 1e-9 || math.Abs(got["Bob"]-0.4) > 1e-9 {
+		t.Fatalf("value probs = %v", got)
+	}
+}
+
+func TestByTupleSharedMatchAccumulates(t *testing.T) {
+	// Two mappings that agree on the query subtree produce the same match;
+	// by-tuple must sum their probabilities.
+	set, doc := keywordFixture(t)
+	q, err := PrepareQuery("//INVOICE_PARTY", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := Build(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Evaluate(q, set, doc, bt)
+	tuples := ByTupleAnswers(results)
+	if len(tuples) != 1 {
+		t.Fatalf("tuples = %d, want 1 shared match", len(tuples))
+	}
+	if math.Abs(tuples[0].Prob-1.0) > 1e-9 {
+		t.Fatalf("shared match prob = %v, want 1.0", tuples[0].Prob)
+	}
+}
+
+func TestByTupleEmptyResults(t *testing.T) {
+	if got := ByTupleAnswers(nil); len(got) != 0 {
+		t.Fatalf("empty results produced %d tuples", len(got))
+	}
+	if got := ValueDistribution(nil, nil); len(got) != 0 {
+		t.Fatalf("empty results produced %d values", len(got))
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"xmatch/internal/mapping"
+	"xmatch/internal/xmltree"
+)
+
+// This file implements probabilistic keyword queries (PKQ), the keyword
+// half of the paper's future work ("we would consider how the block tree
+// can facilitate the evaluation of other types of XML queries (e.g.,
+// XQuery and keyword query)").
+//
+// A keyword either names a concept of the *target* schema (it matches
+// target elements whose name contains it, case-insensitively) or, when no
+// target element matches, is a value term matched against document text.
+// Under one possible mapping, each schema keyword is rewritten to the
+// source paths of the mapped elements; the answer for that mapping is the
+// set of SLCA (smallest lowest common ancestor) document nodes — nodes
+// whose subtree contains at least one match of every keyword and none of
+// whose descendants does. As with PTQ, the result carries one entry per
+// relevant mapping with the mapping's probability.
+
+// KeywordResult is the PKQ answer through one possible mapping.
+type KeywordResult struct {
+	MappingIndex int
+	Prob         float64
+	// SLCAs are the smallest LCA nodes, in document order.
+	SLCAs []*xmltree.Node
+}
+
+// KeywordQuery is a prepared probabilistic keyword query.
+type KeywordQuery struct {
+	Keywords []string
+
+	// schemaTargets[i] lists the target element IDs matched by keyword
+	// i; empty means keyword i is a value term.
+	schemaTargets [][]int
+	// valueNodes[i] caches the document nodes matched by value term i.
+	valueNodes [][]*xmltree.Node
+}
+
+// PrepareKeywordQuery resolves keywords against the target schema of the
+// mapping set and pre-computes value-term matches in the document.
+func PrepareKeywordQuery(keywords []string, set *mapping.Set, doc *xmltree.Document) *KeywordQuery {
+	q := &KeywordQuery{
+		Keywords:      keywords,
+		schemaTargets: make([][]int, len(keywords)),
+		valueNodes:    make([][]*xmltree.Node, len(keywords)),
+	}
+	for i, kw := range keywords {
+		lower := strings.ToLower(kw)
+		for _, e := range set.Target.Elements() {
+			if strings.Contains(strings.ToLower(e.Name), lower) {
+				q.schemaTargets[i] = append(q.schemaTargets[i], e.ID)
+			}
+		}
+		if len(q.schemaTargets[i]) == 0 {
+			for _, n := range doc.Nodes() {
+				if n.Text != "" && strings.Contains(strings.ToLower(n.Text), lower) {
+					q.valueNodes[i] = append(q.valueNodes[i], n)
+				}
+			}
+		}
+	}
+	return q
+}
+
+// EvaluateKeywords answers the PKQ: for every mapping that maps at least
+// one target element of every schema keyword, the keyword node lists are
+// rewritten to the source document and their SLCAs computed. Results are
+// ordered by mapping index; mappings with an empty SLCA set are included
+// (relevant but unproductive), mirroring PTQ semantics.
+func EvaluateKeywords(q *KeywordQuery, set *mapping.Set, doc *xmltree.Document) []KeywordResult {
+	var out []KeywordResult
+	var index map[*xmltree.Node]int // node -> preorder position, built lazily
+	for mi, m := range set.Mappings {
+		lists := make([][]*xmltree.Node, len(q.Keywords))
+		relevant := true
+		for i := range q.Keywords {
+			if len(q.schemaTargets[i]) == 0 {
+				lists[i] = q.valueNodes[i]
+				if len(lists[i]) == 0 {
+					relevant = false
+					break
+				}
+				continue
+			}
+			var nodes []*xmltree.Node
+			for _, t := range q.schemaTargets[i] {
+				s, ok := m.SourceFor(t)
+				if !ok {
+					continue
+				}
+				nodes = append(nodes, doc.NodesByPath(set.Source.ByID(s).Path)...)
+			}
+			if len(nodes) == 0 {
+				relevant = false
+				break
+			}
+			lists[i] = nodes
+		}
+		if !relevant {
+			continue
+		}
+		if index == nil {
+			index = make(map[*xmltree.Node]int, doc.Len())
+			for i, n := range doc.Nodes() {
+				index[n] = i
+			}
+		}
+		out = append(out, KeywordResult{
+			MappingIndex: mi,
+			Prob:         m.Prob,
+			SLCAs:        slcaIndexed(doc, lists, index),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MappingIndex < out[j].MappingIndex })
+	return out
+}
+
+// SLCA computes the smallest lowest common ancestors of the given keyword
+// node lists: the document nodes whose subtree contains at least one node
+// from every list and none of whose proper descendants does. Nodes are
+// returned in document order. It runs in O(|doc| · ⌈k/64⌉) using ancestor
+// bitmask propagation.
+func SLCA(doc *xmltree.Document, lists [][]*xmltree.Node) []*xmltree.Node {
+	index := make(map[*xmltree.Node]int, doc.Len())
+	for i, n := range doc.Nodes() {
+		index[n] = i
+	}
+	return slcaIndexed(doc, lists, index)
+}
+
+// slcaIndexed is SLCA with a caller-provided node->preorder-position index,
+// so repeated evaluations over the same document share it.
+func slcaIndexed(doc *xmltree.Document, lists [][]*xmltree.Node, index map[*xmltree.Node]int) []*xmltree.Node {
+	k := len(lists)
+	if k == 0 {
+		return nil
+	}
+	words := (k + 63) / 64
+	masks := make([][]uint64, doc.Len())
+	setBit := func(n *xmltree.Node, bit int) {
+		i := index[n]
+		if masks[i] == nil {
+			masks[i] = make([]uint64, words)
+		}
+		masks[i][bit>>6] |= 1 << (uint(bit) & 63)
+	}
+	for bit, list := range lists {
+		for _, n := range list {
+			for a := n; a != nil; a = a.Parent {
+				setBit(a, bit)
+			}
+		}
+	}
+	full := func(i int) bool {
+		if masks[i] == nil {
+			return false
+		}
+		for w := 0; w < words; w++ {
+			want := ^uint64(0)
+			if w == words-1 && k%64 != 0 {
+				want = (1 << (uint(k) % 64)) - 1
+			}
+			if masks[i][w]&want != want {
+				return false
+			}
+		}
+		return true
+	}
+	var out []*xmltree.Node
+	for i, n := range doc.Nodes() {
+		if !full(i) {
+			continue
+		}
+		// Smallest: no child subtree already contains everything.
+		smallest := true
+		for _, c := range n.Children {
+			if full(index[c]) {
+				smallest = false
+				break
+			}
+		}
+		if smallest {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AggregateKeywordAnswers folds keyword results by the set of SLCA paths,
+// summing mapping probabilities, analogous to AggregateByNode for PTQ.
+func AggregateKeywordAnswers(results []KeywordResult) []Answer {
+	byKey := map[string]*Answer{}
+	for _, r := range results {
+		paths := make([]string, len(r.SLCAs))
+		for i, n := range r.SLCAs {
+			paths[i] = n.Path
+		}
+		sort.Strings(paths)
+		key := strings.Join(paths, "\x00")
+		if a, ok := byKey[key]; ok {
+			a.Prob += r.Prob
+		} else {
+			byKey[key] = &Answer{Values: paths, Prob: r.Prob}
+		}
+	}
+	out := make([]Answer, 0, len(byKey))
+	for _, a := range byKey {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return strings.Join(out[i].Values, ",") < strings.Join(out[j].Values, ",")
+	})
+	return out
+}

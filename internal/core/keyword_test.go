@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xmatch/internal/mapping"
+	"xmatch/internal/schema"
+	"xmatch/internal/xmltree"
+)
+
+// naiveSLCA is the brute-force reference: a node is an SLCA iff its
+// subtree contains at least one node of every list and no child's subtree
+// does.
+func naiveSLCA(doc *xmltree.Document, lists [][]*xmltree.Node) []*xmltree.Node {
+	containsAll := func(n *xmltree.Node) bool {
+		for _, list := range lists {
+			found := false
+			for _, d := range list {
+				if n.Contains(d) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	var out []*xmltree.Node
+	for _, n := range doc.Nodes() {
+		if !containsAll(n) {
+			continue
+		}
+		smallest := true
+		for _, c := range n.Children {
+			if containsAll(c) {
+				smallest = false
+				break
+			}
+		}
+		if smallest {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestSLCAAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		// Random document.
+		root := xmltree.NewRoot("r")
+		nodes := []*xmltree.Node{root}
+		for i := 0; i < 3+rng.Intn(40); i++ {
+			p := nodes[rng.Intn(len(nodes))]
+			nodes = append(nodes, p.AddChild("n"))
+		}
+		doc := xmltree.New(root)
+		// Random keyword lists.
+		k := 1 + rng.Intn(4)
+		lists := make([][]*xmltree.Node, k)
+		for i := range lists {
+			for j := 0; j <= rng.Intn(4); j++ {
+				lists[i] = append(lists[i], nodes[rng.Intn(len(nodes))])
+			}
+		}
+		got := SLCA(doc, lists)
+		want := naiveSLCA(doc, lists)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: SLCA %d nodes, naive %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: SLCA mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSLCAEmpty(t *testing.T) {
+	doc := xmltree.New(xmltree.NewRoot("r"))
+	if got := SLCA(doc, nil); got != nil {
+		t.Fatalf("SLCA with no lists = %v", got)
+	}
+	if got := SLCA(doc, [][]*xmltree.Node{nil}); got != nil {
+		t.Fatalf("SLCA with empty list = %v", got)
+	}
+}
+
+// keywordFixture builds the intro-style scenario for keyword tests.
+func keywordFixture(t *testing.T) (*mapping.Set, *xmltree.Document) {
+	t.Helper()
+	src, err := schema.ParseSpec("S", `
+Order
+  BP
+    BOC
+      BCN
+    ROC
+      RCN
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := schema.ParseSpec("T", `
+ORDER
+  INVOICE_PARTY
+    CONTACT_NAME
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := func(s *schema.Schema, path string) int { return s.ByPath(path).ID }
+	mk := func(cn string, score float64) *mapping.Mapping {
+		return &mapping.Mapping{
+			Pairs: []mapping.Pair{
+				{S: ids(src, "Order"), T: ids(tgt, "ORDER")},
+				{S: ids(src, "Order.BP"), T: ids(tgt, "ORDER.INVOICE_PARTY")},
+				{S: ids(src, cn), T: ids(tgt, "ORDER.INVOICE_PARTY.CONTACT_NAME")},
+			},
+			Score: score,
+		}
+	}
+	set := mapping.MustNewSet(src, tgt, []*mapping.Mapping{
+		mk("Order.BP.BOC.BCN", 0.6),
+		mk("Order.BP.ROC.RCN", 0.4),
+	})
+	root := xmltree.NewRoot("Order")
+	bp := root.AddChild("BP")
+	bp.AddChild("BOC").AddChild("BCN").AddText("Cathy")
+	bp.AddChild("ROC").AddChild("RCN").AddText("Bob")
+	return set, xmltree.New(root)
+}
+
+func TestEvaluateKeywordsSchemaTerms(t *testing.T) {
+	set, doc := keywordFixture(t)
+	q := PrepareKeywordQuery([]string{"invoice", "contact"}, set, doc)
+	results := EvaluateKeywords(q, set, doc)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2 relevant mappings", len(results))
+	}
+	for _, r := range results {
+		if len(r.SLCAs) == 0 {
+			t.Fatalf("mapping %d: no SLCAs", r.MappingIndex)
+		}
+	}
+	// Mapping 0 (prob 0.6) maps INVOICE_PARTY->BP and CONTACT_NAME->BCN:
+	// SLCA should be the BP node (smallest subtree containing both).
+	if got := results[0].SLCAs[0].Path; got != "Order.BP" {
+		t.Fatalf("mapping 0 SLCA = %s, want Order.BP", got)
+	}
+	answers := AggregateKeywordAnswers(results)
+	var total float64
+	for _, a := range answers {
+		total += a.Prob
+	}
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Fatalf("aggregated probability mass = %v", total)
+	}
+}
+
+func TestEvaluateKeywordsValueTerm(t *testing.T) {
+	set, doc := keywordFixture(t)
+	q := PrepareKeywordQuery([]string{"contact", "Cathy"}, set, doc)
+	results := EvaluateKeywords(q, set, doc)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Under mapping 0, CONTACT_NAME rewrites to BCN ("Cathy"): SLCA is the
+	// BCN node itself. Under mapping 1 it rewrites to RCN ("Bob"), so the
+	// smallest subtree containing both RCN and the Cathy text node is BP.
+	if got := results[0].SLCAs[0].Path; got != "Order.BP.BOC.BCN" {
+		t.Fatalf("mapping 0 SLCA = %s", got)
+	}
+	if got := results[1].SLCAs[0].Path; got != "Order.BP" {
+		t.Fatalf("mapping 1 SLCA = %s", got)
+	}
+}
+
+func TestEvaluateKeywordsIrrelevantMapping(t *testing.T) {
+	set, doc := keywordFixture(t)
+	// A keyword matching nothing anywhere makes every mapping irrelevant.
+	q := PrepareKeywordQuery([]string{"zzzznothing"}, set, doc)
+	if results := EvaluateKeywords(q, set, doc); len(results) != 0 {
+		t.Fatalf("results = %d, want 0", len(results))
+	}
+}
+
+func TestEvaluateAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := makeFixture(t, rng, 25, 12, 15)
+	bt, err := Build(f.set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate over the root query node: every relevant mapping matches
+	// exactly the document root, so COUNT must be 1 with total relevant
+	// probability.
+	q, err := PrepareQuery(f.tgt.Root.Name, f.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn := q.Pattern.Nodes()[0]
+	dist := EvaluateAggregate(q, f.set, f.doc, bt, qn, Count)
+	if len(dist.Values) != 1 || dist.Values[0].Value != 1 || !dist.Values[0].Valid {
+		t.Fatalf("COUNT distribution = %+v", dist.Values)
+	}
+	results := Evaluate(q, f.set, f.doc, bt)
+	var relevantMass float64
+	for _, r := range results {
+		relevantMass += r.Prob
+	}
+	if math.Abs(dist.Values[0].Prob-relevantMass) > 1e-9 {
+		t.Fatalf("COUNT mass %v != relevant mass %v", dist.Values[0].Prob, relevantMass)
+	}
+}
+
+func TestEvaluateAggregateNumeric(t *testing.T) {
+	// Hand-built: two mappings bind the leaf to different numeric nodes.
+	src, err := schema.ParseSpec("S", "s\n  a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := schema.ParseSpec("T", "t\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(srcLeaf string, score float64) *mapping.Mapping {
+		return &mapping.Mapping{
+			Pairs: []mapping.Pair{
+				{S: 0, T: 0},
+				{S: src.ByPath(srcLeaf).ID, T: tgt.ByPath("t.x").ID},
+			},
+			Score: score,
+		}
+	}
+	set := mapping.MustNewSet(src, tgt, []*mapping.Mapping{mk("s.a", 0.75), mk("s.b", 0.25)})
+	root := xmltree.NewRoot("s")
+	root.AddChild("a").AddText("10")
+	root.AddChild("b").AddText("30")
+	doc := xmltree.New(root)
+	bt, err := Build(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := PrepareQuery("t/x", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := q.Pattern.Nodes()[1]
+	for _, fn := range []AggFunc{Sum, Min, Max, Avg} {
+		dist := EvaluateAggregate(q, set, doc, bt, leaf, fn)
+		if len(dist.Values) != 2 {
+			t.Fatalf("%v: %d outcomes, want 2", fn, len(dist.Values))
+		}
+		if dist.Values[0].Prob < dist.Values[1].Prob {
+			t.Fatalf("%v: outcomes not ordered by probability", fn)
+		}
+		ev, mass := dist.Expected()
+		want := 0.75*10 + 0.25*30
+		if math.Abs(ev-want) > 1e-9 || math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("%v: expected %v (mass %v), want %v", fn, ev, mass, want)
+		}
+	}
+	if Count.String() != "COUNT" || Avg.String() != "AVG" || AggFunc(9).String() == "" {
+		t.Error("AggFunc names wrong")
+	}
+}
+
+func TestAggregateUndefinedOutcomes(t *testing.T) {
+	// Non-numeric values make SUM undefined for a mapping.
+	src, err := schema.ParseSpec("S", "s\n  a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := schema.ParseSpec("T", "t\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := mapping.MustNewSet(src, tgt, []*mapping.Mapping{{
+		Pairs: []mapping.Pair{{S: 0, T: 0}, {S: 1, T: 1}},
+		Score: 1,
+	}})
+	root := xmltree.NewRoot("s")
+	root.AddChild("a").AddText("not-a-number")
+	doc := xmltree.New(root)
+	bt, err := Build(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := PrepareQuery("t/x", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := EvaluateAggregate(q, set, doc, bt, q.Pattern.Nodes()[1], Sum)
+	if len(dist.Values) != 1 || dist.Values[0].Valid {
+		t.Fatalf("expected a single undefined outcome, got %+v", dist.Values)
+	}
+	ev, mass := dist.Expected()
+	if ev != 0 || mass != 0 {
+		t.Fatalf("expected no defined mass, got %v/%v", ev, mass)
+	}
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmatch/internal/mapping"
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+// Query is a probabilistic twig query prepared for evaluation: the parsed
+// pattern together with its embeddings into the target schema. Preparing a
+// query resolves labels and axes once; per-mapping evaluation then only
+// rewrites target elements to source paths.
+type Query struct {
+	Pattern *twig.Pattern
+	// Embeddings are the pattern's embeddings into the target schema
+	// (one per way the pattern fits the schema; typically one).
+	Embeddings []twig.Embedding
+
+	set *mapping.Set // the mapping set the query was prepared against
+}
+
+// PrepareQuery parses the pattern text and resolves it against the target
+// schema of the mapping set. It errors if the pattern does not embed into
+// the target schema at all.
+func PrepareQuery(pattern string, set *mapping.Set) (*Query, error) {
+	p, err := twig.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	embs, err := twig.ResolveOne(p, set.Target)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Pattern: p, Embeddings: embs, set: set}, nil
+}
+
+// Result is one element of a PTQ answer: the matches of the query through
+// one possible mapping, with that mapping's probability (Definition 4).
+type Result struct {
+	// MappingIndex identifies the mapping mi within the set.
+	MappingIndex int
+	// Prob is pi, the probability the mapping (and hence this answer)
+	// is correct.
+	Prob float64
+	// Matches is Ri, the set of matches of the query on the document
+	// through mapping mi. It may be empty for a relevant mapping whose
+	// rewritten query finds no document nodes.
+	Matches []twig.Match
+}
+
+// EvaluateBasic answers the PTQ with Algorithm 3 (query_basic): it filters
+// irrelevant mappings — those lacking a correspondence for some query node —
+// then, for every remaining mapping independently, rewrites the query to
+// source-schema paths and matches it against the document. Results are
+// ordered by mapping index.
+func EvaluateBasic(q *Query, set *mapping.Set, doc *xmltree.Document) []Result {
+	results := newResultMerger(set)
+	for _, emb := range q.Embeddings {
+		relevant := filterMappings(set, emb)
+		for _, mi := range relevant {
+			binding, ok := rewriteFull(q, emb, set.Mappings[mi])
+			if !ok {
+				results.add(mi, nil)
+				continue
+			}
+			results.add(mi, twig.MatchByPaths(doc, q.Pattern.Root, binding))
+		}
+	}
+	return results.finish()
+}
+
+// Evaluate answers the PTQ with Algorithm 4 (twig_query_tree): query
+// subtrees whose root path appears in the block tree's hash table are
+// evaluated once per c-block and the result replicated across all mappings
+// sharing the block; elsewhere the query is decomposed into its root and
+// child subqueries, which are evaluated recursively and recombined with
+// structural joins.
+func Evaluate(q *Query, set *mapping.Set, doc *xmltree.Document, bt *BlockTree) []Result {
+	results := newResultMerger(set)
+	for _, emb := range q.Embeddings {
+		relevant := filterMappings(set, emb)
+		if len(relevant) == 0 {
+			continue
+		}
+		relevantSet := mapping.NewIDSet(set.Len())
+		for _, mi := range relevant {
+			relevantSet.Add(mi)
+		}
+		perMapping := evalTree(q, emb, q.Pattern.Root, set, doc, bt, relevant, relevantSet, &evalCache{matches: map[string][]twig.Match{}})
+		for mi, matches := range perMapping {
+			results.add(mi, matches)
+		}
+	}
+	return results.finish()
+}
+
+// EvaluateTopK answers the top-k PTQ (Definition 5): only the k relevant
+// mappings with the highest probabilities are evaluated, which is correct
+// because every answer tuple derives from exactly one mapping and tuple
+// probabilities equal mapping probabilities (Section IV-C).
+func EvaluateTopK(q *Query, set *mapping.Set, doc *xmltree.Document, bt *BlockTree, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	// Union of relevant mappings across embeddings, then keep the k most
+	// probable; mapping sets are ordered by non-increasing probability,
+	// so ascending index order is descending probability order.
+	relevantUnion := map[int]bool{}
+	for _, emb := range q.Embeddings {
+		for _, mi := range filterMappings(set, emb) {
+			relevantUnion[mi] = true
+		}
+	}
+	keep := make([]int, 0, len(relevantUnion))
+	for mi := range relevantUnion {
+		keep = append(keep, mi)
+	}
+	if k >= len(keep) {
+		// Every relevant mapping is kept: the top-k PTQ degenerates to
+		// the plain PTQ.
+		return Evaluate(q, set, doc, bt)
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		a, b := set.Mappings[keep[i]], set.Mappings[keep[j]]
+		if a.Prob != b.Prob {
+			return a.Prob > b.Prob
+		}
+		return keep[i] < keep[j]
+	})
+	if len(keep) > k {
+		keep = keep[:k]
+	}
+	keepSet := map[int]bool{}
+	for _, mi := range keep {
+		keepSet[mi] = true
+	}
+
+	results := newResultMerger(set)
+	for _, emb := range q.Embeddings {
+		var relevant []int
+		for _, mi := range filterMappings(set, emb) {
+			if keepSet[mi] {
+				relevant = append(relevant, mi)
+			}
+		}
+		if len(relevant) == 0 {
+			continue
+		}
+		relevantSet := mapping.NewIDSet(set.Len())
+		for _, mi := range relevant {
+			relevantSet.Add(mi)
+		}
+		perMapping := evalTree(q, emb, q.Pattern.Root, set, doc, bt, relevant, relevantSet, &evalCache{matches: map[string][]twig.Match{}})
+		for mi, matches := range perMapping {
+			results.add(mi, matches)
+		}
+	}
+	return results.finish()
+}
+
+// filterMappings returns the indices of the mappings relevant to the
+// embedded query: those with a correspondence for every query node's target
+// element (function filter_mappings of Algorithm 3).
+func filterMappings(set *mapping.Set, emb twig.Embedding) []int {
+	var out []int
+	for mi, m := range set.Mappings {
+		if m.Covers(emb) {
+			out = append(out, mi)
+		}
+	}
+	return out
+}
+
+// rewriteFull rewrites the whole embedded query through a mapping into a
+// source-path binding. It returns ok=false when the mapped source elements
+// cannot nest (a child's source path does not extend its parent's source
+// path), in which case the mapping yields no matches.
+func rewriteFull(q *Query, emb twig.Embedding, m *mapping.Mapping) (twig.PathBinding, bool) {
+	binding := make(twig.PathBinding, q.Pattern.Size())
+	for _, qn := range q.Pattern.Nodes() {
+		s, ok := m.SourceFor(emb[qn.Index])
+		if !ok {
+			return nil, false // cannot happen after filtering; defensive
+		}
+		binding[qn] = q.set.Source.ByID(s).Path
+	}
+	if !bindingNests(q.Pattern.Root, binding) {
+		return nil, false
+	}
+	return binding, true
+}
+
+// bindingNests verifies the rewrite-time structural consistency: for every
+// pattern edge the child's source path must strictly extend the parent's,
+// otherwise no document node pair can satisfy the containment join.
+func bindingNests(qn *twig.Node, binding twig.PathBinding) bool {
+	for _, c := range qn.Children {
+		pp, cp := binding[qn], binding[c]
+		if len(cp) <= len(pp) || cp[:len(pp)] != pp || cp[len(pp)] != '.' {
+			return false
+		}
+		if !bindingNests(c, binding) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalCache memoizes pure single-node and subtree evaluations within one
+// query evaluation: mappings that translate a subquery to the identical
+// source-path binding necessarily produce the identical matches, so the
+// matching runs once per distinct binding. The join structure of
+// Algorithm 4 — and hence the sharing driven by c-blocks — is unaffected.
+type evalCache struct {
+	matches map[string][]twig.Match
+}
+
+func (c *evalCache) get(key string) ([]twig.Match, bool) {
+	m, ok := c.matches[key]
+	return m, ok
+}
+
+func (c *evalCache) put(key string, m []twig.Match) { c.matches[key] = m }
+
+// evalTree evaluates the query subtree rooted at qn for every relevant
+// mapping, returning matches per mapping index. It implements
+// twig_query_tree and query_subtree of Algorithm 4.
+func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
+	doc *xmltree.Document, bt *BlockTree, relevant []int, relevantSet *mapping.IDSet,
+	cache *evalCache) map[int][]twig.Match {
+
+	elemID := emb[qn.Index]
+	path := set.Target.ByID(elemID).Path
+	out := make(map[int][]twig.Match, len(relevant))
+
+	if t := bt.FindNode(path); t == elemID && len(bt.Blocks[t]) > 0 {
+		// query_subtree: evaluate once per c-block, replicate across the
+		// block's relevant mappings.
+		covered := mapping.NewIDSet(set.Len())
+		for _, b := range bt.Blocks[t] {
+			share := b.M.Intersect(relevantSet)
+			if share.IsEmpty() {
+				continue
+			}
+			matches := matchSubtreeWithBlock(q, emb, qn, b, set, doc)
+			for _, mi := range share.IDs() {
+				out[mi] = matches
+			}
+			covered.UnionWith(share)
+		}
+		// Mappings not covered by any block are evaluated directly.
+		rest := relevantSet.Clone().SubtractWith(covered)
+		for _, mi := range rest.IDs() {
+			out[mi] = cachedSubtreeEval(q, emb, qn, mi, set, doc, cache)
+		}
+		return out
+	}
+
+	if len(qn.Children) == 0 {
+		// Single-node subquery: evaluate directly per mapping.
+		for _, mi := range relevant {
+			out[mi] = cachedSubtreeEval(q, emb, qn, mi, set, doc, cache)
+		}
+		return out
+	}
+
+	// Decompose: root-only query q0, then one subquery per child, then
+	// per-mapping structural joins (split_query + stack_join).
+	root0 := &twig.Node{Label: qn.Label, Axis: qn.Axis, Value: qn.Value, HasValue: qn.HasValue, Index: qn.Index}
+	r0 := make(map[int][]twig.Match, len(relevant))
+	for _, mi := range relevant {
+		m := set.Mappings[mi]
+		s, _ := m.SourceFor(elemID)
+		key := fmt.Sprintf("n%d:%d", qn.Index, s)
+		if matches, ok := cache.get(key); ok {
+			r0[mi] = matches
+			continue
+		}
+		binding := twig.PathBinding{root0: set.Source.ByID(s).Path}
+		matches := twig.MatchByPaths(doc, root0, binding)
+		// Re-key matches to the original query node.
+		rekeyed := make([]twig.Match, len(matches))
+		for i, mt := range matches {
+			rekeyed[i] = twig.Match{{Q: qn, D: mt.Get(root0)}}
+		}
+		cache.put(key, rekeyed)
+		r0[mi] = rekeyed
+	}
+	joined := r0
+	for _, c := range qn.Children {
+		rc := evalTree(q, emb, c, set, doc, bt, relevant, relevantSet, cache)
+		next := make(map[int][]twig.Match, len(relevant))
+		for _, mi := range relevant {
+			next[mi] = twig.StructuralJoin(joined[mi], qn, rc[mi], c)
+		}
+		joined = next
+	}
+	return joined
+}
+
+// cachedSubtreeEval evaluates the query subtree for one mapping, memoized
+// by the mapping's source choices over the subtree.
+func cachedSubtreeEval(q *Query, emb twig.Embedding, qn *twig.Node, mi int,
+	set *mapping.Set, doc *xmltree.Document, cache *evalCache) []twig.Match {
+
+	m := set.Mappings[mi]
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d", qn.Index)
+	var sig func(n *twig.Node) bool
+	sig = func(n *twig.Node) bool {
+		s, ok := m.SourceFor(emb[n.Index])
+		if !ok {
+			return false
+		}
+		fmt.Fprintf(&b, ":%d", s)
+		for _, c := range n.Children {
+			if !sig(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !sig(qn) {
+		return nil
+	}
+	key := b.String()
+	if matches, ok := cache.get(key); ok {
+		return matches
+	}
+	matches := matchSubtreeWithMapping(q, emb, qn, m, set, doc)
+	cache.put(key, matches)
+	return matches
+}
+
+// matchSubtreeWithBlock evaluates the query subtree once using a block's
+// correspondence set as the (single) mapping: b.C covers the anchor's whole
+// target subtree, hence every query node below qn.
+func matchSubtreeWithBlock(q *Query, emb twig.Embedding, qn *twig.Node, b *Block,
+	set *mapping.Set, doc *xmltree.Document) []twig.Match {
+
+	binding := make(twig.PathBinding)
+	var collect func(n *twig.Node) bool
+	collect = func(n *twig.Node) bool {
+		s, ok := b.sourceFor(emb[n.Index])
+		if !ok {
+			return false // defensive: c-blocks cover the full subtree
+		}
+		binding[n] = set.Source.ByID(s).Path
+		for _, c := range n.Children {
+			if !collect(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !collect(qn) || !bindingNests(qn, binding) {
+		return nil
+	}
+	return twig.MatchByPaths(doc, qn, binding)
+}
+
+// matchSubtreeWithMapping evaluates the query subtree for one mapping.
+func matchSubtreeWithMapping(q *Query, emb twig.Embedding, qn *twig.Node, m *mapping.Mapping,
+	set *mapping.Set, doc *xmltree.Document) []twig.Match {
+
+	binding := make(twig.PathBinding)
+	var collect func(n *twig.Node) bool
+	collect = func(n *twig.Node) bool {
+		s, ok := m.SourceFor(emb[n.Index])
+		if !ok {
+			return false
+		}
+		binding[n] = set.Source.ByID(s).Path
+		for _, c := range n.Children {
+			if !collect(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !collect(qn) || !bindingNests(qn, binding) {
+		return nil
+	}
+	return twig.MatchByPaths(doc, qn, binding)
+}
+
+// resultMerger accumulates per-mapping matches across embeddings,
+// deduplicating matches by canonical key.
+type resultMerger struct {
+	set     *mapping.Set
+	matches map[int][]twig.Match
+	seen    map[int]map[string]bool
+}
+
+func newResultMerger(set *mapping.Set) *resultMerger {
+	return &resultMerger{
+		set:     set,
+		matches: make(map[int][]twig.Match),
+		seen:    make(map[int]map[string]bool),
+	}
+}
+
+func (r *resultMerger) add(mi int, matches []twig.Match) {
+	if _, ok := r.matches[mi]; !ok {
+		r.matches[mi] = nil
+		r.seen[mi] = make(map[string]bool)
+	}
+	for _, m := range matches {
+		k := m.Key()
+		if r.seen[mi][k] {
+			continue
+		}
+		r.seen[mi][k] = true
+		r.matches[mi] = append(r.matches[mi], m)
+	}
+}
+
+func (r *resultMerger) finish() []Result {
+	ids := make([]int, 0, len(r.matches))
+	for mi := range r.matches {
+		ids = append(ids, mi)
+	}
+	sort.Ints(ids)
+	out := make([]Result, len(ids))
+	for i, mi := range ids {
+		out[i] = Result{MappingIndex: mi, Prob: r.set.Mappings[mi].Prob, Matches: r.matches[mi]}
+	}
+	return out
+}
+
+// Answer is an aggregated PTQ answer: the text values bound to one query
+// node, with the total probability of the mappings producing them — the
+// presentation of the paper's introduction example
+// {("Cathy", 0.3), ("Bob", 0.3), ("Alice", 0.2)}.
+type Answer struct {
+	Values []string
+	Prob   float64
+}
+
+// AggregateByNode groups results by the multiset of text values their
+// matches bind to the given query node and sums the probabilities of
+// mappings yielding identical value sets. Answers are ordered by
+// non-increasing probability, ties broken by value.
+func AggregateByNode(results []Result, qn *twig.Node) []Answer {
+	byKey := map[string]*Answer{}
+	for _, r := range results {
+		valSet := map[string]bool{}
+		for _, m := range r.Matches {
+			if d := m.Get(qn); d != nil {
+				valSet[d.Text] = true
+			}
+		}
+		vals := make([]string, 0, len(valSet))
+		for v := range valSet {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		key := strings.Join(vals, "\x00")
+		if a, ok := byKey[key]; ok {
+			a.Prob += r.Prob
+		} else {
+			byKey[key] = &Answer{Values: vals, Prob: r.Prob}
+		}
+	}
+	out := make([]Answer, 0, len(byKey))
+	for _, a := range byKey {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return fmt.Sprint(out[i].Values) < fmt.Sprint(out[j].Values)
+	})
+	return out
+}

@@ -1,0 +1,386 @@
+package dataset
+
+// Annotated schema specifications for the seven e-commerce schemas of
+// Table II. The format is the indentation format of schema.ParseSpec with
+// an optional concept annotation per line:
+//
+//	ElementName @concept.key     primary holder of the concept
+//	ElementName @concept.key!    alternate candidate for the concept
+//
+// Concept keys shared between two schemas yield planned correspondences
+// (see matching.go in this package); alternates model the matcher
+// ambiguity of Figure 1 of the paper (e.g. three ContactName elements all
+// matching one CONTACT_NAME). Each spec is a hand-written backbone; the
+// generator pads every schema with deterministic filler subtrees up to the
+// exact element counts of Table II.
+
+// apertumSpec is the Apertum-like target schema of datasets D6 and D7. Its
+// backbone contains exactly the paths used by the Table III queries
+// (Order/DeliverTo/Address/Street, Order/POLine//UP, ...).
+const apertumSpec = `
+Order @order
+  OrderHeader @hdr
+    OrderDate @hdr.date
+    OrderNumber @hdr.num
+    Currency @hdr.currency
+    Remark @hdr.remark
+  Buyer @buyer
+    BuyerName @buyer.name
+    BuyerID @buyer.id
+    Contact @buyer.contact
+      Name @buyer.contact.name
+      EMail @buyer.contact.email
+      Phone @buyer.contact.phone
+  Supplier @seller
+    SupplierName @seller.name
+    SupplierID @seller.id
+  DeliverTo @deliver
+    Address @deliver.addr
+      Street @deliver.addr.street
+      City @deliver.addr.city
+      Zip @deliver.addr.zip
+      Country @deliver.addr.country
+    Contact @deliver.contact
+      Name @deliver.contact.name
+      EMail @deliver.contact.email
+      Phone @deliver.contact.phone
+  InvoiceParty @invoice
+    InvoiceAddress @invoice.addr
+      InvoiceStreet @invoice.addr.street
+      InvoiceCity @invoice.addr.city
+    InvoiceContact @invoice.contact
+      InvoiceContactName @invoice.contact.name
+  POLine @line
+    LineNo @line.num
+    BPID @line.bpid
+    SPID @line.spid
+    Quantity @line.qty
+    UOM @line.uom
+    Price @line.price
+      UP @line.price.up
+      Amount @line.price.amount
+      Tax @line.price.tax
+    Description @line.desc
+    RequestedDate @line.date
+  Payment @pay
+    PaymentTerms @pay.terms
+    PaymentMethod @pay.method
+  Shipment @ship
+    ShipMethod @ship.method
+    Carrier @ship.carrier
+  OrderSummary @total
+    TotalAmount @total.amount
+    TotalQuantity @total.qty
+    TotalTax @total.tax
+`
+
+// xcblSpec is the XCBL-like source schema of D7, D8, D9 (and target of
+// D10): a deeply nested purchase-order schema. The ShipToParty contacts
+// reproduce the ambiguity of Figure 1: OrderContact, ReceivingContact and
+// OtherContact all carry candidate ContactName/EMail elements for the
+// deliver.contact concepts.
+const xcblSpec = `
+Order @order
+  OrderHeader @hdr
+    OrderIssueDate @hdr.date
+    OrderNumber @hdr.num
+    OrderCurrency @hdr.currency
+    OrderLanguage
+    OrderRemark @hdr.remark
+    OrderParty
+      BuyerParty @buyer
+        PartyID @buyer.id
+        PartyName @buyer.name
+        Contact @buyer.contact
+          ContactName @buyer.contact.name
+          ContactEMail @buyer.contact.email
+          ContactPhone @buyer.contact.phone
+      SellerParty @seller
+        SellerID @seller.id
+        SellerName @seller.name
+        SellerContact @seller.contact
+          SellerContactName @seller.contact.name
+      ShipToParty @deliver
+        NameAddress @deliver.addr
+          Street @deliver.addr.street
+          City @deliver.addr.city
+          PostalCode @deliver.addr.zip
+          Country @deliver.addr.country
+          Region
+        OrderContact @deliver.contact
+          ContactName @deliver.contact.name
+          EMail @deliver.contact.email
+          Phone @deliver.contact.phone
+        ReceivingContact @deliver.contact!
+          RecvContactName @deliver.contact.name!
+          RecvEMail @deliver.contact.email!
+        OtherContact @deliver.contact!
+          OtherContactName @deliver.contact.name!
+      InvoiceParty @invoice
+        InvoiceNameAddress @invoice.addr
+          InvoiceStreet @invoice.addr.street
+          InvoiceCity @invoice.addr.city
+        BillingContact @invoice.contact
+          BillingContactName @invoice.contact.name
+    PaymentInstructions @pay
+      PaymentTerms @pay.terms
+      PaymentMean @pay.method
+    TransportRouting @ship
+      ShipmentMethodOfPayment @ship.method
+      CarrierName @ship.carrier
+  OrderDetail
+    ListOfItemDetail
+      ItemDetail @line
+        LineItemNum @line.num
+        BaseItemDetail
+          ItemIdentifiers
+            BuyerPartNumber @line.bpid
+            SellerPartNumber @line.spid
+          Quantity @line.qty
+          UnitOfMeasure @line.uom
+          RequestedDeliveryDate @line.date
+        PricingDetail @line.price
+          UnitPrice @line.price.up
+          TotalAmount @line.price.amount
+          Tax @line.price.tax
+        ItemDescription @line.desc
+  OrderSummary @total
+    NumberOfLines
+    TotalOrderAmount @total.amount
+    TotalQuantityOrdered @total.qty
+    TotalTaxAmount @total.tax
+`
+
+// openTransSpec is the OpenTrans-like schema (UPPER_SNAKE naming).
+const openTransSpec = `
+ORDER @order
+  ORDER_HEADER @hdr
+    ORDER_DATE @hdr.date
+    ORDER_ID @hdr.num
+    CURRENCY @hdr.currency
+    REMARK @hdr.remark
+  ORDER_PARTIES
+    BUYER_PARTY @buyer
+      BUYER_ID @buyer.id
+      BUYER_NAME @buyer.name
+      BUYER_CONTACT @buyer.contact
+        CONTACT_NAME @buyer.contact.name
+        CONTACT_EMAIL @buyer.contact.email
+        CONTACT_PHONE @buyer.contact.phone
+    SUPPLIER_PARTY @seller
+      SUPPLIER_ID @seller.id
+      SUPPLIER_NAME @seller.name
+      SUPPLIER_CONTACT @seller.contact
+        SUPPLIER_CONTACT_NAME @seller.contact.name
+    DELIVERY_PARTY @deliver
+      ADDRESS @deliver.addr
+        STREET @deliver.addr.street
+        CITY @deliver.addr.city
+        ZIP @deliver.addr.zip
+        COUNTRY @deliver.addr.country
+      DELIVERY_CONTACT @deliver.contact
+        DELIVERY_CONTACT_NAME @deliver.contact.name
+        DELIVERY_CONTACT_EMAIL @deliver.contact.email
+    INVOICE_PARTY @invoice
+      INVOICE_ADDRESS @invoice.addr
+        INVOICE_STREET @invoice.addr.street
+        INVOICE_CITY @invoice.addr.city
+      INVOICE_CONTACT @invoice.contact
+        INVOICE_CONTACT_NAME @invoice.contact.name
+  ORDER_ITEM_LIST
+    ORDER_ITEM @line
+      LINE_ITEM_ID @line.num
+      BUYER_PID @line.bpid
+      SUPPLIER_PID @line.spid
+      QUANTITY @line.qty
+      ORDER_UNIT @line.uom
+      PRICE @line.price
+        PRICE_AMOUNT @line.price.up
+        PRICE_LINE_AMOUNT @line.price.amount
+        TAX @line.price.tax
+      DESCRIPTION_SHORT @line.desc
+      DELIVERY_DATE @line.date
+  PAYMENT @pay
+    PAYMENT_TERMS @pay.terms
+    PAYMENT_MEANS @pay.method
+  TRANSPORT @ship
+    TRANSPORT_MODE @ship.method
+    CARRIER @ship.carrier
+  ORDER_SUMMARY @total
+    TOTAL_AMOUNT @total.amount
+    TOTAL_QUANTITY @total.qty
+    TOTAL_TAX @total.tax
+`
+
+// excelSpec is the Excel-like schema: a flat spreadsheet export of purchase
+// orders.
+const excelSpec = `
+PurchaseOrder @order
+  PONumber @hdr.num
+  PODate @hdr.date
+  Currency @hdr.currency
+  BuyerName @buyer.name
+  BuyerContact @buyer.contact.name
+  BuyerEmail @buyer.contact.email
+  BuyerPhone @buyer.contact.phone
+  SupplierName @seller.name
+  ShipStreet @deliver.addr.street
+  ShipCity @deliver.addr.city
+  ShipZip @deliver.addr.zip
+  ShipCountry @deliver.addr.country
+  ShipContact @deliver.contact.name
+  ShipEmail @deliver.contact.email
+  BillStreet @invoice.addr.street
+  BillCity @invoice.addr.city
+  Item @line
+    ItemNo @line.num
+    PartNumber @line.bpid
+    Qty @line.qty
+    Unit @line.uom
+    UnitPrice @line.price.up
+    LineAmount @line.price.amount
+    ItemText @line.desc
+  Terms @pay.terms
+  ShipVia @ship.method
+  OrderTotal @total.amount
+`
+
+// norisSpec is the Noris-like schema.
+const norisSpec = `
+Auftrag @order
+  Kopf @hdr
+    Belegnummer @hdr.num
+    Belegdatum @hdr.date
+    Waehrung @hdr.currency
+    Notiz @hdr.remark
+  Kunde @buyer
+    KundenName @buyer.name
+    KundenNummer @buyer.id
+    Ansprechpartner @buyer.contact
+      PartnerName @buyer.contact.name
+      PartnerEmail @buyer.contact.email
+      PartnerTelefon @buyer.contact.phone
+  Lieferant @seller
+    LieferantName @seller.name
+    LieferantNummer @seller.id
+  Lieferadresse @deliver
+    Anschrift @deliver.addr
+      Strasse @deliver.addr.street
+      Ort @deliver.addr.city
+      PLZ @deliver.addr.zip
+      Land @deliver.addr.country
+    Kontakt @deliver.contact
+      KontaktName @deliver.contact.name
+      KontaktEmail @deliver.contact.email
+  Rechnung @invoice
+    RechnungsAnschrift @invoice.addr
+      RechnungsStrasse @invoice.addr.street
+      RechnungsOrt @invoice.addr.city
+  Position @line
+    PositionsNummer @line.num
+    ArtikelNummer @line.bpid
+    Menge @line.qty
+    Einheit @line.uom
+    Preis @line.price
+      Einzelpreis @line.price.up
+      Gesamtpreis @line.price.amount
+    Beschreibung @line.desc
+  Zahlung @pay
+    Zahlungsbedingung @pay.terms
+    Zahlungsart @pay.method
+  Summe @total
+    Gesamtsumme @total.amount
+    Gesamtmenge @total.qty
+`
+
+// paragonSpec is the Paragon-like schema.
+const paragonSpec = `
+SalesOrder @order
+  Header @hdr
+    DocNumber @hdr.num
+    DocDate @hdr.date
+    CurrencyCode @hdr.currency
+    Note @hdr.remark
+  Customer @buyer
+    CustomerName @buyer.name
+    CustomerCode @buyer.id
+    CustomerContact @buyer.contact
+      ContactPerson @buyer.contact.name
+      ContactMail @buyer.contact.email
+  Vendor @seller
+    VendorName @seller.name
+    VendorCode @seller.id
+  Delivery @deliver
+    DeliveryAddress @deliver.addr
+      AddrStreet @deliver.addr.street
+      AddrCity @deliver.addr.city
+      AddrPostcode @deliver.addr.zip
+      AddrCountry @deliver.addr.country
+    DeliveryContact @deliver.contact
+      DeliveryContactName @deliver.contact.name
+      DeliveryContactMail @deliver.contact.email
+  Billing @invoice
+    BillingAddress @invoice.addr
+      BillingStreet @invoice.addr.street
+      BillingCity @invoice.addr.city
+  OrderLine @line
+    LineNumber @line.num
+    CustomerPartNo @line.bpid
+    VendorPartNo @line.spid
+    OrderedQty @line.qty
+    QtyUnit @line.uom
+    LinePrice @line.price
+      NetPrice @line.price.up
+      GrossAmount @line.price.amount
+    LineText @line.desc
+  PaymentInfo @pay
+    TermsOfPayment @pay.terms
+  Totals @total
+    NetTotal @total.amount
+    QtyTotal @total.qty
+`
+
+// cidxSpec is the CIDX-like schema: a compact chemical-industry order.
+const cidxSpec = `
+OrderCreate @order
+  OrderHead @hdr
+    OrderNumber @hdr.num
+    OrderDate @hdr.date
+    CurrencyISO @hdr.currency
+  BuyerInformation @buyer
+    BuyerOrgName @buyer.name
+    BuyerContactName @buyer.contact.name
+    BuyerContactEMail @buyer.contact.email
+  ShipTo @deliver
+    ShipToStreet @deliver.addr.street
+    ShipToCity @deliver.addr.city
+    ShipToZip @deliver.addr.zip
+    ShipToCountry @deliver.addr.country
+    ShipToContact @deliver.contact.name
+  ProductLineItem @line
+    LineNumber @line.num
+    BuyerProductID @line.bpid
+    SellerProductID @line.spid
+    OrderQuantity @line.qty
+    UnitOfMeasureCode @line.uom
+    ProductUnitPrice @line.price.up
+    LineItemTotal @line.price.amount
+  OrderTotals @total
+    TotalValue @total.amount
+    TotalLines @total.qty
+`
+
+// schemaSpecs maps schema names to their annotated backbone and the exact
+// element count of Table II.
+var schemaSpecs = map[string]struct {
+	spec string
+	size int
+}{
+	"Excel":   {excelSpec, 48},
+	"Noris":   {norisSpec, 66},
+	"Paragon": {paragonSpec, 69},
+	"OT":      {openTransSpec, 247},
+	"Apertum": {apertumSpec, 166},
+	"XCBL":    {xcblSpec, 1076},
+	"CIDX":    {cidxSpec, 39},
+}

@@ -1,0 +1,234 @@
+package mapgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xmatch/internal/mapping"
+	"xmatch/internal/matching"
+	"xmatch/internal/schema"
+)
+
+// chainSchema builds a schema whose root has n-1 children, so element IDs
+// 1..n-1 are leaves; handy for constructing arbitrary matchings.
+func chainSchema(name string, n int, t *testing.T) *schema.Schema {
+	t.Helper()
+	if n < 1 {
+		t.Fatalf("chainSchema: n=%d", n)
+	}
+	b := schema.NewBuilder(name, "R")
+	for i := 1; i < n; i++ {
+		b.Root.AddChild("e" + string(rune('A'+i%26)) + itoa(i))
+	}
+	return b.Freeze()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// randomMatching builds a random sparse matching between two flat schemas.
+func randomMatching(rng *rand.Rand, t *testing.T, maxElems, maxCorrs int) *matching.Matching {
+	ns := 2 + rng.Intn(maxElems)
+	nt := 2 + rng.Intn(maxElems)
+	src := chainSchema("S", ns, t)
+	tgt := chainSchema("T", nt, t)
+	seen := map[[2]int]bool{}
+	var corrs []matching.Correspondence
+	n := rng.Intn(maxCorrs + 1)
+	for len(corrs) < n {
+		s, tg := rng.Intn(ns), rng.Intn(nt)
+		if seen[[2]int{s, tg}] {
+			if len(seen) >= ns*nt {
+				break
+			}
+			continue
+		}
+		seen[[2]int{s, tg}] = true
+		corrs = append(corrs, matching.Correspondence{
+			S: s, T: tg, Score: float64(1+rng.Intn(20)) / 20.0,
+		})
+	}
+	return matching.MustNew(src, tgt, corrs)
+}
+
+func TestTopHRejectsBadH(t *testing.T) {
+	u := randomMatching(rand.New(rand.NewSource(1)), t, 5, 5)
+	if _, err := TopH(u, 0, Murty); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := TopH(u, -1, Partition); err == nil {
+		t.Error("h=-1 accepted")
+	}
+}
+
+func TestTopHEmptyMatching(t *testing.T) {
+	src := chainSchema("S", 3, t)
+	tgt := chainSchema("T", 3, t)
+	u := matching.MustNew(src, tgt, nil)
+	for _, method := range []Method{Murty, Partition} {
+		set, err := TopH(u, 5, method)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if set.Len() != 1 || set.Mappings[0].Len() != 0 {
+			t.Fatalf("%v: expected single empty mapping, got %d mappings", method, set.Len())
+		}
+		if set.Mappings[0].Prob != 1 {
+			t.Fatalf("%v: empty mapping probability %v, want 1", method, set.Mappings[0].Prob)
+		}
+	}
+}
+
+func TestMethodsAgreeOnScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		u := randomMatching(rng, t, 8, 12)
+		h := 1 + rng.Intn(20)
+		a, err := TopH(u, h, Murty)
+		if err != nil {
+			t.Fatalf("trial %d murty: %v", trial, err)
+		}
+		b, err := TopH(u, h, Partition)
+		if err != nil {
+			t.Fatalf("trial %d partition: %v", trial, err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("trial %d: murty %d mappings, partition %d (h=%d, cap=%d)",
+				trial, a.Len(), b.Len(), h, u.Capacity())
+		}
+		for i := range a.Mappings {
+			if math.Abs(a.Mappings[i].Score-b.Mappings[i].Score) > 1e-9 {
+				t.Fatalf("trial %d rank %d: murty score %v, partition score %v",
+					trial, i, a.Mappings[i].Score, b.Mappings[i].Score)
+			}
+		}
+	}
+}
+
+func TestMappingsAreValidAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		u := randomMatching(rng, t, 7, 10)
+		for _, method := range []Method{Murty, Partition} {
+			set, err := TopH(u, 15, method)
+			if err != nil {
+				t.Fatalf("%v: %v", method, err)
+			}
+			keys := map[string]bool{}
+			for _, m := range set.Mappings {
+				// One-to-one: enforced by NewSet/freeze (it would
+				// have errored); check pair validity against U.
+				for _, p := range m.Pairs {
+					found := false
+					for _, c := range u.Corrs {
+						if c.S == p.S && c.T == p.T {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%v: mapping uses pair (%d,%d) not in matching", method, p.S, p.T)
+					}
+				}
+				k := ""
+				for _, p := range m.Pairs {
+					k += itoa(p.S) + ":" + itoa(p.T) + ";"
+				}
+				if keys[k] {
+					t.Fatalf("%v trial %d: duplicate mapping %q", method, trial, k)
+				}
+				keys[k] = true
+			}
+		}
+	}
+}
+
+func TestProbabilitiesNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		u := randomMatching(rng, t, 8, 12)
+		set, err := TopH(u, 10, Partition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i, m := range set.Mappings {
+			sum += m.Prob
+			if i > 0 && m.Prob > set.Mappings[i-1].Prob+1e-12 {
+				t.Fatalf("trial %d: probabilities not non-increasing", trial)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: probabilities sum to %v", trial, sum)
+		}
+	}
+}
+
+func TestPartitionFasterStructure(t *testing.T) {
+	// Build a matching of many disconnected 2x2 components; the partition
+	// method must produce one partition per component.
+	src := chainSchema("S", 41, t)
+	tgt := chainSchema("T", 41, t)
+	var corrs []matching.Correspondence
+	for i := 0; i < 20; i++ {
+		s0, t0 := 1+2*i, 1+2*i
+		corrs = append(corrs,
+			matching.Correspondence{S: s0, T: t0, Score: 0.9},
+			matching.Correspondence{S: s0, T: t0 + 1, Score: 0.6},
+			matching.Correspondence{S: s0 + 1, T: t0, Score: 0.5},
+		)
+	}
+	u := matching.MustNew(src, tgt, corrs)
+	if got := len(u.Partitions()); got != 20 {
+		t.Fatalf("expected 20 partitions, got %d", got)
+	}
+	set, err := TopH(u, 50, Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 50 {
+		t.Fatalf("expected 50 mappings, got %d", set.Len())
+	}
+	// Per component the 0.6+0.5 pair of disjoint edges (1.1) beats the
+	// single 0.9 edge, so the best mapping has two pairs per component.
+	best := set.Mappings[0]
+	if best.Len() != 40 {
+		t.Fatalf("best mapping has %d pairs, want 40", best.Len())
+	}
+	wantScore := 20 * (0.6 + 0.5)
+	if math.Abs(best.Score-wantScore) > 1e-9 {
+		t.Fatalf("best score %v, want %v", best.Score, wantScore)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Murty.String() != "murty" || Partition.String() != "partition" {
+		t.Error("method names changed")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method should still render")
+	}
+}
+
+func TestSetRawBytes(t *testing.T) {
+	src := chainSchema("S", 4, t)
+	tgt := chainSchema("T", 4, t)
+	m := &mapping.Mapping{Pairs: []mapping.Pair{{S: 1, T: 1}, {S: 2, T: 2}}, Score: 1}
+	set := mapping.MustNewSet(src, tgt, []*mapping.Mapping{m})
+	want := mapping.MappingOverhead + 2*mapping.CorrBytes
+	if got := set.RawBytes(); got != want {
+		t.Fatalf("RawBytes = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,223 @@
+// Package mapping models possible mappings between two schemas: in each
+// mapping every element corresponds to at most one element of the other
+// schema, and the mapping carries a probability of being the true one
+// (Cheng, Gong, Cheung, ICDE 2010, Section I). A Set holds the possible
+// mappings M = {m1, ..., m|M|} derived from one schema matching, with
+// probabilities summing to one.
+//
+// The package also provides the o-ratio overlap measure of Section VI-B1
+// and the byte-size accounting used by the block-tree compression-ratio
+// experiment (Figure 9(a)).
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xmatch/internal/matching"
+	"xmatch/internal/schema"
+)
+
+// Pair is one correspondence of a mapping: target element T corresponds to
+// source element S. Scores live on the matching; mappings only record which
+// correspondences they selected.
+type Pair struct {
+	S, T int
+}
+
+// Mapping is one possible mapping mi: a partial injective function from
+// target elements to source elements.
+type Mapping struct {
+	// Pairs is sorted by target element ID; target IDs are unique, and
+	// so are source IDs (a mapping is one-to-one).
+	Pairs []Pair
+	// Score is the sum of the scores of the selected correspondences.
+	Score float64
+	// Prob is the probability pi that this mapping is the true one;
+	// within a Set the probabilities sum to 1.
+	Prob float64
+
+	srcByTarget []int32 // target ID -> source ID or -1; built by freeze
+}
+
+// SourceFor returns the source element ID that target element t maps to,
+// and whether t has a correspondence in this mapping.
+func (m *Mapping) SourceFor(t int) (int, bool) {
+	s := m.srcByTarget[t]
+	if s < 0 {
+		return 0, false
+	}
+	return int(s), true
+}
+
+// Covers reports whether every target element ID in ts has a correspondence
+// in this mapping (the relevance test of filter_mappings, Algorithm 3).
+func (m *Mapping) Covers(ts []int) bool {
+	for _, t := range ts {
+		if m.srcByTarget[t] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of correspondences in the mapping.
+func (m *Mapping) Len() int { return len(m.Pairs) }
+
+func (m *Mapping) freeze(targetLen int) error {
+	sort.Slice(m.Pairs, func(i, j int) bool { return m.Pairs[i].T < m.Pairs[j].T })
+	m.srcByTarget = make([]int32, targetLen)
+	for i := range m.srcByTarget {
+		m.srcByTarget[i] = -1
+	}
+	srcSeen := make(map[int]bool, len(m.Pairs))
+	for i, p := range m.Pairs {
+		if p.T < 0 || p.T >= targetLen {
+			return fmt.Errorf("mapping: target ID %d out of range", p.T)
+		}
+		if i > 0 && m.Pairs[i-1].T == p.T {
+			return fmt.Errorf("mapping: target %d matched twice", p.T)
+		}
+		if srcSeen[p.S] {
+			return fmt.Errorf("mapping: source %d matched twice", p.S)
+		}
+		srcSeen[p.S] = true
+		m.srcByTarget[p.T] = int32(p.S)
+	}
+	return nil
+}
+
+// ORatio returns the overlap ratio |mi ∩ mj| / |mi ∪ mj| of two mappings,
+// where a mapping is viewed as its set of (S, T) pairs (Section VI-B1).
+// Two empty mappings have o-ratio 1.
+func ORatio(a, b *Mapping) float64 {
+	i, j, inter := 0, 0, 0
+	for i < len(a.Pairs) && j < len(b.Pairs) {
+		pa, pb := a.Pairs[i], b.Pairs[j]
+		switch {
+		case pa.T < pb.T:
+			i++
+		case pa.T > pb.T:
+			j++
+		default:
+			if pa.S == pb.S {
+				inter++
+			}
+			i++
+			j++
+		}
+	}
+	union := len(a.Pairs) + len(b.Pairs) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Set is a set of possible mappings M between a source and target schema.
+type Set struct {
+	Source, Target *schema.Schema
+	Mappings       []*Mapping
+}
+
+// NewSet validates mappings against the schemas, normalizes scores into
+// probabilities (pi = score_i / Σ scores) and returns the set. Mappings are
+// ordered by non-increasing score. An all-zero score sum yields uniform
+// probabilities.
+func NewSet(source, target *schema.Schema, mappings []*Mapping) (*Set, error) {
+	set := &Set{Source: source, Target: target, Mappings: mappings}
+	var total float64
+	for i, m := range mappings {
+		if err := m.freeze(target.Len()); err != nil {
+			return nil, fmt.Errorf("mapping %d: %w", i, err)
+		}
+		for _, p := range m.Pairs {
+			if p.S < 0 || p.S >= source.Len() {
+				return nil, fmt.Errorf("mapping %d: source ID %d out of range", i, p.S)
+			}
+		}
+		total += m.Score
+	}
+	for _, m := range mappings {
+		if total > 0 {
+			m.Prob = m.Score / total
+		} else if len(mappings) > 0 {
+			m.Prob = 1 / float64(len(mappings))
+		}
+	}
+	sort.SliceStable(set.Mappings, func(i, j int) bool {
+		return set.Mappings[i].Score > set.Mappings[j].Score
+	})
+	return set, nil
+}
+
+// MustNewSet is NewSet, panicking on error.
+func MustNewSet(source, target *schema.Schema, mappings []*Mapping) *Set {
+	s, err := NewSet(source, target, mappings)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns |M|.
+func (s *Set) Len() int { return len(s.Mappings) }
+
+// AverageORatio returns the mean o-ratio over all unordered pairs of
+// mappings, the per-dataset statistic of Table II. It returns NaN for sets
+// with fewer than two mappings.
+func (s *Set) AverageORatio() float64 {
+	n := len(s.Mappings)
+	if n < 2 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += ORatio(s.Mappings[i], s.Mappings[j])
+		}
+	}
+	return sum / float64(n*(n-1)/2)
+}
+
+// FromMatchingCorrs builds a mapping from a matching by selecting the given
+// correspondence indices. The selection must itself be one-to-one.
+func FromMatchingCorrs(u *matching.Matching, corrIdx []int) (*Mapping, error) {
+	m := &Mapping{}
+	for _, ci := range corrIdx {
+		if ci < 0 || ci >= len(u.Corrs) {
+			return nil, fmt.Errorf("mapping: correspondence index %d out of range", ci)
+		}
+		c := u.Corrs[ci]
+		m.Pairs = append(m.Pairs, Pair{S: c.S, T: c.T})
+		m.Score += c.Score
+	}
+	return m, nil
+}
+
+// Storage-size model used by the compression-ratio metric of Figure 9(a).
+// The constants mirror a straightforward binary encoding: a correspondence
+// is two 32-bit element IDs plus its 64-bit similarity score, a mapping
+// carries a fixed header (score, probability, count), and a block reference
+// is a 64-bit pointer.
+const (
+	CorrBytes       = 16 // two int32 element IDs + float64 score
+	MappingOverhead = 24 // score + prob + length
+	BlockRefBytes   = 8  // pointer to a shared block
+)
+
+// RawBytes returns the bytes needed to store all mappings of the set
+// verbatim, the denominator of the compression ratio.
+func (s *Set) RawBytes() int {
+	total := 0
+	for _, m := range s.Mappings {
+		total += MappingOverhead + CorrBytes*len(m.Pairs)
+	}
+	return total
+}
+
+// String describes the set briefly.
+func (s *Set) String() string {
+	return fmt.Sprintf("mapping set %s->%s (|M|=%d)", s.Source.Name, s.Target.Name, len(s.Mappings))
+}

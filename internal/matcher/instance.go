@@ -1,0 +1,151 @@
+package matcher
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xmatch/internal/matching"
+	"xmatch/internal/schema"
+	"xmatch/internal/xmltree"
+)
+
+// Instance-based matching: COMA-style matchers optionally refine linguistic
+// scores with evidence from sample instances. Given documents conforming to
+// the two schemas, each element gets a value signature — the fraction of
+// numeric and date-like values and the average text length observed at its
+// path — and element pairs with similar signatures get a score boost.
+
+// ValueSignature summarizes the values observed at one schema element.
+type ValueSignature struct {
+	// Count is the number of non-empty text values observed.
+	Count int
+	// NumericFrac and DateFrac are the fractions of values parsing as a
+	// number or an ISO-style date.
+	NumericFrac, DateFrac float64
+	// AvgLen is the mean text length.
+	AvgLen float64
+}
+
+// String renders the signature compactly.
+func (v ValueSignature) String() string {
+	return fmt.Sprintf("sig{n=%d num=%.2f date=%.2f len=%.1f}", v.Count, v.NumericFrac, v.DateFrac, v.AvgLen)
+}
+
+// Signatures computes a value signature per schema element from a document
+// conforming to the schema. Elements with no instantiated values get a
+// zero signature (Count == 0).
+func Signatures(s *schema.Schema, doc *xmltree.Document) []ValueSignature {
+	out := make([]ValueSignature, s.Len())
+	for _, e := range s.Elements() {
+		nodes := doc.NodesByPath(e.Path)
+		var sig ValueSignature
+		var lenSum int
+		for _, n := range nodes {
+			if n.Text == "" {
+				continue
+			}
+			sig.Count++
+			lenSum += len(n.Text)
+			if isNumeric(n.Text) {
+				sig.NumericFrac++
+			}
+			if isDateLike(n.Text) {
+				sig.DateFrac++
+			}
+		}
+		if sig.Count > 0 {
+			sig.NumericFrac /= float64(sig.Count)
+			sig.DateFrac /= float64(sig.Count)
+			sig.AvgLen = float64(lenSum) / float64(sig.Count)
+		}
+		out[e.ID] = sig
+	}
+	return out
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return err == nil
+}
+
+// isDateLike accepts yyyy-mm-dd shapes, the only date format the sample
+// generators emit; a production matcher would carry a richer battery.
+func isDateLike(s string) bool {
+	s = strings.TrimSpace(s)
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return false
+	}
+	for i, r := range s {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// SignatureSimilarity compares two value signatures in [0, 1]. Elements
+// whose values look alike (both numeric, both date-like, similar lengths)
+// score high; a signature without observations is incomparable and scores
+// a neutral 0.5 so absence of instances never vetoes a linguistic match.
+func SignatureSimilarity(a, b ValueSignature) float64 {
+	if a.Count == 0 || b.Count == 0 {
+		return 0.5
+	}
+	num := 1 - abs(a.NumericFrac-b.NumericFrac)
+	date := 1 - abs(a.DateFrac-b.DateFrac)
+	maxLen := a.AvgLen
+	if b.AvgLen > maxLen {
+		maxLen = b.AvgLen
+	}
+	lenSim := 1.0
+	if maxLen > 0 {
+		lenSim = 1 - abs(a.AvgLen-b.AvgLen)/maxLen
+	}
+	return 0.4*num + 0.3*date + 0.3*lenSim
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MatchWithInstances runs the composite matcher and blends in an
+// instance-based signal from sample documents: the final score is
+// (1-w)·composite + w·signature-similarity, with w = instanceWeight in
+// [0, 1]. The threshold applies to the blended score.
+func (m *Matcher) MatchWithInstances(src, tgt *schema.Schema,
+	srcDoc, tgtDoc *xmltree.Document, instanceWeight float64) (*matching.Matching, error) {
+
+	if instanceWeight < 0 || instanceWeight > 1 {
+		return nil, fmt.Errorf("matcher: instance weight %v outside [0,1]", instanceWeight)
+	}
+	srcSig := Signatures(src, srcDoc)
+	tgtSig := Signatures(tgt, tgtDoc)
+	srcTok := m.tokenizeAll(src)
+	tgtTok := m.tokenizeAll(tgt)
+	var corrs []matching.Correspondence
+	for _, te := range tgt.Elements() {
+		var cands []matching.Correspondence
+		for _, se := range src.Elements() {
+			base := m.Score(srcTok[se.ID], tgtTok[te.ID], se, te)
+			inst := SignatureSimilarity(srcSig[se.ID], tgtSig[te.ID])
+			score := (1-instanceWeight)*base + instanceWeight*inst
+			if score >= m.opts.Threshold {
+				cands = append(cands, matching.Correspondence{S: se.ID, T: te.ID, Score: score})
+			}
+		}
+		if m.opts.MaxCandidates > 0 && len(cands) > m.opts.MaxCandidates {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+			cands = cands[:m.opts.MaxCandidates]
+		}
+		corrs = append(corrs, cands...)
+	}
+	return matching.New(src, tgt, corrs)
+}

@@ -1,0 +1,124 @@
+package matcher
+
+import (
+	"testing"
+
+	"xmatch/internal/xmltree"
+)
+
+func TestSignatures(t *testing.T) {
+	s := mustSpec(t, "S", "Order\n  Qty\n  Date\n  Name")
+	root := xmltree.NewRoot("Order")
+	root.AddChild("Qty").AddText("5")
+	root.AddChild("Qty").AddText("17")
+	root.AddChild("Date").AddText("2009-03-01")
+	root.AddChild("Name").AddText("Alice Cooper")
+	doc := xmltree.New(root)
+
+	sigs := Signatures(s, doc)
+	qty := sigs[s.ByPath("Order.Qty").ID]
+	if qty.Count != 2 || qty.NumericFrac != 1 || qty.DateFrac != 0 {
+		t.Fatalf("qty signature = %v", qty)
+	}
+	date := sigs[s.ByPath("Order.Date").ID]
+	if date.DateFrac != 1 || date.NumericFrac != 0 {
+		t.Fatalf("date signature = %v", date)
+	}
+	name := sigs[s.ByPath("Order.Name").ID]
+	if name.NumericFrac != 0 || name.DateFrac != 0 || name.AvgLen != 12 {
+		t.Fatalf("name signature = %v", name)
+	}
+	order := sigs[s.ByPath("Order").ID]
+	if order.Count != 0 {
+		t.Fatalf("order (no text) signature = %v", order)
+	}
+}
+
+func TestIsDateLike(t *testing.T) {
+	good := []string{"2009-03-01", "1999-12-31"}
+	bad := []string{"2009-3-1", "20090301", "2009-03-01T00", "abcd-ef-gh", ""}
+	for _, s := range good {
+		if !isDateLike(s) {
+			t.Errorf("isDateLike(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if isDateLike(s) {
+			t.Errorf("isDateLike(%q) = true", s)
+		}
+	}
+}
+
+func TestSignatureSimilarity(t *testing.T) {
+	num := ValueSignature{Count: 5, NumericFrac: 1, AvgLen: 3}
+	num2 := ValueSignature{Count: 9, NumericFrac: 1, AvgLen: 4}
+	text := ValueSignature{Count: 5, NumericFrac: 0, AvgLen: 20}
+	empty := ValueSignature{}
+	if s := SignatureSimilarity(num, num2); s < 0.8 {
+		t.Errorf("similar numeric signatures scored %v", s)
+	}
+	if s := SignatureSimilarity(num, text); s > 0.5 {
+		t.Errorf("numeric vs text scored %v", s)
+	}
+	if s := SignatureSimilarity(num, empty); s != 0.5 {
+		t.Errorf("missing instances should be neutral, got %v", s)
+	}
+}
+
+func TestMatchWithInstancesDisambiguates(t *testing.T) {
+	// Two source candidates with identical names; only instances tell
+	// which one carries numeric values like the target element.
+	src := mustSpec(t, "A", "Order\n  ValueA\n  ValueB")
+	tgt := mustSpec(t, "B", "ORDER\n  AMOUNT_VALUE")
+	srcRoot := xmltree.NewRoot("Order")
+	srcRoot.AddChild("ValueA").AddText("19.90")
+	srcRoot.AddChild("ValueB").AddText("mostly words here")
+	srcDoc := xmltree.New(srcRoot)
+	tgtRoot := xmltree.NewRoot("ORDER")
+	tgtRoot.AddChild("AMOUNT_VALUE").AddText("7.25")
+	tgtDoc := xmltree.New(tgtRoot)
+
+	m := New(Options{Threshold: 0.2})
+	u, err := m.MatchWithInstances(src, tgt, srcDoc, tgtDoc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scoreA, scoreB float64
+	for _, c := range u.Corrs {
+		if tgt.ByID(c.T).Name != "AMOUNT_VALUE" {
+			continue
+		}
+		switch src.ByID(c.S).Name {
+		case "ValueA":
+			scoreA = c.Score
+		case "ValueB":
+			scoreB = c.Score
+		}
+	}
+	if scoreA <= scoreB {
+		t.Fatalf("instances should prefer the numeric ValueA: %v vs %v", scoreA, scoreB)
+	}
+}
+
+func TestMatchWithInstancesValidation(t *testing.T) {
+	src := mustSpec(t, "A", "Order")
+	tgt := mustSpec(t, "B", "ORDER")
+	doc := xmltree.New(xmltree.NewRoot("Order"))
+	doc2 := xmltree.New(xmltree.NewRoot("ORDER"))
+	m := New(Options{})
+	if _, err := m.MatchWithInstances(src, tgt, doc, doc2, -0.1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := m.MatchWithInstances(src, tgt, doc, doc2, 1.1); err == nil {
+		t.Error("weight > 1 accepted")
+	}
+	if _, err := m.MatchWithInstances(src, tgt, doc, doc2, 0.3); err != nil {
+		t.Errorf("valid call failed: %v", err)
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	if (ValueSignature{}).String() == "" {
+		t.Error("empty signature should render")
+	}
+}

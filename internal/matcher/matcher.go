@@ -1,0 +1,317 @@
+// Package matcher is a COMA-style composite schema matcher built from
+// scratch: it scores element pairs by combining linguistic similarity
+// (tokenization with abbreviation expansion, edit distance and trigram
+// overlap), path context similarity, and structural (leaf/inner) affinity,
+// then emits the correspondences above a threshold as a schema matching.
+//
+// The paper consumes COMA++ output; this matcher substitutes for it by
+// producing the same artifact — a set of scored correspondences — from the
+// same kind of signal (element names, paths and structure). See DESIGN.md.
+package matcher
+
+import (
+	"sort"
+	"strings"
+
+	"xmatch/internal/matching"
+	"xmatch/internal/schema"
+)
+
+// Options tune the composite matcher.
+type Options struct {
+	// NameWeight, PathWeight and StructWeight combine the three signals;
+	// they are normalized internally. Defaults: 0.6, 0.3, 0.1.
+	NameWeight, PathWeight, StructWeight float64
+	// FragmentWeight, when positive, adds COMA's fragment strategy (the
+	// "f" option of the paper's Table II): the similarity of the two
+	// elements' child-name token sets. It participates in the weight
+	// normalization like the other signals.
+	FragmentWeight float64
+	// Threshold discards correspondences scoring below it. Default 0.55.
+	Threshold float64
+	// MaxCandidates caps the correspondences kept per target element
+	// (highest scores win). 0 means no cap.
+	MaxCandidates int
+	// Synonyms maps a token to its expansion, merged over the built-in
+	// abbreviation table (e.g. "qty" -> "quantity").
+	Synonyms map[string]string
+}
+
+func (o *Options) normalize() {
+	if o.NameWeight == 0 && o.PathWeight == 0 && o.StructWeight == 0 {
+		o.NameWeight, o.PathWeight, o.StructWeight = 0.6, 0.3, 0.1
+	}
+	sum := o.NameWeight + o.PathWeight + o.StructWeight + o.FragmentWeight
+	o.NameWeight /= sum
+	o.PathWeight /= sum
+	o.StructWeight /= sum
+	o.FragmentWeight /= sum
+	if o.Threshold == 0 {
+		o.Threshold = 0.55
+	}
+}
+
+// builtinSynonyms is a small e-commerce abbreviation dictionary of the kind
+// COMA++ ships with.
+var builtinSynonyms = map[string]string{
+	"po":    "purchaseorder",
+	"qty":   "quantity",
+	"quan":  "quantity",
+	"addr":  "address",
+	"amt":   "amount",
+	"num":   "number",
+	"no":    "number",
+	"id":    "identifier",
+	"ident": "identifier",
+	"up":    "unitprice",
+	"uom":   "unitofmeasure",
+	"desc":  "description",
+	"descr": "description",
+	"tel":   "telephone",
+	"phone": "telephone",
+	"cty":   "city",
+	"ctry":  "country",
+	"st":    "street",
+	"org":   "organization",
+	"corp":  "corporation",
+	"inv":   "invoice",
+	"ord":   "order",
+	"del":   "delivery",
+	"dlv":   "delivery",
+	"recv":  "receiving",
+	"ref":   "reference",
+}
+
+// Matcher scores element pairs between two schemas.
+type Matcher struct {
+	opts Options
+}
+
+// New returns a matcher with the given options (zero value = defaults).
+func New(opts Options) *Matcher {
+	opts.normalize()
+	merged := make(map[string]string, len(builtinSynonyms)+len(opts.Synonyms))
+	for k, v := range builtinSynonyms {
+		merged[k] = v
+	}
+	for k, v := range opts.Synonyms {
+		merged[strings.ToLower(k)] = strings.ToLower(v)
+	}
+	opts.Synonyms = merged
+	return &Matcher{opts: opts}
+}
+
+// Match computes the schema matching between source and target: every pair
+// scoring at least the threshold becomes a correspondence, optionally
+// capped per target element.
+func (m *Matcher) Match(src, tgt *schema.Schema) (*matching.Matching, error) {
+	srcTok := m.tokenizeAll(src)
+	tgtTok := m.tokenizeAll(tgt)
+	var corrs []matching.Correspondence
+	for _, te := range tgt.Elements() {
+		var cands []matching.Correspondence
+		for _, se := range src.Elements() {
+			score := m.Score(srcTok[se.ID], tgtTok[te.ID], se, te)
+			if score >= m.opts.Threshold {
+				cands = append(cands, matching.Correspondence{S: se.ID, T: te.ID, Score: score})
+			}
+		}
+		if m.opts.MaxCandidates > 0 && len(cands) > m.opts.MaxCandidates {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+			cands = cands[:m.opts.MaxCandidates]
+		}
+		corrs = append(corrs, cands...)
+	}
+	return matching.New(src, tgt, corrs)
+}
+
+// elemTokens caches the token sets of an element's own name and of its
+// ancestor path.
+type elemTokens struct {
+	name     []string
+	path     []string
+	children []string
+}
+
+func (m *Matcher) tokenizeAll(s *schema.Schema) []elemTokens {
+	out := make([]elemTokens, s.Len())
+	for _, e := range s.Elements() {
+		out[e.ID].name = m.Tokenize(e.Name)
+		var path []string
+		for p := e.Parent; p != nil; p = p.Parent {
+			path = append(path, m.Tokenize(p.Name)...)
+		}
+		out[e.ID].path = path
+		var children []string
+		for _, c := range e.Children {
+			children = append(children, m.Tokenize(c.Name)...)
+		}
+		out[e.ID].children = children
+	}
+	return out
+}
+
+// Score combines the three similarity signals for one element pair.
+func (m *Matcher) Score(st, tt elemTokens, se, te *schema.Element) float64 {
+	name := tokenSetSimilarity(st.name, tt.name)
+	path := tokenSetSimilarity(st.path, tt.path)
+	structural := 0.0
+	if se.IsLeaf() == te.IsLeaf() {
+		structural = 1.0
+	}
+	s := m.opts.NameWeight*name + m.opts.PathWeight*path + m.opts.StructWeight*structural
+	if m.opts.FragmentWeight > 0 {
+		s += m.opts.FragmentWeight * tokenSetSimilarity(st.children, tt.children)
+	}
+	if s > 1 { // guard against floating-point drift in the weight sum
+		s = 1
+	}
+	return s
+}
+
+// Tokenize splits an element name on case transitions, digits and
+// punctuation, lowercases the tokens and applies synonym expansion.
+func (m *Matcher) Tokenize(name string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := strings.ToLower(cur.String())
+		if exp, ok := m.opts.Synonyms[tok]; ok {
+			tok = exp
+		}
+		tokens = append(tokens, tok)
+		cur.Reset()
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == '.' || r == ' ' || r == '/':
+			flush()
+		case r >= '0' && r <= '9':
+			flush() // digits separate tokens and are dropped
+		case r >= 'A' && r <= 'Z':
+			// New token at lower->Upper transitions and at the last
+			// capital of an acronym run followed by a lowercase
+			// ("POLine" -> "po", "line").
+			if i > 0 {
+				prev := runes[i-1]
+				nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+				if prev >= 'a' && prev <= 'z' || (prev >= 'A' && prev <= 'Z' && nextLower) {
+					flush()
+				}
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// tokenSetSimilarity computes a symmetric soft token-set similarity: each
+// token is matched to its most similar counterpart, and the best-match
+// scores are averaged over both directions.
+func tokenSetSimilarity(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	dir := func(xs, ys []string) float64 {
+		var total float64
+		for _, x := range xs {
+			best := 0.0
+			for _, y := range ys {
+				if s := tokenSimilarity(x, y); s > best {
+					best = s
+				}
+			}
+			total += best
+		}
+		return total / float64(len(xs))
+	}
+	return (dir(a, b) + dir(b, a)) / 2
+}
+
+// tokenSimilarity blends normalized edit distance and trigram overlap; an
+// exact match scores 1.
+func tokenSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ed := 1 - float64(levenshtein(a, b))/float64(maxInt(len(a), len(b)))
+	tg := trigramSimilarity(a, b)
+	s := 0.5*ed + 0.5*tg
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// levenshtein computes the classic edit distance with a rolling row.
+func levenshtein(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// trigramSimilarity is the Dice coefficient over padded character trigrams.
+func trigramSimilarity(a, b string) float64 {
+	ta := trigrams(a)
+	tb := trigrams(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	common := 0
+	for t := range ta {
+		if tb[t] {
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(ta)+len(tb))
+}
+
+func trigrams(s string) map[string]bool {
+	padded := "##" + s + "##"
+	out := make(map[string]bool, len(padded))
+	for i := 0; i+3 <= len(padded); i++ {
+		out[padded[i:i+3]] = true
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

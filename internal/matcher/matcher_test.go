@@ -1,0 +1,218 @@
+package matcher
+
+import (
+	"reflect"
+	"testing"
+
+	"xmatch/internal/schema"
+)
+
+func TestTokenize(t *testing.T) {
+	m := New(Options{})
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"ContactName", []string{"contact", "name"}},
+		{"CONTACT_NAME", []string{"contact", "name"}},
+		{"POLine", []string{"purchaseorder", "line"}},
+		{"BuyerPartID", []string{"buyer", "part", "identifier"}},
+		{"unit-price", []string{"unit", "price"}},
+		{"Qty", []string{"quantity"}},
+		{"Address2", []string{"address"}},
+		{"EMail", []string{"e", "mail"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := m.Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeCustomSynonyms(t *testing.T) {
+	m := New(Options{Synonyms: map[string]string{"kontakt": "contact"}})
+	if got := m.Tokenize("Kontakt_Name"); !reflect.DeepEqual(got, []string{"contact", "name"}) {
+		t.Errorf("custom synonym not applied: %v", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"kitten", "sitting", 3}, {"order", "order", 0}, {"street", "strasse", 4},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTrigramSimilarity(t *testing.T) {
+	if s := trigramSimilarity("order", "order"); s != 1 {
+		t.Errorf("identical strings: %v", s)
+	}
+	if s := trigramSimilarity("order", "xyzzy"); s != 0 {
+		t.Errorf("disjoint strings: %v", s)
+	}
+	mid := trigramSimilarity("quantity", "quantities")
+	if mid <= 0.4 || mid >= 1 {
+		t.Errorf("related strings: %v", mid)
+	}
+}
+
+func TestTokenSetSimilarityOrderInvariance(t *testing.T) {
+	a := []string{"contact", "name"}
+	b := []string{"name", "contact"}
+	if s := tokenSetSimilarity(a, b); s != 1 {
+		t.Errorf("permuted token sets should score 1, got %v", s)
+	}
+	if tokenSetSimilarity(nil, b) != 0 || tokenSetSimilarity(a, nil) != 0 {
+		t.Error("empty token set should score 0")
+	}
+}
+
+func mustSpec(t *testing.T, name, spec string) *schema.Schema {
+	t.Helper()
+	s, err := schema.ParseSpec(name, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMatchFindsObviousCorrespondences(t *testing.T) {
+	src := mustSpec(t, "A", `
+Order
+  BillToParty
+    ContactName
+    Street
+  Quantity
+`)
+	tgt := mustSpec(t, "B", `
+ORDER
+  INVOICE_PARTY
+    CONTACT_NAME
+  QTY
+`)
+	m := New(Options{})
+	u, err := m.Match(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTarget := map[string][]string{}
+	for _, c := range u.Corrs {
+		byTarget[tgt.ByID(c.T).Name] = append(byTarget[tgt.ByID(c.T).Name], src.ByID(c.S).Name)
+	}
+	has := func(tgtName, srcName string) bool {
+		for _, s := range byTarget[tgtName] {
+			if s == srcName {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("ORDER", "Order") {
+		t.Errorf("ORDER should match Order; got %v", byTarget["ORDER"])
+	}
+	if !has("CONTACT_NAME", "ContactName") {
+		t.Errorf("CONTACT_NAME should match ContactName; got %v", byTarget["CONTACT_NAME"])
+	}
+	if !has("QTY", "Quantity") {
+		t.Errorf("QTY should match Quantity (synonym); got %v", byTarget["QTY"])
+	}
+}
+
+func TestMatchThresholdAndCap(t *testing.T) {
+	src := mustSpec(t, "A", "Order\n  ContactName\n  ContactNames\n  ContactNam")
+	tgt := mustSpec(t, "B", "ORDER\n  CONTACT_NAME")
+	loose, err := New(Options{Threshold: 0.3}).Match(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := New(Options{Threshold: 0.3, MaxCandidates: 1}).Match(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Capacity() <= capped.Capacity() {
+		t.Errorf("cap did not reduce capacity: %d vs %d", loose.Capacity(), capped.Capacity())
+	}
+	perTarget := map[int]int{}
+	for _, c := range capped.Corrs {
+		perTarget[c.T]++
+		if perTarget[c.T] > 1 {
+			t.Fatalf("MaxCandidates=1 violated for target %d", c.T)
+		}
+	}
+	strict, err := New(Options{Threshold: 0.99}).Match(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Capacity() >= loose.Capacity() {
+		t.Errorf("raising the threshold should shrink the matching: %d vs %d",
+			strict.Capacity(), loose.Capacity())
+	}
+}
+
+func TestScoresWithinUnitInterval(t *testing.T) {
+	src := mustSpec(t, "A", "Order\n  BillToParty\n    ContactName\n  POLine\n    Quantity\n    UnitPrice")
+	tgt := mustSpec(t, "B", "ORDER\n  PARTY\n    CONTACT_NAME\n  LINE_ITEM\n    QTY\n    UNIT_PRICE")
+	u, err := New(Options{Threshold: 0.1}).Match(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Capacity() == 0 {
+		t.Fatal("no correspondences found at low threshold")
+	}
+	for _, c := range u.Corrs {
+		if c.Score <= 0 || c.Score > 1 {
+			t.Errorf("score %v outside (0,1]", c.Score)
+		}
+	}
+}
+
+func TestFragmentWeightUsesChildStructure(t *testing.T) {
+	// Two target candidates with identical names; only the fragment
+	// strategy (child-name similarity) separates them.
+	src := mustSpec(t, "A", `
+Order
+  Party
+    ContactName
+    Street
+  Party2
+    Qty
+    UnitPrice
+`)
+	tgt := mustSpec(t, "B", `
+ORDER
+  PARTY
+    CONTACT_NAME
+    STREET
+`)
+	plain := New(Options{Threshold: 0.1})
+	frag := New(Options{Threshold: 0.1, NameWeight: 0.5, PathWeight: 0.2, StructWeight: 0.1, FragmentWeight: 0.4})
+	score := func(m *Matcher, srcPath string) float64 {
+		u, err := m.Match(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range u.Corrs {
+			if src.ByID(c.S).Path == srcPath && tgt.ByID(c.T).Name == "PARTY" {
+				return c.Score
+			}
+		}
+		return 0
+	}
+	// With fragment weighting, Party (children ContactName/Street) must
+	// beat Party2 (children Qty/UnitPrice) for target PARTY more clearly
+	// than without it.
+	gapPlain := score(plain, "Order.Party") - score(plain, "Order.Party2")
+	gapFrag := score(frag, "Order.Party") - score(frag, "Order.Party2")
+	if gapFrag <= gapPlain {
+		t.Fatalf("fragment strategy did not widen the gap: plain %v, fragment %v", gapPlain, gapFrag)
+	}
+}

@@ -1,0 +1,213 @@
+package schema
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xmatch/internal/xmltree"
+)
+
+const orderSpec = `
+Order
+  Header
+    Number
+    Date
+  DeliverTo
+    Address
+      Street
+      City
+  Line
+    Qty
+`
+
+func mustParse(t *testing.T, spec string) *Schema {
+	t.Helper()
+	s, err := ParseSpec("T", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseSpecStructure(t *testing.T) {
+	s := mustParse(t, orderSpec)
+	if s.Len() != 10 {
+		t.Fatalf("len = %d, want 10", s.Len())
+	}
+	if s.Root.Name != "Order" || s.Root.ID != 0 || s.Root.Level != 0 {
+		t.Fatalf("root wrong: %+v", s.Root)
+	}
+	city := s.ByPath("Order.DeliverTo.Address.City")
+	if city == nil || city.Level != 3 || !city.IsLeaf() {
+		t.Fatalf("City lookup wrong: %+v", city)
+	}
+	if got := len(s.ByName("Address")); got != 1 {
+		t.Fatalf("ByName(Address) = %d entries", got)
+	}
+	if s.ByPath("Nope") != nil {
+		t.Fatal("ByPath on missing path should be nil")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"# only a comment",
+		"A\nB",             // two roots
+		"A\n    Deep",      // indentation jump (2 levels at once)
+		"  Indented first", // root must be unindented
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec("X", spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := mustParse(t, orderSpec)
+	s2, err := ParseSpec("T", s.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Paths(), s2.Paths()) {
+		t.Fatalf("spec round trip changed paths")
+	}
+}
+
+func TestIDsArePreorder(t *testing.T) {
+	s := mustParse(t, orderSpec)
+	for i, e := range s.Elements() {
+		if e.ID != i {
+			t.Fatalf("element %s has ID %d at position %d", e.Path, e.ID, i)
+		}
+		if s.ByID(e.ID) != e {
+			t.Fatalf("ByID(%d) mismatch", e.ID)
+		}
+	}
+	// Preorder: every element's ID is greater than its parent's.
+	for _, e := range s.Elements() {
+		if e.Parent != nil && e.ID <= e.Parent.ID {
+			t.Fatalf("preorder violated at %s", e.Path)
+		}
+	}
+}
+
+func TestSubtreeSizeAndIDs(t *testing.T) {
+	s := mustParse(t, orderSpec)
+	if got := s.Root.SubtreeSize(); got != 10 {
+		t.Fatalf("root subtree = %d", got)
+	}
+	addr := s.ByPath("Order.DeliverTo.Address")
+	if got := addr.SubtreeSize(); got != 3 {
+		t.Fatalf("Address subtree = %d", got)
+	}
+	ids := s.SubtreeIDs(addr.ID)
+	if len(ids) != 3 || ids[0] != addr.ID {
+		t.Fatalf("SubtreeIDs = %v", ids)
+	}
+	for _, id := range ids {
+		if !addr.Contains(s.ByID(id)) {
+			t.Fatalf("SubtreeIDs returned non-descendant %d", id)
+		}
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	s := mustParse(t, orderSpec)
+	order := s.Root
+	city := s.ByPath("Order.DeliverTo.Address.City")
+	street := s.ByPath("Order.DeliverTo.Address.Street")
+	if !order.IsAncestorOf(city) {
+		t.Fatal("root must be ancestor of City")
+	}
+	if city.IsAncestorOf(order) || city.IsAncestorOf(street) || street.IsAncestorOf(city) {
+		t.Fatal("false ancestry")
+	}
+}
+
+func TestPostOrder(t *testing.T) {
+	s := mustParse(t, orderSpec)
+	po := s.PostOrder()
+	if len(po) != s.Len() {
+		t.Fatalf("post-order length %d", len(po))
+	}
+	pos := make(map[int]int, len(po))
+	for i, id := range po {
+		pos[id] = i
+	}
+	for _, e := range s.Elements() {
+		for _, c := range e.Children {
+			if pos[c.ID] >= pos[e.ID] {
+				t.Fatalf("child %s visited after parent %s", c.Path, e.Path)
+			}
+		}
+	}
+	if po[len(po)-1] != 0 {
+		t.Fatal("root must be last in post-order")
+	}
+}
+
+func TestLeavesHeightFanout(t *testing.T) {
+	s := mustParse(t, orderSpec)
+	if got := len(s.Leaves()); got != 5 {
+		t.Fatalf("leaves = %d, want 5", got)
+	}
+	if s.Height() != 3 {
+		t.Fatalf("height = %d", s.Height())
+	}
+	if s.MaxFanout() != 3 {
+		t.Fatalf("max fanout = %d", s.MaxFanout())
+	}
+}
+
+func TestFreezePanicsOnDuplicatePath(t *testing.T) {
+	b := NewBuilder("X", "r")
+	b.Root.AddChild("a")
+	b.Root.AddChild("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate sibling names")
+		}
+	}()
+	b.Freeze()
+}
+
+func TestFreezePanicsTwice(t *testing.T) {
+	b := NewBuilder("X", "r")
+	b.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double freeze")
+		}
+	}()
+	b.Freeze()
+}
+
+func TestFromDocument(t *testing.T) {
+	doc, err := xmltree.ParseString(`
+<Order>
+  <Line><Qty>1</Qty></Line>
+  <Line><Qty>2</Qty><Note>n</Note></Line>
+</Order>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FromDocument("Inferred", doc)
+	want := []string{"Order", "Order.Line", "Order.Line.Note", "Order.Line.Qty"}
+	if !reflect.DeepEqual(s.Paths(), want) {
+		t.Fatalf("paths = %v, want %v", s.Paths(), want)
+	}
+}
+
+func TestParseSpecTabsAndComments(t *testing.T) {
+	spec := "Order\n\tHeader\n\t\tDate\n# a comment\n\n\tLine"
+	s, err := ParseSpec("T", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4: %s", s.Len(), strings.Join(s.Paths(), ","))
+	}
+}

@@ -1,0 +1,230 @@
+// Package store persists the library's artifacts — schemas, schema
+// matchings, and possible-mapping sets — in a versioned binary format
+// (gob-encoded with a magic header), so that expensive steps of the
+// pipeline (matching, top-h generation) can be computed once and reloaded.
+// Block trees are deliberately not persisted: construction from a mapping
+// set is deterministic and takes well under a millisecond (Figure 9(d)),
+// so they are rebuilt on load.
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xmatch/internal/mapping"
+	"xmatch/internal/matching"
+	"xmatch/internal/schema"
+)
+
+const (
+	magic   = "XMATCH1\n"
+	version = 1
+)
+
+type header struct {
+	Version int
+	Kind    string // "schema", "matching", "mappingset"
+}
+
+type schemaDTO struct {
+	Name string
+	// Names and Parents describe the element tree in preorder; the root
+	// has Parents[0] == -1.
+	Names   []string
+	Parents []int32
+}
+
+func schemaToDTO(s *schema.Schema) schemaDTO {
+	d := schemaDTO{Name: s.Name}
+	for _, e := range s.Elements() {
+		d.Names = append(d.Names, e.Name)
+		if e.Parent == nil {
+			d.Parents = append(d.Parents, -1)
+		} else {
+			d.Parents = append(d.Parents, int32(e.Parent.ID))
+		}
+	}
+	return d
+}
+
+func schemaFromDTO(d schemaDTO) (*schema.Schema, error) {
+	if len(d.Names) == 0 {
+		return nil, fmt.Errorf("store: schema %q has no elements", d.Name)
+	}
+	if d.Parents[0] != -1 {
+		return nil, fmt.Errorf("store: schema %q: first element is not the root", d.Name)
+	}
+	b := schema.NewBuilder(d.Name, d.Names[0])
+	elems := make([]*schema.Element, len(d.Names))
+	elems[0] = b.Root
+	for i := 1; i < len(d.Names); i++ {
+		p := d.Parents[i]
+		if p < 0 || int(p) >= i {
+			return nil, fmt.Errorf("store: schema %q: element %d has invalid parent %d", d.Name, i, p)
+		}
+		elems[i] = elems[p].AddChild(d.Names[i])
+	}
+	return b.Freeze(), nil
+}
+
+type matchingDTO struct {
+	Source, Target schemaDTO
+	S, T           []int32
+	Score          []float64
+}
+
+type mappingDTO struct {
+	S, T  []int32
+	Score float64
+}
+
+type setDTO struct {
+	Source, Target schemaDTO
+	Mappings       []mappingDTO
+}
+
+func writeHeader(w io.Writer, kind string) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(header{Version: version, Kind: kind})
+}
+
+// readHeader consumes and validates the magic and header, returning the
+// remaining gob stream decoder.
+func readHeader(r io.Reader, wantKind string) (*gob.Decoder, error) {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(buf) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", buf)
+	}
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", err)
+	}
+	if h.Version != version {
+		return nil, fmt.Errorf("store: unsupported version %d (want %d)", h.Version, version)
+	}
+	if h.Kind != wantKind {
+		return nil, fmt.Errorf("store: file contains a %s, want a %s", h.Kind, wantKind)
+	}
+	return dec, nil
+}
+
+// SaveSchema writes a schema.
+func SaveSchema(w io.Writer, s *schema.Schema) error {
+	if err := writeHeader(w, "schema"); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(schemaToDTO(s))
+}
+
+// LoadSchema reads a schema written by SaveSchema.
+func LoadSchema(r io.Reader) (*schema.Schema, error) {
+	dec, err := readHeader(r, "schema")
+	if err != nil {
+		return nil, err
+	}
+	var d schemaDTO
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("store: decoding schema: %w", err)
+	}
+	return schemaFromDTO(d)
+}
+
+// SaveMatching writes a schema matching together with its two schemas.
+func SaveMatching(w io.Writer, u *matching.Matching) error {
+	if err := writeHeader(w, "matching"); err != nil {
+		return err
+	}
+	d := matchingDTO{Source: schemaToDTO(u.Source), Target: schemaToDTO(u.Target)}
+	for _, c := range u.Corrs {
+		d.S = append(d.S, int32(c.S))
+		d.T = append(d.T, int32(c.T))
+		d.Score = append(d.Score, c.Score)
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// LoadMatching reads a matching written by SaveMatching. The embedded
+// schemas are rebuilt and the correspondences re-validated.
+func LoadMatching(r io.Reader) (*matching.Matching, error) {
+	dec, err := readHeader(r, "matching")
+	if err != nil {
+		return nil, err
+	}
+	var d matchingDTO
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("store: decoding matching: %w", err)
+	}
+	src, err := schemaFromDTO(d.Source)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := schemaFromDTO(d.Target)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.S) != len(d.T) || len(d.S) != len(d.Score) {
+		return nil, fmt.Errorf("store: matching arrays disagree: %d/%d/%d", len(d.S), len(d.T), len(d.Score))
+	}
+	corrs := make([]matching.Correspondence, len(d.S))
+	for i := range d.S {
+		corrs[i] = matching.Correspondence{S: int(d.S[i]), T: int(d.T[i]), Score: d.Score[i]}
+	}
+	return matching.New(src, tgt, corrs)
+}
+
+// SaveSet writes a possible-mapping set together with its schemas.
+func SaveSet(w io.Writer, set *mapping.Set) error {
+	if err := writeHeader(w, "mappingset"); err != nil {
+		return err
+	}
+	d := setDTO{Source: schemaToDTO(set.Source), Target: schemaToDTO(set.Target)}
+	for _, m := range set.Mappings {
+		md := mappingDTO{Score: m.Score}
+		for _, p := range m.Pairs {
+			md.S = append(md.S, int32(p.S))
+			md.T = append(md.T, int32(p.T))
+		}
+		d.Mappings = append(d.Mappings, md)
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// LoadSet reads a mapping set written by SaveSet, rebuilding probabilities
+// via the usual score normalization.
+func LoadSet(r io.Reader) (*mapping.Set, error) {
+	dec, err := readHeader(r, "mappingset")
+	if err != nil {
+		return nil, err
+	}
+	var d setDTO
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("store: decoding mapping set: %w", err)
+	}
+	src, err := schemaFromDTO(d.Source)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := schemaFromDTO(d.Target)
+	if err != nil {
+		return nil, err
+	}
+	mappings := make([]*mapping.Mapping, len(d.Mappings))
+	for i, md := range d.Mappings {
+		if len(md.S) != len(md.T) {
+			return nil, fmt.Errorf("store: mapping %d arrays disagree", i)
+		}
+		m := &mapping.Mapping{Score: md.Score}
+		for j := range md.S {
+			m.Pairs = append(m.Pairs, mapping.Pair{S: int(md.S[j]), T: int(md.T[j])})
+		}
+		mappings[i] = m
+	}
+	return mapping.NewSet(src, tgt, mappings)
+}

@@ -1,0 +1,235 @@
+package twig
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmatch/internal/xmltree"
+)
+
+// Binding pairs one pattern node with the document node it matched.
+type Binding struct {
+	Q *Node
+	D *xmltree.Node
+}
+
+// Match binds pattern nodes to document nodes: a match of a twig query q
+// with l nodes in a document d is a set of l document nodes satisfying q's
+// labels, predicates and structural relationships. Bindings are kept
+// sorted by pattern-node preorder index, which makes merging two matches a
+// linear merge instead of a map rebuild.
+type Match []Binding
+
+// Get returns the document node bound to qn, or nil.
+func (m Match) Get(qn *Node) *xmltree.Node {
+	for _, b := range m {
+		if b.Q == qn {
+			return b.D
+		}
+	}
+	return nil
+}
+
+// merge combines two matches over disjoint pattern-node sets into one,
+// preserving the preorder-index ordering.
+func (m Match) merge(o Match) Match {
+	out := make(Match, 0, len(m)+len(o))
+	i, j := 0, 0
+	for i < len(m) && j < len(o) {
+		if m[i].Q.Index <= o[j].Q.Index {
+			out = append(out, m[i])
+			i++
+		} else {
+			out = append(out, o[j])
+			j++
+		}
+	}
+	out = append(out, m[i:]...)
+	out = append(out, o[j:]...)
+	return out
+}
+
+// Key returns a canonical identity for the match: the document Start
+// numbers of the bound nodes in pattern preorder. Useful for comparing and
+// deduplicating result sets.
+func (m Match) Key() string {
+	var b strings.Builder
+	for _, bd := range m {
+		fmt.Fprintf(&b, "%d:%d;", bd.Q.Index, bd.D.Start)
+	}
+	return b.String()
+}
+
+// PathBinding assigns every node of a pattern subtree the dotted document
+// path its bindings must carry. In PTQ evaluation the paths are the
+// source-schema paths obtained by rewriting the embedded target query
+// through one mapping (or one block's correspondence set).
+type PathBinding map[*Node]string
+
+// MatchByPaths evaluates the pattern subtree rooted at qn over the
+// document: each pattern node binds a document node whose path equals
+// paths[qn]; every pattern edge requires the child's binding to lie
+// strictly inside the parent binding's preorder interval (because rewritten
+// source elements preserve ancestry, exact paths plus containment give
+// precise semantics — see DESIGN.md); value predicates compare node text.
+// Matches are returned ordered by the Start of qn's binding.
+func MatchByPaths(doc *xmltree.Document, qn *Node, paths PathBinding) []Match {
+	cands := doc.NodesByPath(paths[qn])
+	if qn.HasValue {
+		filtered := make([]*xmltree.Node, 0, len(cands))
+		for _, d := range cands {
+			if d.Text == qn.Value {
+				filtered = append(filtered, d)
+			}
+		}
+		cands = filtered
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if len(qn.Children) == 0 {
+		out := make([]Match, len(cands))
+		for i, d := range cands {
+			out[i] = Match{{Q: qn, D: d}}
+		}
+		return out
+	}
+	sub := make([][]Match, len(qn.Children))
+	for i, c := range qn.Children {
+		sub[i] = MatchByPaths(doc, c, paths)
+		if len(sub[i]) == 0 {
+			return nil
+		}
+	}
+	var out []Match
+	for _, d := range cands {
+		// For each child, the sub-matches rooted inside d's interval form
+		// a contiguous run, because sub-matches are ordered by Start.
+		runs := make([][]Match, len(qn.Children))
+		ok := true
+		for i, c := range qn.Children {
+			runs[i] = within(sub[i], c, d)
+			if len(runs[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		base := Match{{Q: qn, D: d}}
+		out = appendProduct(out, base, runs)
+	}
+	return out
+}
+
+// within returns the contiguous slice of matches whose binding of root lies
+// strictly inside d's preorder interval. Matches must be ordered by the
+// Start of root's binding, which is always the first binding of a match
+// produced by MatchByPaths (root has the smallest preorder index).
+func within(matches []Match, root *Node, d *xmltree.Node) []Match {
+	lo := sort.Search(len(matches), func(i int) bool {
+		return matches[i].Get(root).Start > d.Start
+	})
+	hi := sort.Search(len(matches), func(i int) bool {
+		return matches[i].Get(root).Start > d.End
+	})
+	return matches[lo:hi]
+}
+
+// appendProduct extends base with every combination of one match per run
+// and appends the results to out.
+func appendProduct(out []Match, base Match, runs [][]Match) []Match {
+	combo := make([]int, len(runs))
+	for {
+		m := base
+		for i, r := range runs {
+			m = m.merge(r[combo[i]])
+		}
+		out = append(out, m)
+		// Advance the mixed-radix counter.
+		i := len(runs) - 1
+		for i >= 0 {
+			combo[i]++
+			if combo[i] < len(runs[i]) {
+				break
+			}
+			combo[i] = 0
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// StructuralJoin joins outer and inner match lists: for every outer match,
+// it pairs it with each inner match whose binding of innerRoot lies inside
+// the interval of the outer match's binding of outerNode, merging the
+// bindings. Inner matches must be ordered by innerRoot's Start (as produced
+// by MatchByPaths); this is the stack_join step of Algorithm 4, realized as
+// a binary merge over interval-sorted lists.
+func StructuralJoin(outer []Match, outerNode *Node, inner []Match, innerRoot *Node) []Match {
+	var out []Match
+	for _, om := range outer {
+		d := om.Get(outerNode)
+		for _, im := range within(inner, innerRoot, d) {
+			out = append(out, om.merge(im))
+		}
+	}
+	return out
+}
+
+// NaiveMatchByPaths is a brute-force reference implementation of
+// MatchByPaths with identical semantics, used as a test oracle. It
+// enumerates every assignment of document nodes to pattern nodes.
+func NaiveMatchByPaths(doc *xmltree.Document, qn *Node, paths PathBinding) []Match {
+	var nodes []*Node
+	var collect func(n *Node)
+	collect = func(n *Node) {
+		nodes = append(nodes, n)
+		for _, c := range n.Children {
+			collect(c)
+		}
+	}
+	collect(qn)
+
+	parent := make(map[*Node]*Node)
+	for _, n := range nodes {
+		for _, c := range n.Children {
+			parent[c] = n
+		}
+	}
+
+	var out []Match
+	cur := map[*Node]*xmltree.Node{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(nodes) {
+			m := make(Match, 0, len(cur))
+			for _, n := range nodes {
+				m = append(m, Binding{Q: n, D: cur[n]})
+			}
+			sort.Slice(m, func(a, b int) bool { return m[a].Q.Index < m[b].Q.Index })
+			out = append(out, m)
+			return
+		}
+		n := nodes[i]
+		for _, d := range doc.NodesByPath(paths[n]) {
+			if n.HasValue && d.Text != n.Value {
+				continue
+			}
+			if p, ok := parent[n]; ok {
+				if !cur[p].IsAncestorOf(d) {
+					continue
+				}
+			}
+			cur[n] = d
+			rec(i + 1)
+			delete(cur, n)
+		}
+	}
+	rec(0)
+	return out
+}

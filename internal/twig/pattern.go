@@ -1,0 +1,283 @@
+// Package twig implements twig patterns — the XML query class of the
+// paper's probabilistic twig query (PTQ) — together with their resolution
+// against a schema and their evaluation over documents using sorted
+// candidate lists and structural (interval containment) joins in the style
+// of Al-Khalifa et al. (ICDE 2002).
+//
+// A twig pattern is a tree of labelled nodes connected by parent-child
+// ('/') or ancestor-descendant ('//') edges, with optional branch
+// predicates ('[...]') and value predicates ('[./Price="5"]'), e.g.
+//
+//	Order[./Buyer/Contact][./DeliverTo//City]//BPID
+package twig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is the relationship between a pattern node and its parent.
+type Axis int
+
+const (
+	// Child requires the bound document node to be a child of the
+	// parent's node; at the pattern root it anchors at the document root.
+	Child Axis = iota
+	// Descendant requires a proper descendant; at the pattern root it
+	// matches anywhere in the document.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Node is one node of a twig pattern.
+type Node struct {
+	// Label is the element name to match.
+	Label string
+	// Axis is the edge type from the parent (or the leading axis for
+	// the root).
+	Axis Axis
+	// Value, when HasValue, requires the bound document node's text to
+	// equal it.
+	Value    string
+	HasValue bool
+	// Children are subpatterns: both predicate branches and the spine
+	// continuation; twig semantics treats them identically.
+	Children []*Node
+
+	// Index is the node's preorder position within its pattern.
+	Index int
+}
+
+// Pattern is a parsed twig pattern.
+type Pattern struct {
+	Root *Node
+
+	nodes []*Node // preorder
+}
+
+// Size returns l, the number of pattern nodes.
+func (p *Pattern) Size() int { return len(p.nodes) }
+
+// Nodes returns the pattern nodes in preorder. The slice must not be
+// modified.
+func (p *Pattern) Nodes() []*Node { return p.nodes }
+
+// index assigns preorder indices.
+func (p *Pattern) index() {
+	p.nodes = p.nodes[:0]
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.Index = len(p.nodes)
+		p.nodes = append(p.nodes, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+}
+
+// String renders the pattern in the syntax accepted by Parse. Predicate
+// branches are emitted before the spine child (the last child).
+func (p *Pattern) String() string {
+	var render func(n *Node, leading bool) string
+	render = func(n *Node, leading bool) string {
+		var b strings.Builder
+		if n.Axis == Descendant {
+			b.WriteString("//")
+		} else if !leading {
+			b.WriteString("/")
+		}
+		b.WriteString(n.Label)
+		if n.HasValue {
+			fmt.Fprintf(&b, "[.=%q]", n.Value)
+		}
+		for i, c := range n.Children {
+			if i == len(n.Children)-1 {
+				b.WriteString(render(c, false))
+			} else {
+				b.WriteString("[.")
+				b.WriteString(render(c, false))
+				b.WriteString("]")
+			}
+		}
+		return b.String()
+	}
+	return render(p.Root, true)
+}
+
+// Parse parses a twig pattern. Grammar (whitespace-insensitive between
+// tokens):
+//
+//	pattern   := ['/'|'//'] step (('/'|'//') step)*
+//	step      := name predicate*
+//	predicate := '[' '.' ('='value | relpath) ']'
+//	relpath   := ('/'|'//') step (('/'|'//') step)*  with optional '='value
+//	value     := '"'chars'"' | "'"chars"'"
+//
+// A value after a relpath applies to the last step of that relpath.
+func Parse(s string) (*Pattern, error) {
+	p := &parser{s: s}
+	root, err := p.parsePath(true)
+	if err != nil {
+		return nil, fmt.Errorf("twig: parse %q: %w", s, err)
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("twig: parse %q: trailing input at offset %d", s, p.i)
+	}
+	pat := &Pattern{Root: root}
+	pat.index()
+	return pat, nil
+}
+
+// MustParse is Parse, panicking on error. Intended for tests and fixed
+// workloads.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	s string
+	i int
+}
+
+func (p *parser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.s[p.i:], tok) {
+		p.i += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) peek(tok string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.s[p.i:], tok)
+}
+
+// parsePath parses a chain of steps and returns the first node, with the
+// remaining chain attached as its last child, recursively.
+func (p *parser) parsePath(leading bool) (*Node, error) {
+	axis := Child
+	if p.eat("//") {
+		axis = Descendant
+	} else if p.eat("/") {
+		axis = Child
+	} else if !leading {
+		return nil, fmt.Errorf("expected '/' or '//' at offset %d", p.i)
+	}
+	return p.parseSteps(axis)
+}
+
+func (p *parser) parseSteps(axis Axis) (*Node, error) {
+	name := p.parseName()
+	if name == "" {
+		return nil, fmt.Errorf("expected element name at offset %d", p.i)
+	}
+	node := &Node{Label: name, Axis: axis}
+	for p.peek("[") {
+		if err := p.parsePredicate(node); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek("//") || p.peek("/") {
+		child, err := p.parsePath(false)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, child)
+	}
+	return node, nil
+}
+
+func (p *parser) parseName() string {
+	p.skipSpace()
+	start := p.i
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			p.i++
+		} else {
+			break
+		}
+	}
+	return p.s[start:p.i]
+}
+
+func (p *parser) parsePredicate(node *Node) error {
+	if !p.eat("[") {
+		return fmt.Errorf("expected '[' at offset %d", p.i)
+	}
+	if !p.eat(".") {
+		return fmt.Errorf("predicate must start with '.' at offset %d", p.i)
+	}
+	if p.eat("=") {
+		// Self value predicate [.="v"].
+		v, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		if node.HasValue && node.Value != v {
+			return fmt.Errorf("conflicting value predicates on %s", node.Label)
+		}
+		node.Value = v
+		node.HasValue = true
+	} else {
+		branch, err := p.parsePath(false)
+		if err != nil {
+			return err
+		}
+		if p.eat("=") {
+			v, err := p.parseValue()
+			if err != nil {
+				return err
+			}
+			last := branch
+			for len(last.Children) > 0 {
+				last = last.Children[len(last.Children)-1]
+			}
+			last.Value = v
+			last.HasValue = true
+		}
+		node.Children = append(node.Children, branch)
+	}
+	if !p.eat("]") {
+		return fmt.Errorf("expected ']' at offset %d", p.i)
+	}
+	return nil
+}
+
+func (p *parser) parseValue() (string, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) || (p.s[p.i] != '"' && p.s[p.i] != '\'') {
+		return "", fmt.Errorf("expected quoted value at offset %d", p.i)
+	}
+	quote := p.s[p.i]
+	p.i++
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] != quote {
+		p.i++
+	}
+	if p.i >= len(p.s) {
+		return "", fmt.Errorf("unterminated value starting at offset %d", start)
+	}
+	v := p.s[start:p.i]
+	p.i++
+	return v, nil
+}

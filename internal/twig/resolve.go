@@ -1,0 +1,91 @@
+package twig
+
+import (
+	"fmt"
+
+	"xmatch/internal/schema"
+)
+
+// Embedding assigns each pattern node (by preorder index) to an element of
+// a schema, respecting labels and axes. PTQ evaluation first embeds the
+// target query into the target schema; the embedded query is then rewritten
+// per mapping into source-schema element paths.
+type Embedding []int
+
+// Resolve returns every embedding of the pattern into the schema via
+// backtracking search: the pattern root with Child axis must bind the
+// schema root, with Descendant axis it may bind any element with the root's
+// label; a Child edge requires a parent-child pair of elements, a
+// Descendant edge a proper ancestor-descendant pair; labels must equal
+// element names. Twig queries of the paper bind distinct schema elements
+// per node (footnote 1), so embeddings binding one element twice are
+// discarded.
+func Resolve(p *Pattern, s *schema.Schema) []Embedding {
+	var out []Embedding
+	cur := make([]int, p.Size())
+
+	parentOf := make([]int, p.Size())
+	for _, n := range p.nodes {
+		for _, c := range n.Children {
+			parentOf[c.Index] = n.Index
+		}
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == p.Size() {
+			emb := make(Embedding, p.Size())
+			copy(emb, cur)
+			out = append(out, emb)
+			return
+		}
+		qn := p.nodes[i]
+		var candidates []*schema.Element
+		if i == 0 {
+			if qn.Axis == Child {
+				if s.Root.Name == qn.Label {
+					candidates = []*schema.Element{s.Root}
+				}
+			} else {
+				candidates = s.ByName(qn.Label)
+			}
+		} else {
+			parent := s.ByID(cur[parentOf[i]])
+			if qn.Axis == Child {
+				for _, ce := range parent.Children {
+					if ce.Name == qn.Label {
+						candidates = append(candidates, ce)
+					}
+				}
+			} else {
+				for _, de := range s.ByName(qn.Label) {
+					if parent.IsAncestorOf(de) {
+						candidates = append(candidates, de)
+					}
+				}
+			}
+		}
+	cand:
+		for _, e := range candidates {
+			for j := 0; j < i; j++ {
+				if cur[j] == e.ID {
+					continue cand // nodes must bind distinct elements
+				}
+			}
+			cur[i] = e.ID
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ResolveOne resolves the pattern and errors unless at least one embedding
+// exists, returning all of them.
+func ResolveOne(p *Pattern, s *schema.Schema) ([]Embedding, error) {
+	embs := Resolve(p, s)
+	if len(embs) == 0 {
+		return nil, fmt.Errorf("twig: pattern %s does not resolve in schema %s", p, s.Name)
+	}
+	return embs, nil
+}

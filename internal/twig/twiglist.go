@@ -1,0 +1,114 @@
+package twig
+
+import (
+	"sort"
+
+	"xmatch/internal/xmltree"
+)
+
+// MatchByPathsFiltered evaluates a pattern subtree with the two-phase
+// strategy of TwigList (Qin, Yu, Ding, DASFAA 2007), the engine the paper
+// cites for twig matching: a bottom-up pass first marks the *useful*
+// candidates — document nodes all of whose pattern children can be
+// satisfied inside their preorder interval — and only then are matches
+// enumerated from the pruned lists. Results are identical to MatchByPaths
+// (a property the tests verify); the filtering pass avoids materializing
+// subtree matches under candidates whose ancestors cannot complete a match,
+// which pays off when selective predicates sit near the pattern root.
+func MatchByPathsFiltered(doc *xmltree.Document, qn *Node, paths PathBinding) []Match {
+	useful := usefulLists(doc, qn, paths)
+	if useful == nil {
+		return nil
+	}
+	return enumerate(qn, useful)
+}
+
+// usefulLists computes, bottom-up, the useful candidate list of every
+// pattern node in the subtree. It returns nil when some pattern node has no
+// useful candidate (no match can exist).
+func usefulLists(doc *xmltree.Document, qn *Node, paths PathBinding) map[*Node][]*xmltree.Node {
+	out := map[*Node][]*xmltree.Node{}
+	var build func(n *Node) bool
+	build = func(n *Node) bool {
+		for _, c := range n.Children {
+			if !build(c) {
+				return false
+			}
+		}
+		cands := doc.NodesByPath(paths[n])
+		var kept []*xmltree.Node
+		for _, d := range cands {
+			if n.HasValue && d.Text != n.Value {
+				continue
+			}
+			ok := true
+			for _, c := range n.Children {
+				if !anyWithin(out[c], d) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) == 0 {
+			return false
+		}
+		out[n] = kept
+		return true
+	}
+	if !build(qn) {
+		return nil
+	}
+	return out
+}
+
+// anyWithin reports whether the sorted node list contains a node strictly
+// inside d's interval.
+func anyWithin(nodes []*xmltree.Node, d *xmltree.Node) bool {
+	lo := sort.Search(len(nodes), func(i int) bool { return nodes[i].Start > d.Start })
+	return lo < len(nodes) && nodes[lo].Start < d.End
+}
+
+// enumerate materializes matches from pruned candidate lists, mirroring
+// the combination step of MatchByPaths.
+func enumerate(qn *Node, useful map[*Node][]*xmltree.Node) []Match {
+	var rec func(n *Node) []Match
+	rec = func(n *Node) []Match {
+		cands := useful[n]
+		if len(n.Children) == 0 {
+			out := make([]Match, len(cands))
+			for i, d := range cands {
+				out[i] = Match{{Q: n, D: d}}
+			}
+			return out
+		}
+		sub := make([][]Match, len(n.Children))
+		for i, c := range n.Children {
+			sub[i] = rec(c)
+		}
+		var out []Match
+		for _, d := range cands {
+			runs := make([][]Match, len(n.Children))
+			ok := true
+			for i, c := range n.Children {
+				runs[i] = within(sub[i], c, d)
+				if len(runs[i]) == 0 {
+					// Possible despite usefulness: a useful child may
+					// itself have been pruned to descendants outside
+					// d's interval... it cannot — usefulness checked
+					// against the same kept lists. Defensive only.
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			out = appendProduct(out, Match{{Q: n, D: d}}, runs)
+		}
+		return out
+	}
+	return rec(qn)
+}

@@ -1,0 +1,264 @@
+// Package xmltree provides the XML document substrate used throughout the
+// library: an ordered labelled tree with preorder interval numbering, which
+// supports constant-time ancestor tests and the sorted node lists required
+// by stack-based structural joins (Al-Khalifa et al., ICDE 2002).
+//
+// Documents can be parsed from XML text (via encoding/xml), built
+// programmatically, or generated synthetically. Every node carries the
+// dotted label path from the root (e.g. "Order.POLine.Quantity"), matching
+// the hash keys used by the block tree of Cheng, Gong and Cheung (ICDE 2010).
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Node is a single element node of an XML document tree.
+type Node struct {
+	// Label is the element name.
+	Label string
+	// Text is the concatenated character data directly inside the
+	// element, with surrounding whitespace trimmed.
+	Text string
+	// Parent is nil for the root.
+	Parent *Node
+	// Children in document order.
+	Children []*Node
+
+	// Start and End delimit the node's preorder interval: a node d is a
+	// descendant of a iff a.Start < d.Start && d.End <= a.End. Assigned
+	// by Document.renumber.
+	Start, End int
+	// Level is the depth from the root (root has level 0).
+	Level int
+	// Path is the dotted label path from the root, e.g. "Order.POLine".
+	Path string
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of d, using the
+// preorder interval numbering.
+func (n *Node) IsAncestorOf(d *Node) bool {
+	return n.Start < d.Start && d.End <= n.End
+}
+
+// Contains reports whether d lies in n's subtree (n itself included).
+func (n *Node) Contains(d *Node) bool {
+	return n == d || n.IsAncestorOf(d)
+}
+
+// AddChild appends a child node with the given label and returns it. The
+// document must be renumbered (or rebuilt with New) before structural
+// queries are issued.
+func (n *Node) AddChild(label string) *Node {
+	c := &Node{Label: label, Parent: n}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AddText sets the node's character data and returns the node, for chaining.
+func (n *Node) AddText(text string) *Node {
+	n.Text = text
+	return n
+}
+
+// Document is an XML document with index structures for structural queries.
+type Document struct {
+	Root *Node
+
+	nodes  []*Node            // preorder
+	byPath map[string][]*Node // dotted path -> nodes in preorder
+}
+
+// New builds a Document around root, assigning interval numbers, levels and
+// paths to every node and building the path index.
+func New(root *Node) *Document {
+	d := &Document{Root: root}
+	d.renumber()
+	return d
+}
+
+// NewRoot creates a fresh root node with the given label. Attach children
+// with AddChild, then call New to obtain a queryable Document.
+func NewRoot(label string) *Node {
+	return &Node{Label: label}
+}
+
+func (d *Document) renumber() {
+	d.nodes = d.nodes[:0]
+	d.byPath = make(map[string][]*Node)
+	counter := 0
+	var walk func(n *Node, level int, prefix string)
+	walk = func(n *Node, level int, prefix string) {
+		counter++
+		n.Start = counter
+		n.Level = level
+		if prefix == "" {
+			n.Path = n.Label
+		} else {
+			n.Path = prefix + "." + n.Label
+		}
+		d.nodes = append(d.nodes, n)
+		d.byPath[n.Path] = append(d.byPath[n.Path], n)
+		for _, c := range n.Children {
+			c.Parent = n
+			walk(c, level+1, n.Path)
+		}
+		counter++
+		n.End = counter
+	}
+	if d.Root != nil {
+		walk(d.Root, 0, "")
+	}
+}
+
+// Len returns the number of element nodes in the document.
+func (d *Document) Len() int { return len(d.nodes) }
+
+// Nodes returns all nodes in preorder. The returned slice must not be
+// modified.
+func (d *Document) Nodes() []*Node { return d.nodes }
+
+// NodesByPath returns the nodes whose dotted label path from the root equals
+// path, in document (preorder) order. The returned slice must not be
+// modified.
+func (d *Document) NodesByPath(path string) []*Node { return d.byPath[path] }
+
+// Paths returns the distinct dotted paths present in the document, sorted.
+func (d *Document) Paths() []string {
+	ps := make([]string, 0, len(d.byPath))
+	for p := range d.byPath {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	return ps
+}
+
+// Parse reads an XML document from r. Attributes are ignored; character
+// data is trimmed and attached to the enclosing element.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: t.Name.Local}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				n.Parent = p
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				s := strings.TrimSpace(string(t))
+				if s != "" {
+					top := stack[len(stack)-1]
+					if top.Text != "" {
+						top.Text += " "
+					}
+					top.Text += s
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	return New(root), nil
+}
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// WriteXML serializes the document as indented XML.
+func (d *Document) WriteXML(w io.Writer) error {
+	var write func(n *Node, indent string) error
+	write = func(n *Node, indent string) error {
+		if len(n.Children) == 0 {
+			var err error
+			if n.Text == "" {
+				_, err = fmt.Fprintf(w, "%s<%s/>\n", indent, n.Label)
+			} else {
+				_, err = fmt.Fprintf(w, "%s<%s>%s</%s>\n", indent, n.Label, escape(n.Text), n.Label)
+			}
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s<%s>\n", indent, n.Label); err != nil {
+			return err
+		}
+		if n.Text != "" {
+			if _, err := fmt.Fprintf(w, "%s  %s\n", indent, escape(n.Text)); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.Children {
+			if err := write(c, indent+"  "); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s</%s>\n", indent, n.Label)
+		return err
+	}
+	if d.Root == nil {
+		return fmt.Errorf("xmltree: nil root")
+	}
+	return write(d.Root, "")
+}
+
+// String returns the indented XML serialization of the document.
+func (d *Document) String() string {
+	var b strings.Builder
+	if err := d.WriteXML(&b); err != nil {
+		return "<error: " + err.Error() + ">"
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+// Walk visits every node in preorder, calling fn. If fn returns false the
+// node's subtree is skipped.
+func (d *Document) Walk(fn func(*Node) bool) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+}

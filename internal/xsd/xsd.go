@@ -1,0 +1,238 @@
+// Package xsd imports and exports the subset of XML Schema (XSD) needed to
+// describe the element hierarchies this library matches: nested xs:element
+// declarations, named and anonymous xs:complexType definitions, xs:sequence
+// / xs:choice / xs:all compositors (all treated as ordered child lists, the
+// structure schema matching cares about), element references, and type
+// references. Attributes, facets, substitution groups and namespaces other
+// than the XSD namespace itself are ignored.
+//
+// The paper's schemas (XCBL, OpenTrans, Apertum, ...) are distributed as
+// XSD; this package is the bridge from those files to the schema.Schema
+// tree model. Recursive type references are cut off at a configurable
+// depth, mirroring how COMA++ unfolds recursive schemas.
+package xsd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xmatch/internal/schema"
+)
+
+// Options configure XSD import.
+type Options struct {
+	// MaxDepth bounds the unfolding of nested/recursive types.
+	// Defaults to 32.
+	MaxDepth int
+	// Root selects the global element to use as the schema root; empty
+	// selects the first global element declaration.
+	Root string
+}
+
+// xsdElement mirrors the parts of an <xs:element> we consume.
+type xsdElement struct {
+	Name     string      `xml:"name,attr"`
+	Ref      string      `xml:"ref,attr"`
+	Type     string      `xml:"type,attr"`
+	Complex  *xsdComplex `xml:"complexType"`
+	MinOccur string      `xml:"minOccurs,attr"`
+	MaxOccur string      `xml:"maxOccurs,attr"`
+}
+
+// xsdComplex mirrors <xs:complexType>.
+type xsdComplex struct {
+	Name     string         `xml:"name,attr"`
+	Sequence *xsdCompositor `xml:"sequence"`
+	Choice   *xsdCompositor `xml:"choice"`
+	All      *xsdCompositor `xml:"all"`
+}
+
+// xsdCompositor mirrors xs:sequence / xs:choice / xs:all.
+type xsdCompositor struct {
+	Elements []xsdElement    `xml:"element"`
+	Nested   []xsdCompositor `xml:"sequence"`
+	Choices  []xsdCompositor `xml:"choice"`
+}
+
+// xsdSchema mirrors the document root <xs:schema>.
+type xsdSchema struct {
+	Elements []xsdElement `xml:"element"`
+	Types    []xsdComplex `xml:"complexType"`
+}
+
+// Parse reads an XSD document and unfolds it into a schema named name.
+func Parse(name string, r io.Reader, opts Options) (*schema.Schema, error) {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 32
+	}
+	var doc xsdSchema
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xsd: parse: %w", err)
+	}
+	if len(doc.Elements) == 0 {
+		return nil, fmt.Errorf("xsd: no global element declarations")
+	}
+	byName := map[string]*xsdElement{}
+	for i := range doc.Elements {
+		e := &doc.Elements[i]
+		if e.Name != "" {
+			byName[e.Name] = e
+		}
+	}
+	typeByName := map[string]*xsdComplex{}
+	for i := range doc.Types {
+		t := &doc.Types[i]
+		if t.Name != "" {
+			typeByName[t.Name] = t
+		}
+	}
+	rootDecl := &doc.Elements[0]
+	if opts.Root != "" {
+		rootDecl = byName[opts.Root]
+		if rootDecl == nil {
+			return nil, fmt.Errorf("xsd: root element %q not declared", opts.Root)
+		}
+	}
+	b := schema.NewBuilder(name, rootDecl.Name)
+	u := &unfolder{byName: byName, typeByName: typeByName, maxDepth: opts.MaxDepth}
+	if err := u.children(b.Root, rootDecl, 0); err != nil {
+		return nil, err
+	}
+	return b.Freeze(), nil
+}
+
+// ParseString parses an XSD document from a string.
+func ParseString(name, s string, opts Options) (*schema.Schema, error) {
+	return Parse(name, strings.NewReader(s), opts)
+}
+
+type unfolder struct {
+	byName     map[string]*xsdElement
+	typeByName map[string]*xsdComplex
+	maxDepth   int
+}
+
+// children expands decl's content model under parent.
+func (u *unfolder) children(parent *schema.Element, decl *xsdElement, depth int) error {
+	if depth > u.maxDepth {
+		return nil // recursion cut-off
+	}
+	var ct *xsdComplex
+	switch {
+	case decl.Complex != nil:
+		ct = decl.Complex
+	case decl.Type != "":
+		ct = u.typeByName[stripPrefix(decl.Type)]
+		// Unknown or simple types (xs:string etc.) yield leaves.
+	}
+	if ct == nil {
+		return nil
+	}
+	for _, comp := range []*xsdCompositor{ct.Sequence, ct.Choice, ct.All} {
+		if comp == nil {
+			continue
+		}
+		if err := u.compositor(parent, comp, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *unfolder) compositor(parent *schema.Element, comp *xsdCompositor, depth int) error {
+	for i := range comp.Elements {
+		el := &comp.Elements[i]
+		decl := el
+		if el.Ref != "" {
+			ref := u.byName[stripPrefix(el.Ref)]
+			if ref == nil {
+				return fmt.Errorf("xsd: unresolved element ref %q", el.Ref)
+			}
+			decl = ref
+		}
+		if decl.Name == "" {
+			return fmt.Errorf("xsd: element without name or ref under %s", parent.Name)
+		}
+		if hasChildNamed(parent, decl.Name) {
+			// Repeated declarations (e.g. via maxOccurs or duplicated
+			// refs) collapse to one child: schema trees model element
+			// kinds, not instances.
+			continue
+		}
+		child := parent.AddChild(decl.Name)
+		if err := u.children(child, decl, depth+1); err != nil {
+			return err
+		}
+	}
+	for i := range comp.Nested {
+		if err := u.compositor(parent, &comp.Nested[i], depth); err != nil {
+			return err
+		}
+	}
+	for i := range comp.Choices {
+		if err := u.compositor(parent, &comp.Choices[i], depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hasChildNamed(e *schema.Element, name string) bool {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func stripPrefix(s string) string {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// Write exports a schema as an XSD document with nested anonymous complex
+// types, the inverse of Parse for tree-shaped schemas.
+func Write(w io.Writer, s *schema.Schema) error {
+	if _, err := fmt.Fprintf(w, "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n"); err != nil {
+		return err
+	}
+	var writeElem func(e *schema.Element, indent string) error
+	writeElem = func(e *schema.Element, indent string) error {
+		if e.IsLeaf() {
+			_, err := fmt.Fprintf(w, "%s<xs:element name=%q type=\"xs:string\"/>\n", indent, e.Name)
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s<xs:element name=%q>\n%s  <xs:complexType>\n%s    <xs:sequence>\n",
+			indent, e.Name, indent, indent); err != nil {
+			return err
+		}
+		for _, c := range e.Children {
+			if err := writeElem(c, indent+"      "); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s    </xs:sequence>\n%s  </xs:complexType>\n%s</xs:element>\n",
+			indent, indent, indent)
+		return err
+	}
+	if err := writeElem(s.Root, "  "); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "</xs:schema>\n")
+	return err
+}
+
+// Marshal returns the XSD serialization of a schema.
+func Marshal(s *schema.Schema) string {
+	var b strings.Builder
+	if err := Write(&b, s); err != nil {
+		return ""
+	}
+	return b.String()
+}
