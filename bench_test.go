@@ -6,12 +6,14 @@ package xmatch_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"xmatch/internal/assignment"
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
+	"xmatch/internal/engine"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
 	"xmatch/internal/twig"
@@ -382,6 +384,117 @@ func BenchmarkAblationIntersectionPruning(b *testing.B) {
 			if _, err := core.Build(set, core.Options{Tau: 0.5, NoIntersectionPruning: true}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// Paired sequential-vs-parallel PTQ benchmarks on the largest generated
+// mapping set (|M|=500). Compare seq vs par sub-benchmarks to read the
+// speedup; par uses every available CPU through internal/engine, so on a
+// single-core machine the pair measures the engine's orchestration overhead
+// instead.
+
+// BenchmarkPTQBasic pairs core.EvaluateBasic with the engine's parallel
+// Algorithm 3.
+func BenchmarkPTQBasic(b *testing.B) {
+	setup(b)
+	set := fixSets[500]
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.EvaluateBasic(q, set, fixDoc)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		for i := 0; i < b.N; i++ {
+			_ = eng.EvaluateBasic(q, set, fixDoc)
+		}
+	})
+}
+
+// BenchmarkPTQCompact pairs core.Evaluate with the engine's parallel
+// Algorithm 4 (block-tree evaluation).
+func BenchmarkPTQCompact(b *testing.B) {
+	setup(b)
+	set := fixSets[500]
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.Evaluate(q, set, fixDoc, bt)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		for i := 0; i < b.N; i++ {
+			_ = eng.Evaluate(q, set, fixDoc, bt)
+		}
+	})
+}
+
+// BenchmarkPTQTopK pairs core.EvaluateTopK with the engine's parallel top-k
+// evaluation at k = |M|/10.
+func BenchmarkPTQTopK(b *testing.B) {
+	setup(b)
+	set := fixSets[500]
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 50
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.EvaluateTopK(q, set, fixDoc, bt, k)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		for i := 0; i < b.N; i++ {
+			_ = eng.EvaluateTopK(q, set, fixDoc, bt, k)
+		}
+	})
+}
+
+// BenchmarkPTQBatch measures the batched multi-query API over the full
+// Table III workload: cold (fresh engine, every pattern parsed) vs warm
+// (prepared-query cache hits).
+func BenchmarkPTQBatch(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]engine.Request, len(dataset.Queries()))
+	for i, spec := range dataset.Queries() {
+		reqs[i] = engine.Request{Pattern: spec.Text}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+			_ = eng.EvaluateBatch(set, fixDoc, bt, reqs)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		_ = eng.EvaluateBatch(set, fixDoc, bt, reqs) // populate the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = eng.EvaluateBatch(set, fixDoc, bt, reqs)
 		}
 	})
 }

@@ -7,8 +7,12 @@
 //
 //	xmatch stats    -d D7                 # matching + block-tree statistics
 //	xmatch mappings -d D7 -n 10           # show the 10 most probable mappings
-//	xmatch query    -d D7 -q 'Order/DeliverTo/Contact/EMail' [-k 10]
+//	xmatch query    -d D7 -q 'Order/DeliverTo/Contact/EMail' [-k 10] [-workers 8]
+//	xmatch query    -d D7 -q 'Order//EMail; Order//Quantity'  # batched queries
 //	xmatch match    -src a.spec -tgt b.spec   # run the COMA-style matcher
+//
+// Queries run on the concurrent engine of internal/engine; -workers bounds
+// its pool (0 = all cores) and -parallel=false forces sequential evaluation.
 //
 // Schema spec files use the indentation format of schema.ParseSpec.
 package main
@@ -17,10 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
+	"xmatch/internal/engine"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
 	"xmatch/internal/matcher"
@@ -59,7 +65,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|match> [flags]
   stats    -d <D1..D10>                     matching and block-tree statistics
   mappings -d <D1..D10> [-n 10] [-m 100]    most probable mappings
-  query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k)
+  query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k);
+           [-workers N] [-parallel=false]   ';'-separated twigs run as a batch
   keywords -d <D1..D10> -w "a,b,c"          probabilistic keyword query
   match    -src <spec> -tgt <spec>          run the built-in matcher
            (files ending in .xsd are parsed as XML Schema)`)
@@ -155,12 +162,21 @@ func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	id := fs.String("d", "D7", "dataset ID")
 	m := fs.Int("m", 100, "number of possible mappings")
-	qtext := fs.String("q", "", "twig query on the target schema (required)")
+	qtext := fs.String("q", "", "twig query on the target schema; repeatable via ';' for a batch (required)")
 	k := fs.Int("k", 0, "top-k PTQ; 0 evaluates all mappings")
 	docNodes := fs.Int("doc", 3473, "source document size")
+	workers := fs.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = sequential)")
+	parallel := fs.Bool("parallel", true, "enable parallel evaluation (-parallel=false forces sequential)")
 	fs.Parse(args)
 	if *qtext == "" {
 		return fmt.Errorf("query: -q is required")
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if !*parallel {
+		w = 1
 	}
 
 	_, set, err := loadSet(*id, *m)
@@ -173,17 +189,50 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	q, err := core.PrepareQuery(*qtext, set)
+	eng := engine.New(engine.Options{Workers: w})
+	var queries []string
+	for _, text := range strings.Split(*qtext, ";") {
+		if text = strings.TrimSpace(text); text != "" {
+			queries = append(queries, text)
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("query: -q holds no query text")
+	}
+	if len(queries) > 1 {
+		// Batch: answer every query concurrently under one worker budget.
+		reqs := make([]engine.Request, len(queries))
+		for i, text := range queries {
+			reqs[i] = engine.Request{Pattern: text, K: *k}
+		}
+		for _, resp := range eng.EvaluateBatch(set, doc, bt, reqs) {
+			if resp.Err != nil {
+				return fmt.Errorf("query %s: %w", resp.Pattern, resp.Err)
+			}
+			q, err := eng.Prepare(resp.Pattern, set)
+			if err != nil {
+				return fmt.Errorf("query %s: %w", resp.Pattern, err)
+			}
+			printAnswers(resp.Pattern, q, resp.Results)
+		}
+		return nil
+	}
+	q, err := eng.Prepare(queries[0], set)
 	if err != nil {
 		return err
 	}
 	var results []core.Result
 	if *k > 0 {
-		results = core.EvaluateTopK(q, set, doc, bt, *k)
+		results = eng.EvaluateTopK(q, set, doc, bt, *k)
 	} else {
-		results = core.Evaluate(q, set, doc, bt)
+		results = eng.Evaluate(q, set, doc, bt)
 	}
-	fmt.Printf("query %s: %d relevant mapping(s)\n", *qtext, len(results))
+	printAnswers(queries[0], q, results)
+	return nil
+}
+
+func printAnswers(text string, q *core.Query, results []core.Result) {
+	fmt.Printf("query %s: %d relevant mapping(s)\n", text, len(results))
 	leaf := q.Pattern.Nodes()[q.Pattern.Size()-1]
 	answers := core.AggregateByNode(results, leaf)
 	for _, a := range answers {
@@ -196,7 +245,6 @@ func runQuery(args []string) error {
 		}
 		fmt.Printf("  p=%.4f  %s%s\n", a.Prob, strings.Join(vals, ", "), suffix)
 	}
-	return nil
 }
 
 func runMatch(args []string) error {

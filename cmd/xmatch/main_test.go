@@ -61,6 +61,34 @@ func TestCLISmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("query-parallel", func(t *testing.T) {
+		// -workers and sequential fallback must print the same answers.
+		par, err := run(t, bin, "query", "-d", "D7", "-m", "20", "-doc", "1200",
+			"-workers", "8", "-q", "Order/DeliverTo/Contact/EMail")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, par)
+		}
+		seq, err := run(t, bin, "query", "-d", "D7", "-m", "20", "-doc", "1200",
+			"-parallel=false", "-q", "Order/DeliverTo/Contact/EMail")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, seq)
+		}
+		if par != seq {
+			t.Errorf("parallel and sequential output differ:\n--- parallel\n%s--- sequential\n%s", par, seq)
+		}
+	})
+
+	t.Run("query-batch", func(t *testing.T) {
+		out, err := run(t, bin, "query", "-d", "D7", "-m", "20", "-doc", "1200",
+			"-q", "Order/DeliverTo/Contact/EMail; Order/POLine/Quantity")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if n := strings.Count(out, "relevant mapping(s)"); n != 2 {
+			t.Errorf("batch answered %d queries, want 2:\n%s", n, out)
+		}
+	})
+
 	t.Run("keywords", func(t *testing.T) {
 		out, err := run(t, bin, "keywords", "-d", "D7", "-m", "20", "-doc", "1200", "-w", "Street,City")
 		if err != nil {

@@ -6,7 +6,11 @@
 // evaluation, including top-k PTQ.
 //
 // The implementation lives under internal/ (see DESIGN.md for the module
-// map); cmd/experiments regenerates every table and figure of the paper's
-// evaluation, and bench_test.go in this package provides testing.B
-// benchmarks mirroring each experiment.
+// map and the engine architecture); internal/engine wraps the sequential
+// evaluators of internal/core in a concurrent engine — worker pool, batched
+// multi-query API, prepared-query cache — that returns byte-identical
+// results at any worker count. cmd/experiments regenerates every table and
+// figure of the paper's evaluation plus an engine scalability experiment,
+// and bench_test.go in this package provides testing.B benchmarks mirroring
+// each experiment, including paired sequential-vs-parallel PTQ benchmarks.
 package xmatch

@@ -1,0 +1,3 @@
+module xmatch
+
+go 1.24

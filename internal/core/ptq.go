@@ -58,19 +58,28 @@ type Result struct {
 // source-schema paths and matches it against the document. Results are
 // ordered by mapping index.
 func EvaluateBasic(q *Query, set *mapping.Set, doc *xmltree.Document) []Result {
-	results := newResultMerger(set)
+	results := NewResultMerger(set)
 	for _, emb := range q.Embeddings {
-		relevant := filterMappings(set, emb)
+		relevant := FilterMappings(set, emb)
 		for _, mi := range relevant {
-			binding, ok := rewriteFull(q, emb, set.Mappings[mi])
-			if !ok {
-				results.add(mi, nil)
-				continue
-			}
-			results.add(mi, twig.MatchByPaths(doc, q.Pattern.Root, binding))
+			results.Add(mi, EvaluateBasicMapping(q, emb, mi, set, doc))
 		}
 	}
-	return results.finish()
+	return results.Finish()
+}
+
+// EvaluateBasicMapping is the per-mapping unit of work of Algorithm 3: it
+// rewrites the embedded query through mapping mi into source-schema paths and
+// matches it against the document. It returns nil when the rewritten paths
+// cannot nest (the mapping yields no matches). Mappings are evaluated
+// completely independently, which makes this the natural grain for parallel
+// basic PTQ answering (internal/engine).
+func EvaluateBasicMapping(q *Query, emb twig.Embedding, mi int, set *mapping.Set, doc *xmltree.Document) []twig.Match {
+	binding, ok := rewriteFull(q, emb, set.Mappings[mi])
+	if !ok {
+		return nil
+	}
+	return twig.MatchByPaths(doc, q.Pattern.Root, binding)
 }
 
 // Evaluate answers the PTQ with Algorithm 4 (twig_query_tree): query
@@ -80,22 +89,36 @@ func EvaluateBasic(q *Query, set *mapping.Set, doc *xmltree.Document) []Result {
 // child subqueries, which are evaluated recursively and recombined with
 // structural joins.
 func Evaluate(q *Query, set *mapping.Set, doc *xmltree.Document, bt *BlockTree) []Result {
-	results := newResultMerger(set)
+	results := NewResultMerger(set)
 	for _, emb := range q.Embeddings {
-		relevant := filterMappings(set, emb)
+		relevant := FilterMappings(set, emb)
 		if len(relevant) == 0 {
 			continue
 		}
-		relevantSet := mapping.NewIDSet(set.Len())
-		for _, mi := range relevant {
-			relevantSet.Add(mi)
-		}
-		perMapping := evalTree(q, emb, q.Pattern.Root, set, doc, bt, relevant, relevantSet, &evalCache{matches: map[string][]twig.Match{}})
-		for mi, matches := range perMapping {
-			results.add(mi, matches)
+		for mi, matches := range EvaluateSubset(q, emb, set, doc, bt, relevant) {
+			results.Add(mi, matches)
 		}
 	}
-	return results.finish()
+	return results.Finish()
+}
+
+// EvaluateSubset runs Algorithm 4 for one embedding restricted to the given
+// subset of relevant mapping indices, returning matches per mapping index.
+// Because every mapping's matches depend only on the mapping itself and on
+// the c-blocks containing it — never on the other relevant mappings — the
+// per-mapping output is identical whether the relevant set is evaluated in
+// one call or partitioned across several. That independence is what lets
+// internal/engine split the relevant mappings into chunks and evaluate the
+// chunks concurrently, each with its own memoization cache.
+func EvaluateSubset(q *Query, emb twig.Embedding, set *mapping.Set, doc *xmltree.Document, bt *BlockTree, relevant []int) map[int][]twig.Match {
+	if len(relevant) == 0 {
+		return nil
+	}
+	relevantSet := mapping.NewIDSet(set.Len())
+	for _, mi := range relevant {
+		relevantSet.Add(mi)
+	}
+	return evalTree(q, emb, q.Pattern.Root, set, doc, bt, relevant, relevantSet, &evalCache{matches: map[string][]twig.Match{}})
 }
 
 // EvaluateTopK answers the top-k PTQ (Definition 5): only the k relevant
@@ -106,12 +129,36 @@ func EvaluateTopK(q *Query, set *mapping.Set, doc *xmltree.Document, bt *BlockTr
 	if k <= 0 {
 		return nil
 	}
-	// Union of relevant mappings across embeddings, then keep the k most
-	// probable; mapping sets are ordered by non-increasing probability,
-	// so ascending index order is descending probability order.
+	keepSet, all := TopKMappings(q, set, k)
+	if all {
+		// Every relevant mapping is kept: the top-k PTQ degenerates to
+		// the plain PTQ.
+		return Evaluate(q, set, doc, bt)
+	}
+	results := NewResultMerger(set)
+	for _, emb := range q.Embeddings {
+		var relevant []int
+		for _, mi := range FilterMappings(set, emb) {
+			if keepSet[mi] {
+				relevant = append(relevant, mi)
+			}
+		}
+		for mi, matches := range EvaluateSubset(q, emb, set, doc, bt, relevant) {
+			results.Add(mi, matches)
+		}
+	}
+	return results.Finish()
+}
+
+// TopKMappings computes the mapping selection of the top-k PTQ: the union of
+// relevant mappings across the query's embeddings, truncated to the k most
+// probable (ties broken by mapping index). When k covers every relevant
+// mapping it returns all=true and a nil set — the caller should fall back to
+// the plain PTQ.
+func TopKMappings(q *Query, set *mapping.Set, k int) (keepSet map[int]bool, all bool) {
 	relevantUnion := map[int]bool{}
 	for _, emb := range q.Embeddings {
-		for _, mi := range filterMappings(set, emb) {
+		for _, mi := range FilterMappings(set, emb) {
 			relevantUnion[mi] = true
 		}
 	}
@@ -120,9 +167,7 @@ func EvaluateTopK(q *Query, set *mapping.Set, doc *xmltree.Document, bt *BlockTr
 		keep = append(keep, mi)
 	}
 	if k >= len(keep) {
-		// Every relevant mapping is kept: the top-k PTQ degenerates to
-		// the plain PTQ.
-		return Evaluate(q, set, doc, bt)
+		return nil, true
 	}
 	sort.Slice(keep, func(i, j int) bool {
 		a, b := set.Mappings[keep[i]], set.Mappings[keep[j]]
@@ -131,41 +176,18 @@ func EvaluateTopK(q *Query, set *mapping.Set, doc *xmltree.Document, bt *BlockTr
 		}
 		return keep[i] < keep[j]
 	})
-	if len(keep) > k {
-		keep = keep[:k]
-	}
-	keepSet := map[int]bool{}
+	keep = keep[:k]
+	keepSet = map[int]bool{}
 	for _, mi := range keep {
 		keepSet[mi] = true
 	}
-
-	results := newResultMerger(set)
-	for _, emb := range q.Embeddings {
-		var relevant []int
-		for _, mi := range filterMappings(set, emb) {
-			if keepSet[mi] {
-				relevant = append(relevant, mi)
-			}
-		}
-		if len(relevant) == 0 {
-			continue
-		}
-		relevantSet := mapping.NewIDSet(set.Len())
-		for _, mi := range relevant {
-			relevantSet.Add(mi)
-		}
-		perMapping := evalTree(q, emb, q.Pattern.Root, set, doc, bt, relevant, relevantSet, &evalCache{matches: map[string][]twig.Match{}})
-		for mi, matches := range perMapping {
-			results.add(mi, matches)
-		}
-	}
-	return results.finish()
+	return keepSet, false
 }
 
-// filterMappings returns the indices of the mappings relevant to the
+// FilterMappings returns the indices of the mappings relevant to the
 // embedded query: those with a correspondence for every query node's target
 // element (function filter_mappings of Algorithm 3).
-func filterMappings(set *mapping.Set, emb twig.Embedding) []int {
+func FilterMappings(set *mapping.Set, emb twig.Embedding) []int {
 	var out []int
 	for mi, m := range set.Mappings {
 		if m.Covers(emb) {
@@ -388,23 +410,31 @@ func matchSubtreeWithMapping(q *Query, emb twig.Embedding, qn *twig.Node, m *map
 	return twig.MatchByPaths(doc, qn, binding)
 }
 
-// resultMerger accumulates per-mapping matches across embeddings,
-// deduplicating matches by canonical key.
-type resultMerger struct {
+// ResultMerger accumulates per-mapping matches across embeddings,
+// deduplicating matches by canonical key. Adding nil matches still registers
+// the mapping, so relevant mappings with empty answers appear in the final
+// results. It is not safe for concurrent use; parallel callers must merge
+// their per-chunk outputs through a single ResultMerger in a deterministic
+// order (per mapping, chunk outputs are disjoint, so only the relative order
+// of embeddings matters for match ordering).
+type ResultMerger struct {
 	set     *mapping.Set
 	matches map[int][]twig.Match
 	seen    map[int]map[string]bool
 }
 
-func newResultMerger(set *mapping.Set) *resultMerger {
-	return &resultMerger{
+// NewResultMerger returns an empty merger for the mapping set.
+func NewResultMerger(set *mapping.Set) *ResultMerger {
+	return &ResultMerger{
 		set:     set,
 		matches: make(map[int][]twig.Match),
 		seen:    make(map[int]map[string]bool),
 	}
 }
 
-func (r *resultMerger) add(mi int, matches []twig.Match) {
+// Add records the matches of mapping mi, dropping duplicates of matches
+// already recorded for mi.
+func (r *ResultMerger) Add(mi int, matches []twig.Match) {
 	if _, ok := r.matches[mi]; !ok {
 		r.matches[mi] = nil
 		r.seen[mi] = make(map[string]bool)
@@ -419,7 +449,8 @@ func (r *resultMerger) add(mi int, matches []twig.Match) {
 	}
 }
 
-func (r *resultMerger) finish() []Result {
+// Finish returns the accumulated results ordered by mapping index.
+func (r *ResultMerger) Finish() []Result {
 	ids := make([]int, 0, len(r.matches))
 	for mi := range r.matches {
 		ids = append(ids, mi)

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"xmatch/internal/core"
+	"xmatch/internal/mapping"
+)
+
+// cacheKey identifies a prepared query: the pattern text together with the
+// identity of the mapping set it was prepared against. Identity (pointer
+// equality) is the right notion because a Query resolves element IDs of the
+// set's target schema and keeps a reference to the set; preparing the same
+// text against a different set must yield a different entry.
+type cacheKey struct {
+	set     *mapping.Set
+	pattern string
+}
+
+// CacheStats is a snapshot of the prepared-query cache counters. Hits plus
+// Misses equals the number of Prepare calls that reached the cache lookup;
+// a Prepare whose parse/resolve fails counts as a miss every time, since
+// failures are not cached.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	// Entries is the current number of cached queries.
+	Entries int
+}
+
+// queryCache is a mutex-guarded LRU of prepared queries. The lock is held
+// across lookup and insert bookkeeping only, never across PrepareQuery, so
+// concurrent misses on the same key may both parse; the loser of the insert
+// race adopts the winner's entry, keeping one canonical *core.Query per key.
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*list.Element
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	st       CacheStats
+}
+
+type cacheEntry struct {
+	key cacheKey
+	q   *core.Query
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity == 0 {
+		capacity = DefaultCacheCapacity
+	}
+	if capacity < 0 {
+		capacity = 0 // caching disabled: everything misses, nothing stored
+	}
+	return &queryCache{
+		capacity: capacity,
+		entries:  make(map[cacheKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func (c *queryCache) get(pattern string, set *mapping.Set) (*core.Query, bool) {
+	key := cacheKey{set: set, pattern: pattern}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.st.Hits++
+		return el.Value.(*cacheEntry).q, true
+	}
+	c.st.Misses++
+	return nil, false
+}
+
+// put inserts a freshly prepared query and returns the canonical query for
+// the key — the argument itself, or the entry a concurrent caller inserted
+// first.
+func (c *queryCache) put(pattern string, set *mapping.Set, q *core.Query) *core.Query {
+	if c.capacity == 0 {
+		return q
+	}
+	key := cacheKey{set: set, pattern: pattern}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).q
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, q: q})
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.st.Evictions++
+	}
+	return q
+}
+
+func (c *queryCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.st
+	st.Entries = c.lru.Len()
+	return st
+}

@@ -1,0 +1,274 @@
+// Package engine provides a concurrent PTQ evaluation engine on top of
+// internal/core: a bounded worker pool parallelizes per-mapping work in basic
+// PTQ answering (Algorithm 3) and per-chunk subtree work in block-tree PTQ
+// and top-k PTQ answering (Algorithm 4), a batched multi-query API evaluates
+// independent queries concurrently, and a prepared-query LRU cache (keyed by
+// pattern text and mapping-set identity) lets repeated queries skip the
+// parse/resolve step of PrepareQuery.
+//
+// The engine is a pure orchestration layer: every algorithmic decision stays
+// in internal/core, and for any worker count the engine returns results
+// byte-identical to the sequential core evaluators — same mapping order,
+// same match order, same probabilities (see the differential tests).
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"xmatch/internal/core"
+	"xmatch/internal/mapping"
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the maximum number of goroutines evaluating concurrently,
+	// shared across every Evaluate*/EvaluateBatch call on the engine
+	// (nested parallelism never exceeds it). Workers <= 1 — including the
+	// zero value and negative values — disables parallelism: the engine
+	// delegates straight to the sequential core evaluators.
+	Workers int
+	// CacheCapacity bounds the prepared-query cache (LRU eviction).
+	// 0 means DefaultCacheCapacity; negative disables caching. Cached
+	// queries keep their mapping set (and its schemas) reachable until
+	// evicted, so a long-lived engine serving many short-lived sets
+	// should use a small capacity or disable caching.
+	CacheCapacity int
+}
+
+// DefaultCacheCapacity is the prepared-query cache capacity when Options
+// leaves it zero.
+const DefaultCacheCapacity = 256
+
+// DefaultOptions returns an engine configuration using every available CPU
+// and the default cache capacity.
+func DefaultOptions() Options {
+	return Options{Workers: runtime.GOMAXPROCS(0), CacheCapacity: DefaultCacheCapacity}
+}
+
+// Engine evaluates probabilistic twig queries concurrently. It is safe for
+// concurrent use: any number of goroutines may share one engine (and hence
+// one prepared-query cache and one worker budget).
+type Engine struct {
+	workers int
+	sem     chan struct{} // workers-1 slots; the calling goroutine is the extra worker
+	cache   *queryCache
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	e := &Engine{workers: w, cache: newQueryCache(opts.CacheCapacity)}
+	if w > 1 {
+		e.sem = make(chan struct{}, w-1)
+	}
+	return e
+}
+
+// Workers returns the effective worker count (at least 1).
+func (e *Engine) Workers() int { return e.workers }
+
+// Prepare returns a prepared query for the pattern against the mapping set,
+// consulting the cache first. Cache entries are keyed by the pattern text
+// together with the identity of the mapping set, so the same pattern prepared
+// against two different sets occupies two entries. Failed preparations are
+// not cached.
+func (e *Engine) Prepare(pattern string, set *mapping.Set) (*core.Query, error) {
+	if q, ok := e.cache.get(pattern, set); ok {
+		return q, nil
+	}
+	q, err := core.PrepareQuery(pattern, set)
+	if err != nil {
+		return nil, err
+	}
+	return e.cache.put(pattern, set, q), nil
+}
+
+// CacheStats returns a snapshot of the prepared-query cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// EvaluateBasic answers the PTQ with a parallel Algorithm 3: the relevant
+// mappings of each embedding are split into contiguous chunks evaluated
+// concurrently, then merged in mapping order. Results are identical to
+// core.EvaluateBasic.
+func (e *Engine) EvaluateBasic(q *core.Query, set *mapping.Set, doc *xmltree.Document) []core.Result {
+	if e.workers <= 1 {
+		return core.EvaluateBasic(q, set, doc)
+	}
+	results := core.NewResultMerger(set)
+	for _, emb := range q.Embeddings {
+		relevant := core.FilterMappings(set, emb)
+		matches := make([][]twig.Match, len(relevant))
+		// Per-mapping tasks are small, so over-chunk 4x for balance.
+		e.parallelRanges(len(relevant), 4*e.workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				matches[i] = core.EvaluateBasicMapping(q, emb, relevant[i], set, doc)
+			}
+		})
+		for i, mi := range relevant {
+			results.Add(mi, matches[i])
+		}
+	}
+	return results.Finish()
+}
+
+// Evaluate answers the PTQ with a parallel Algorithm 4: the relevant
+// mappings of each embedding are split into one chunk per worker, each chunk
+// runs the block-tree evaluation independently (block results and memoized
+// subtree evaluations are shared within a chunk), and the per-mapping
+// outputs — which are disjoint across chunks — are merged. Results are
+// identical to core.Evaluate.
+func (e *Engine) Evaluate(q *core.Query, set *mapping.Set, doc *xmltree.Document, bt *core.BlockTree) []core.Result {
+	if e.workers <= 1 {
+		return core.Evaluate(q, set, doc, bt)
+	}
+	results := core.NewResultMerger(set)
+	for _, emb := range q.Embeddings {
+		e.evalSubsetChunked(q, emb, set, doc, bt, core.FilterMappings(set, emb), results)
+	}
+	return results.Finish()
+}
+
+// EvaluateTopK answers the top-k PTQ, parallelized like Evaluate over the k
+// most probable relevant mappings. Results are identical to
+// core.EvaluateTopK.
+func (e *Engine) EvaluateTopK(q *core.Query, set *mapping.Set, doc *xmltree.Document, bt *core.BlockTree, k int) []core.Result {
+	if e.workers <= 1 {
+		return core.EvaluateTopK(q, set, doc, bt, k)
+	}
+	if k <= 0 {
+		return nil
+	}
+	keepSet, all := core.TopKMappings(q, set, k)
+	if all {
+		return e.Evaluate(q, set, doc, bt)
+	}
+	results := core.NewResultMerger(set)
+	for _, emb := range q.Embeddings {
+		var relevant []int
+		for _, mi := range core.FilterMappings(set, emb) {
+			if keepSet[mi] {
+				relevant = append(relevant, mi)
+			}
+		}
+		e.evalSubsetChunked(q, emb, set, doc, bt, relevant, results)
+	}
+	return results.Finish()
+}
+
+// evalSubsetChunked evaluates one embedding's relevant mappings with
+// core.EvaluateSubset across worker-count chunks and merges the chunk
+// outputs. Chunks are coarse (one per worker) because each chunk amortizes
+// its own block evaluations and memoization cache; the merge order across
+// chunks is irrelevant to the final output because chunk outputs key
+// disjoint mapping indices and ResultMerger orders by mapping index.
+func (e *Engine) evalSubsetChunked(q *core.Query, emb twig.Embedding, set *mapping.Set,
+	doc *xmltree.Document, bt *core.BlockTree, relevant []int, results *core.ResultMerger) {
+
+	if len(relevant) == 0 {
+		return
+	}
+	chunks := make([]map[int][]twig.Match, min(e.workers, len(relevant)))
+	e.parallelRanges(len(relevant), len(chunks), func(part, lo, hi int) {
+		chunks[part] = core.EvaluateSubset(q, emb, set, doc, bt, relevant[lo:hi])
+	})
+	for _, pm := range chunks {
+		for mi, matches := range pm {
+			results.Add(mi, matches)
+		}
+	}
+}
+
+// Request is one query of a batch.
+type Request struct {
+	// Pattern is the twig pattern text on the target schema.
+	Pattern string
+	// K truncates to the top-k PTQ when positive; 0 evaluates all
+	// mappings.
+	K int
+}
+
+// Response is the answer to one batch request, in request order.
+type Response struct {
+	Request
+	Results []core.Result
+	Err     error
+}
+
+// EvaluateBatch answers many queries over one mapping set, document, and
+// block tree, evaluating the requests concurrently under the engine's shared
+// worker budget. Each request is prepared through the cache, so a batch with
+// repeated patterns parses each distinct pattern once. A nil block tree
+// makes every request fall back to basic evaluation over all mappings
+// (top-k evaluation requires the block tree, so K is ignored then).
+func (e *Engine) EvaluateBatch(set *mapping.Set, doc *xmltree.Document, bt *core.BlockTree, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	e.parallelRanges(len(reqs), len(reqs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = e.answer(set, doc, bt, reqs[i])
+		}
+	})
+	return out
+}
+
+func (e *Engine) answer(set *mapping.Set, doc *xmltree.Document, bt *core.BlockTree, req Request) Response {
+	q, err := e.Prepare(req.Pattern, set)
+	if err != nil {
+		return Response{Request: req, Err: err}
+	}
+	var results []core.Result
+	switch {
+	case bt == nil:
+		results = e.EvaluateBasic(q, set, doc)
+	case req.K > 0:
+		results = e.EvaluateTopK(q, set, doc, bt, req.K)
+	default:
+		results = e.Evaluate(q, set, doc, bt)
+	}
+	return Response{Request: req, Results: results}
+}
+
+// parallelRanges splits [0, n) into at most parts contiguous ranges and runs
+// fn on each. Ranges beyond the first run on pool goroutines when a worker
+// slot is free and inline on the calling goroutine otherwise, so concurrency
+// never exceeds the engine's worker budget and nested calls (a batch whose
+// requests each parallelize their evaluation) cannot deadlock: a caller that
+// finds the pool exhausted simply does the work itself. fn receives the part
+// index alongside its range; part indices are dense in [0, parts').
+func (e *Engine) parallelRanges(n, parts int, fn func(part, lo, hi int)) {
+	if parts > n {
+		parts = n
+	}
+	if e.workers <= 1 || parts <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		p, lo, hi := p, p*n/parts, (p+1)*n/parts
+		if lo == hi {
+			continue
+		}
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-e.sem
+					wg.Done()
+				}()
+				fn(p, lo, hi)
+			}()
+		default:
+			fn(p, lo, hi)
+		}
+	}
+	wg.Wait()
+}
