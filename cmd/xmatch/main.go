@@ -9,20 +9,29 @@
 //	xmatch mappings -d D7 -n 10           # show the 10 most probable mappings
 //	xmatch query    -d D7 -q 'Order/DeliverTo/Contact/EMail' [-k 10] [-workers 8]
 //	xmatch query    -d D7 -q 'Order//EMail; Order//Quantity'  # batched queries
+//	xmatch query    -remote http://localhost:8777 -d D7 -q 'Order//EMail'
 //	xmatch match    -src a.spec -tgt b.spec   # run the COMA-style matcher
 //
 // Queries run on the concurrent engine of internal/engine; -workers bounds
 // its pool (0 = all cores) and -parallel=false forces sequential evaluation.
+// With -remote the query subcommand becomes a client of the xmatchd daemon
+// (cmd/xmatchd): -d names the daemon's serving dataset, batches go through
+// /v1/batch, and the printed answers match local evaluation exactly.
 //
 // Schema spec files use the indentation format of schema.ParseSpec.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
@@ -31,6 +40,7 @@ import (
 	"xmatch/internal/mapping"
 	"xmatch/internal/matcher"
 	"xmatch/internal/schema"
+	"xmatch/internal/server"
 	"xmatch/internal/xsd"
 )
 
@@ -67,6 +77,7 @@ func usage() {
   mappings -d <D1..D10> [-n 10] [-m 100]    most probable mappings
   query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k);
            [-workers N] [-parallel=false]   ';'-separated twigs run as a batch
+           [-remote http://host:port]       ask a running xmatchd instead
   keywords -d <D1..D10> -w "a,b,c"          probabilistic keyword query
   match    -src <spec> -tgt <spec>          run the built-in matcher
            (files ending in .xsd are parsed as XML Schema)`)
@@ -167,6 +178,7 @@ func runQuery(args []string) error {
 	docNodes := fs.Int("doc", 3473, "source document size")
 	workers := fs.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = sequential)")
 	parallel := fs.Bool("parallel", true, "enable parallel evaluation (-parallel=false forces sequential)")
+	remote := fs.String("remote", "", "xmatchd base URL (e.g. http://localhost:8777); query the daemon's dataset named by -d instead of evaluating locally")
 	fs.Parse(args)
 	if *qtext == "" {
 		return fmt.Errorf("query: -q is required")
@@ -177,6 +189,31 @@ func runQuery(args []string) error {
 	}
 	if !*parallel {
 		w = 1
+	}
+
+	var queries []string
+	for _, text := range strings.Split(*qtext, ";") {
+		if text = strings.TrimSpace(text); text != "" {
+			queries = append(queries, text)
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("query: -q holds no query text")
+	}
+	if *remote != "" {
+		// The daemon's catalog fixes the dataset shape and engine; accepting
+		// these flags would silently answer over a different configuration.
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "m", "doc", "workers", "parallel":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("query: %s only apply to local evaluation; with -remote the daemon's catalog fixes the dataset shape", strings.Join(conflicts, ", "))
+		}
+		return runRemoteQuery(*remote, *id, queries, *k)
 	}
 
 	_, set, err := loadSet(*id, *m)
@@ -190,15 +227,6 @@ func runQuery(args []string) error {
 		return err
 	}
 	eng := engine.New(engine.Options{Workers: w})
-	var queries []string
-	for _, text := range strings.Split(*qtext, ";") {
-		if text = strings.TrimSpace(text); text != "" {
-			queries = append(queries, text)
-		}
-	}
-	if len(queries) == 0 {
-		return fmt.Errorf("query: -q holds no query text")
-	}
 	if len(queries) > 1 {
 		// Batch: answer every query concurrently under one worker budget.
 		reqs := make([]engine.Request, len(queries))
@@ -209,11 +237,7 @@ func runQuery(args []string) error {
 			if resp.Err != nil {
 				return fmt.Errorf("query %s: %w", resp.Pattern, resp.Err)
 			}
-			q, err := eng.Prepare(resp.Pattern, set)
-			if err != nil {
-				return fmt.Errorf("query %s: %w", resp.Pattern, err)
-			}
-			printAnswers(resp.Pattern, q, resp.Results)
+			printAnswers(resp.Pattern, resp.Query, resp.Results)
 		}
 		return nil
 	}
@@ -232,9 +256,13 @@ func runQuery(args []string) error {
 }
 
 func printAnswers(text string, q *core.Query, results []core.Result) {
-	fmt.Printf("query %s: %d relevant mapping(s)\n", text, len(results))
-	leaf := q.Pattern.Nodes()[q.Pattern.Size()-1]
-	answers := core.AggregateByNode(results, leaf)
+	printWireAnswers(text, len(results), core.AnswersToWire(core.AggregateLeaf(q, results)))
+}
+
+// printWireAnswers renders aggregated answers; the local and remote query
+// paths share it, so the CLI output is identical either way.
+func printWireAnswers(text string, nResults int, answers []core.WireAnswer) {
+	fmt.Printf("query %s: %d relevant mapping(s)\n", text, nResults)
 	for _, a := range answers {
 		vals := a.Values
 		const maxShow = 8
@@ -245,6 +273,68 @@ func printAnswers(text string, q *core.Query, results []core.Result) {
 		}
 		fmt.Printf("  p=%.4f  %s%s\n", a.Prob, strings.Join(vals, ", "), suffix)
 	}
+}
+
+// runRemoteQuery answers the queries through a running xmatchd daemon:
+// one query POSTs /v1/query (top-k when -k > 0), several POST one /v1/batch.
+func runRemoteQuery(base, ds string, queries []string, k int) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+	if len(queries) == 1 {
+		req := server.QueryRequest{Dataset: ds, Pattern: queries[0], K: k}
+		if k > 0 {
+			req.Mode = "topk"
+		}
+		var resp server.QueryResponse
+		if err := postJSON(client, base+"/v1/query", req, &resp); err != nil {
+			return err
+		}
+		printWireAnswers(resp.Pattern, len(resp.Results), resp.Answers)
+		return nil
+	}
+	req := server.BatchRequest{Dataset: ds}
+	for _, text := range queries {
+		req.Queries = append(req.Queries, server.BatchQuery{Pattern: text, K: k})
+	}
+	var resp server.BatchResponse
+	if err := postJSON(client, base+"/v1/batch", req, &resp); err != nil {
+		return err
+	}
+	for _, r := range resp.Responses {
+		if r.Error != "" {
+			return fmt.Errorf("query %s: %s", r.Pattern, r.Error)
+		}
+		printWireAnswers(r.Pattern, len(r.Results), r.Answers)
+	}
+	return nil
+}
+
+// postJSON posts in as JSON and decodes the response into out, surfacing
+// the daemon's error message on non-2xx replies.
+func postJSON(client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("remote: %s", e.Error)
+		}
+		return fmt.Errorf("remote: status %s", resp.Status)
+	}
+	return json.Unmarshal(data, out)
 }
 
 func runMatch(args []string) error {

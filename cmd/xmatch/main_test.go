@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"xmatch/internal/engine"
+	"xmatch/internal/server"
+	"xmatch/internal/store"
 )
 
 // buildOnce compiles the xmatch binary into a temp dir shared by the
@@ -125,6 +130,67 @@ func TestCLISmoke(t *testing.T) {
 		if !strings.Contains(out, "ContactName ~ ORDER.CONTACT_NAME") {
 			t.Errorf("match output missing expected correspondence:\n%s", out)
 		}
+	})
+
+	t.Run("remote", func(t *testing.T) {
+		// An in-process xmatchd serving D7 with the same |M|, document
+		// size, and seed (42, as runQuery uses) as the local runs below:
+		// remote output must be byte-identical to local evaluation.
+		man := &store.Catalog{Entries: []store.CatalogEntry{
+			{Name: "D7", Dataset: "D7", Mappings: 20, DocNodes: 1200, DocSeed: 42},
+		}}
+		loader := func() (*server.Catalog, error) {
+			return server.BuildCatalog(man, ".", engine.Options{Workers: 4})
+		}
+		srv, err := server.New(loader, server.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+
+		for _, tc := range []struct {
+			name string
+			args []string
+		}{
+			{"single", []string{"-q", "Order/DeliverTo/Contact/EMail"}},
+			{"topk", []string{"-q", "Order/DeliverTo/Contact/EMail", "-k", "3"}},
+			{"batch", []string{"-q", "Order/DeliverTo/Contact/EMail; Order/POLine/Quantity"}},
+		} {
+			t.Run(tc.name, func(t *testing.T) {
+				local, err := run(t, bin, append([]string{"query", "-d", "D7", "-m", "20", "-doc", "1200"}, tc.args...)...)
+				if err != nil {
+					t.Fatalf("local: %v\n%s", err, local)
+				}
+				remote, err := run(t, bin, append([]string{"query", "-remote", ts.URL, "-d", "D7"}, tc.args...)...)
+				if err != nil {
+					t.Fatalf("remote: %v\n%s", err, remote)
+				}
+				if remote != local {
+					t.Errorf("remote and local output differ:\n--- remote\n%s--- local\n%s", remote, local)
+				}
+			})
+		}
+
+		t.Run("remote-errors", func(t *testing.T) {
+			if out, err := run(t, bin, "query", "-remote", ts.URL, "-d", "nope", "-q", "Order"); err == nil {
+				t.Errorf("unknown remote dataset succeeded:\n%s", out)
+			} else if !strings.Contains(out, "unknown dataset") {
+				t.Errorf("unknown remote dataset error not surfaced:\n%s", out)
+			}
+			if out, err := run(t, bin, "query", "-remote", ts.URL, "-d", "D7", "-q", "[[["); err == nil {
+				t.Errorf("malformed remote pattern succeeded:\n%s", out)
+			}
+			if out, err := run(t, bin, "query", "-remote", "http://127.0.0.1:1", "-d", "D7", "-q", "Order"); err == nil {
+				t.Errorf("unreachable daemon succeeded:\n%s", out)
+			}
+			// Local-only flags must be rejected, not silently ignored.
+			if out, err := run(t, bin, "query", "-remote", ts.URL, "-d", "D7", "-m", "50", "-q", "Order"); err == nil {
+				t.Errorf("-remote with -m succeeded:\n%s", out)
+			} else if !strings.Contains(out, "-m") {
+				t.Errorf("-remote with -m error does not name the flag:\n%s", out)
+			}
+		})
 	})
 
 	t.Run("errors", func(t *testing.T) {

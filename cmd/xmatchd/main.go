@@ -1,0 +1,160 @@
+// Command xmatchd is the PTQ serving daemon: a long-running HTTP/JSON
+// server that owns a multi-tenant catalog of prepared datasets (mapping set
+// + document + block tree + per-dataset engine) and answers probabilistic
+// twig queries over them.
+//
+// Usage:
+//
+//	xmatchd -datasets D1,D7                      # serve built-in workloads
+//	xmatchd -manifest catalog.xm                 # serve a store catalog manifest
+//	xmatchd -datasets D7 -write-manifest c.xm    # author a manifest and exit
+//
+// Endpoints: POST /v1/query, POST /v1/batch, GET /v1/datasets, GET
+// /healthz, GET /statsz, POST /v1/admin/reload (rebuilds the catalog from
+// the manifest — edit the file, hit the endpoint, no restart).
+//
+// Query it with curl or the bundled client:
+//
+//	curl -s localhost:8777/v1/query -d '{"dataset":"D7","pattern":"Order/DeliverTo/Contact/EMail","k":5,"mode":"topk"}'
+//	xmatch query -remote http://localhost:8777 -d D7 -q 'Order//EMail'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"xmatch/internal/engine"
+	"xmatch/internal/server"
+	"xmatch/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8777", "listen address")
+	manifest := flag.String("manifest", "", "store catalog manifest to serve (overrides -datasets)")
+	datasets := flag.String("datasets", "D7", "comma-separated built-in dataset IDs to serve")
+	m := flag.Int("m", server.DefaultMappings, "possible mappings per built-in dataset")
+	docNodes := flag.Int("doc", server.DefaultDocNodes, "document size per built-in dataset")
+	docSeed := flag.Int64("seed", 42, "document generator seed")
+	tau := flag.Float64("tau", 0.2, "block-tree confidence threshold")
+	workers := flag.Int("workers", 0, "worker-pool size per dataset engine (0 = all cores)")
+	reqWorkers := flag.Int("request-workers", 0, "per-request worker budget (0 = half the pool, <0 = sequential)")
+	cache := flag.Int("cache", engine.DefaultCacheCapacity, "prepared-query cache capacity per dataset")
+	writeManifest := flag.String("write-manifest", "", "write the built-in -datasets selection as a manifest file and exit")
+	flag.Parse()
+
+	if err := run(*addr, *manifest, *datasets, *m, *docNodes, *docSeed, *tau,
+		*workers, *reqWorkers, *cache, *writeManifest); err != nil {
+		fmt.Fprintln(os.Stderr, "xmatchd:", err)
+		os.Exit(1)
+	}
+}
+
+// builtinManifest assembles a manifest from a comma-separated ID list.
+func builtinManifest(datasets string, m, docNodes int, docSeed int64, tau float64) (*store.Catalog, error) {
+	var man store.Catalog
+	for _, id := range strings.Split(datasets, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		man.Entries = append(man.Entries, store.CatalogEntry{
+			Name: id, Dataset: id, Mappings: m,
+			DocNodes: docNodes, DocSeed: docSeed, Tau: tau,
+		})
+	}
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	return &man, nil
+}
+
+func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau float64,
+	workers, reqWorkers, cache int, writeManifest string) error {
+
+	eopts := engine.Options{Workers: workers, CacheCapacity: cache}
+
+	// loadManifest re-reads the manifest source on every call, so a reload
+	// after editing the manifest file picks up the changes.
+	loadManifest := func() (*store.Catalog, string, error) {
+		if manifest == "" {
+			man, err := builtinManifest(datasets, m, docNodes, docSeed, tau)
+			return man, ".", err
+		}
+		f, err := os.Open(manifest)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		man, err := store.LoadCatalog(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("manifest %s: %w", manifest, err)
+		}
+		return man, filepath.Dir(manifest), nil
+	}
+
+	if writeManifest != "" {
+		man, err := builtinManifest(datasets, m, docNodes, docSeed, tau)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(writeManifest)
+		if err != nil {
+			return err
+		}
+		if err := store.SaveCatalog(f, man); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote manifest with %d dataset(s) to %s\n", len(man.Entries), writeManifest)
+		return nil
+	}
+
+	loader := func() (*server.Catalog, error) {
+		man, baseDir, err := loadManifest()
+		if err != nil {
+			return nil, err
+		}
+		return server.BuildCatalog(man, baseDir, eopts)
+	}
+
+	start := time.Now()
+	srv, err := server.New(loader, server.Options{RequestWorkers: reqWorkers})
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, d := range srv.Catalog().Datasets() {
+		names = append(names, fmt.Sprintf("%s(|M|=%d doc=%d blocks=%d)",
+			d.Name, d.Set.Len(), d.Doc.Len(), d.Tree.Stats().NumBlocks))
+	}
+	log.Printf("xmatchd: catalog ready in %v: %s", time.Since(start).Round(time.Millisecond), strings.Join(names, " "))
+	log.Printf("xmatchd: listening on %s", addr)
+
+	hs := &http.Server{Addr: addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("xmatchd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

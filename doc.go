@@ -8,9 +8,25 @@
 // The implementation lives under internal/ (see DESIGN.md for the module
 // map and the engine architecture); internal/engine wraps the sequential
 // evaluators of internal/core in a concurrent engine — worker pool, batched
-// multi-query API, prepared-query cache — that returns byte-identical
-// results at any worker count. cmd/experiments regenerates every table and
-// figure of the paper's evaluation plus an engine scalability experiment,
-// and bench_test.go in this package provides testing.B benchmarks mirroring
-// each experiment, including paired sequential-vs-parallel PTQ benchmarks.
+// multi-query API, prepared-query cache, per-request Sub budgets — that
+// returns byte-identical results at any worker count. cmd/experiments
+// regenerates every table and figure of the paper's evaluation plus an
+// engine scalability experiment, and bench_test.go in this package provides
+// testing.B benchmarks mirroring each experiment, including paired
+// sequential-vs-parallel PTQ benchmarks.
+//
+// The xmatchd daemon (cmd/xmatchd over internal/server) serves a
+// multi-tenant catalog of prepared datasets over HTTP/JSON:
+//
+//	xmatchd -datasets D1,D7                # serve built-in workloads
+//	curl -s localhost:8777/v1/query \
+//	  -d '{"dataset":"D7","pattern":"Order//EMail","mode":"topk","k":5}'
+//	xmatch query -remote http://localhost:8777 -d D7 -q 'Order//EMail'
+//
+// Catalogs load from store manifests (xmatchd -manifest catalog.xm,
+// authored with -write-manifest) or built-in dataset IDs, hot-reload via
+// POST /v1/admin/reload, and expose health and stats at /healthz and
+// /statsz. Every response's results decode byte-identically to sequential
+// internal/core evaluation — the engine's differential guarantee holds
+// over the wire.
 package xmatch

@@ -1,0 +1,70 @@
+package core_test
+
+// FuzzPrepareQuery hardens the remote query path of the xmatchd daemon: a
+// malformed or adversarial pattern string arriving over the network must
+// make PrepareQuery return an error — never panic, and never blow the
+// stack. The corpus is seeded from the Table III workload (which resolves
+// against dataset D7's target schema) plus hand-picked malformed variants.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/mapgen"
+	"xmatch/internal/mapping"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzSet  *mapping.Set
+	fuzzErr  error
+)
+
+// fuzzMappingSet builds the shared D7 mapping set once per fuzz process.
+func fuzzMappingSet(t testing.TB) *mapping.Set {
+	fuzzOnce.Do(func() {
+		d, err := dataset.Load("D7")
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzSet, fuzzErr = mapgen.TopH(d.Matching, 20, mapgen.Partition)
+	})
+	if fuzzErr != nil {
+		t.Fatalf("building fuzz mapping set: %v", fuzzErr)
+	}
+	return fuzzSet
+}
+
+func FuzzPrepareQuery(f *testing.F) {
+	for _, q := range dataset.Queries() {
+		f.Add(q.Text)
+	}
+	for _, s := range []string{
+		"", "/", "//", "Order", "Order//EMail", "Order/POLine[./LineNo]//UP",
+		"Order[.='v']", `Order[./City="Paris"]`, "a[./b][./c]/d",
+		"[[[", "]]]", "a[.=\"unterminated", "a[./", "a//", "a/b[.]",
+		"Order[./DeliverTo[.//EMail]//Street]/POLine[.//UP]/Quantity",
+		strings.Repeat("a/", 40) + "a", "日本語//中文", "a\x00b",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		set := fuzzMappingSet(t)
+		q, err := core.PrepareQuery(pattern, set)
+		if err != nil {
+			return
+		}
+		// A successfully prepared query must be internally consistent:
+		// non-empty, render/re-parse stable, and within the parser limits.
+		if q.Pattern == nil || q.Pattern.Size() == 0 || len(q.Embeddings) == 0 {
+			t.Fatalf("PrepareQuery(%q) succeeded with empty pattern or embeddings", pattern)
+		}
+		if _, err := core.PrepareQuery(q.Pattern.String(), set); err != nil {
+			t.Fatalf("re-preparing rendered pattern %q of %q failed: %v", q.Pattern.String(), pattern, err)
+		}
+	})
+}

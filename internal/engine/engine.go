@@ -53,8 +53,12 @@ func DefaultOptions() Options {
 // one prepared-query cache and one worker budget).
 type Engine struct {
 	workers int
-	sem     chan struct{} // workers-1 slots; the calling goroutine is the extra worker
-	cache   *queryCache
+	// gates are the pool admission gates a spawn must pass, innermost
+	// budget first: gates[0] has workers-1 slots (the calling goroutine is
+	// the extra worker) and, for a Sub view, the remaining gates are the
+	// parents' — a goroutine counts against every enclosing budget.
+	gates []chan struct{}
+	cache *queryCache
 }
 
 // New returns an engine with the given options.
@@ -65,13 +69,55 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{workers: w, cache: newQueryCache(opts.CacheCapacity)}
 	if w > 1 {
-		e.sem = make(chan struct{}, w-1)
+		e.gates = []chan struct{}{make(chan struct{}, w-1)}
 	}
 	return e
 }
 
 // Workers returns the effective worker count (at least 1).
 func (e *Engine) Workers() int { return e.workers }
+
+// Sub returns a view of the engine whose parallel evaluation holds at most
+// n pool slots concurrently while still drawing them from the parent's
+// budget — admission control for multi-tenant callers: a server can hand
+// each request a Sub so one fat batch cannot starve the shared pool. The
+// view shares the parent's prepared-query cache; results are identical to
+// the parent's at any n (a starved view just evaluates inline). n >= the
+// engine's worker count (or n <= 0) returns the engine unchanged; n == 1
+// returns a sequential view.
+func (e *Engine) Sub(n int) *Engine {
+	if n <= 0 || n >= e.workers {
+		return e
+	}
+	sub := &Engine{workers: n, cache: e.cache}
+	if n > 1 {
+		sub.gates = append([]chan struct{}{make(chan struct{}, n-1)}, e.gates...)
+	}
+	return sub
+}
+
+// acquire reserves one slot in every gate without blocking, releasing any
+// partial reservation on failure.
+func (e *Engine) acquire() bool {
+	for i, g := range e.gates {
+		select {
+		case g <- struct{}{}:
+		default:
+			for j := 0; j < i; j++ {
+				<-e.gates[j]
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// release returns the slots taken by acquire.
+func (e *Engine) release() {
+	for _, g := range e.gates {
+		<-g
+	}
+}
 
 // Prepare returns a prepared query for the pattern against the mapping set,
 // consulting the cache first. Cache entries are keyed by the pattern text
@@ -196,6 +242,13 @@ type Request struct {
 // Response is the answer to one batch request, in request order.
 type Response struct {
 	Request
+	// Query is the prepared query the results were evaluated with (nil
+	// when Err is set). Consumers that aggregate answers must use this
+	// query's pattern nodes: match bindings compare nodes by pointer, so
+	// re-preparing the pattern — which can return a different *core.Query
+	// when the cache is small, disabled, or concurrently evicted — would
+	// silently match nothing.
+	Query   *core.Query
 	Results []core.Result
 	Err     error
 }
@@ -230,7 +283,7 @@ func (e *Engine) answer(set *mapping.Set, doc *xmltree.Document, bt *core.BlockT
 	default:
 		results = e.Evaluate(q, set, doc, bt)
 	}
-	return Response{Request: req, Results: results}
+	return Response{Request: req, Query: q, Results: results}
 }
 
 // parallelRanges splits [0, n) into at most parts contiguous ranges and runs
@@ -256,17 +309,16 @@ func (e *Engine) parallelRanges(n, parts int, fn func(part, lo, hi int)) {
 		if lo == hi {
 			continue
 		}
-		select {
-		case e.sem <- struct{}{}:
+		if e.acquire() {
 			wg.Add(1)
 			go func() {
 				defer func() {
-					<-e.sem
+					e.release()
 					wg.Done()
 				}()
 				fn(p, lo, hi)
 			}()
-		default:
+		} else {
 			fn(p, lo, hi)
 		}
 	}

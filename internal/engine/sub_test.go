@@ -1,0 +1,118 @@
+package engine_test
+
+// Tests for Engine.Sub, the per-request worker-budget admission control
+// used by the serving layer: a Sub view must never hold more pool slots
+// than its budget, must still return byte-identical results, and must share
+// the parent's prepared-query cache.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/engine"
+)
+
+func TestSubDifferential(t *testing.T) {
+	fix := newDiffFixture(t)
+	set := fix.base
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := engine.New(engine.Options{Workers: 8})
+	for _, spec := range dataset.Queries()[:4] {
+		q, err := core.PrepareQuery(spec.Text, set)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		want := core.Evaluate(q, set, fix.doc, bt)
+		wantTop := core.EvaluateTopK(q, set, fix.doc, bt, 3)
+		for _, n := range []int{1, 2, 3, 8, 0, -1, 100} {
+			sub := parent.Sub(n)
+			assertSameResults(t, fmt.Sprintf("%s sub=%d", spec.ID, n),
+				want, sub.Evaluate(q, set, fix.doc, bt))
+			assertSameResults(t, fmt.Sprintf("%s sub=%d topk", spec.ID, n),
+				wantTop, sub.EvaluateTopK(q, set, fix.doc, bt, 3))
+		}
+	}
+}
+
+func TestSubIdentityCases(t *testing.T) {
+	parent := engine.New(engine.Options{Workers: 4})
+	for _, n := range []int{0, -3, 4, 9} {
+		if sub := parent.Sub(n); sub != parent {
+			t.Errorf("Sub(%d) did not return the parent engine", n)
+		}
+	}
+	if w := parent.Sub(2).Workers(); w != 2 {
+		t.Errorf("Sub(2).Workers() = %d, want 2", w)
+	}
+	if w := parent.Sub(1).Workers(); w != 1 {
+		t.Errorf("Sub(1).Workers() = %d, want 1", w)
+	}
+}
+
+// TestSubSharesCache: preparing through a Sub must populate the parent's
+// cache and vice versa.
+func TestSubSharesCache(t *testing.T) {
+	fix := newDiffFixture(t)
+	parent := engine.New(engine.Options{Workers: 4})
+	sub := parent.Sub(2)
+	pattern := dataset.Queries()[0].Text
+	if _, err := sub.Prepare(pattern, fix.base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.Prepare(pattern, fix.base); err != nil {
+		t.Fatal(err)
+	}
+	st := parent.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats after sub+parent prepare: %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestSubConcurrentBatches runs many concurrent batches, each through its
+// own small Sub budget, against one shared parent pool — the serving
+// pattern — and checks every response against the sequential answer. Run
+// with -race this also exercises the gate-chain admission path.
+func TestSubConcurrentBatches(t *testing.T) {
+	fix := newDiffFixture(t)
+	set := fix.base
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := dataset.Queries()
+	want := make([][]core.Result, len(specs))
+	for i, spec := range specs {
+		q, err := core.PrepareQuery(spec.Text, set)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		want[i] = core.Evaluate(q, set, fix.doc, bt)
+	}
+	parent := engine.New(engine.Options{Workers: 8})
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sub := parent.Sub(1 + c%3)
+			reqs := make([]engine.Request, len(specs))
+			for i, spec := range specs {
+				reqs[i] = engine.Request{Pattern: spec.Text}
+			}
+			for i, resp := range sub.EvaluateBatch(set, fix.doc, bt, reqs) {
+				if resp.Err != nil {
+					t.Errorf("client %d query %d: %v", c, i, resp.Err)
+					continue
+				}
+				assertSameResults(t, fmt.Sprintf("client %d query %d", c, i), want[i], resp.Results)
+			}
+		}(c)
+	}
+	wg.Wait()
+}

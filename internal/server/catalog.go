@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/engine"
+	"xmatch/internal/mapgen"
+	"xmatch/internal/mapping"
+	"xmatch/internal/schema"
+	"xmatch/internal/store"
+	"xmatch/internal/xmltree"
+)
+
+// Dataset is one prepared serving tenant: a mapping set, the document it is
+// queried over, the block tree, and a per-dataset engine (own worker pool
+// and prepared-query cache), all immutable once built — a hot reload swaps
+// whole datasets, never mutates one.
+type Dataset struct {
+	Name   string
+	Set    *mapping.Set
+	Doc    *xmltree.Document
+	Tree   *core.BlockTree
+	Engine *engine.Engine
+}
+
+// NewDataset builds a serving dataset: block tree (tau 0 = default 0.2)
+// plus a dedicated engine.
+func NewDataset(name string, set *mapping.Set, doc *xmltree.Document, tau float64, eopts engine.Options) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: dataset has no name")
+	}
+	bt, err := core.Build(set, core.Options{Tau: tau})
+	if err != nil {
+		return nil, fmt.Errorf("server: dataset %s: %w", name, err)
+	}
+	if eopts.Workers == 0 {
+		eopts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Dataset{Name: name, Set: set, Doc: doc, Tree: bt, Engine: engine.New(eopts)}, nil
+}
+
+// Catalog is an immutable snapshot of the serving datasets, looked up by
+// name. The server swaps catalogs atomically on reload; requests in flight
+// keep the snapshot they started with.
+type Catalog struct {
+	byName map[string]*Dataset
+	names  []string // insertion order, for stable listings
+}
+
+// NewCatalog indexes the datasets, rejecting duplicate names.
+func NewCatalog(ds ...*Dataset) (*Catalog, error) {
+	c := &Catalog{byName: make(map[string]*Dataset, len(ds))}
+	for _, d := range ds {
+		if _, dup := c.byName[d.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate dataset name %q", d.Name)
+		}
+		c.byName[d.Name] = d
+		c.names = append(c.names, d.Name)
+	}
+	return c, nil
+}
+
+// Get returns the named dataset, or nil.
+func (c *Catalog) Get(name string) *Dataset { return c.byName[name] }
+
+// Datasets returns the datasets in catalog order.
+func (c *Catalog) Datasets() []*Dataset {
+	out := make([]*Dataset, len(c.names))
+	for i, n := range c.names {
+		out[i] = c.byName[n]
+	}
+	return out
+}
+
+// Defaults applied to zero-valued manifest entry fields, matching the
+// paper's experimental setup (|M| = 100 possible mappings, the 3473-node
+// Order.xml document).
+const (
+	DefaultMappings = 100
+	DefaultDocNodes = 3473
+)
+
+// BuildCatalog materializes a manifest into a serving catalog. Built-in
+// entries regenerate their Table II dataset deterministically; blob-backed
+// entries load their mapping set (and optional document) from files resolved
+// relative to baseDir. Engine options apply to every dataset's engine.
+func BuildCatalog(man *store.Catalog, baseDir string, eopts engine.Options) (*Catalog, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	ds := make([]*Dataset, 0, len(man.Entries))
+	for _, e := range man.Entries {
+		d, err := buildDataset(e, baseDir, eopts)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	return NewCatalog(ds...)
+}
+
+func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*Dataset, error) {
+	var set *mapping.Set
+	var doc *xmltree.Document
+	if e.Dataset != "" {
+		d, err := dataset.Load(e.Dataset)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
+		}
+		m := e.Mappings
+		if m == 0 {
+			m = DefaultMappings
+		}
+		set, err = mapgen.TopH(d.Matching, m, mapgen.Partition)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
+		}
+		nodes := e.DocNodes
+		if nodes == 0 {
+			nodes = DefaultDocNodes
+		}
+		doc = d.OrderDocument(nodes, e.DocSeed)
+	} else {
+		f, err := os.Open(filepath.Join(baseDir, e.SetPath))
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
+		}
+		set, err = store.LoadSet(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
+		}
+		if e.DocPath != "" {
+			df, err := os.Open(filepath.Join(baseDir, e.DocPath))
+			if err != nil {
+				return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
+			}
+			doc, err = xmltree.Parse(df)
+			df.Close()
+			if err != nil {
+				return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
+			}
+		} else {
+			doc = instantiateSchema(set.Source, e.DocSeed)
+		}
+	}
+	return NewDataset(e.Name, set, doc, e.Tau, eopts)
+}
+
+// instantiateSchema generates a deterministic single-instance document for a
+// blob-backed dataset that ships no document: every schema element appears
+// once, leaves carrying seeded synthetic text.
+func instantiateSchema(s *schema.Schema, seed int64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(seed))
+	var build func(e *schema.Element) *xmltree.Node
+	build = func(e *schema.Element) *xmltree.Node {
+		n := xmltree.NewRoot(e.Name)
+		if e.IsLeaf() {
+			n.Text = fmt.Sprintf("v%d", rng.Intn(1000))
+			return n
+		}
+		for _, c := range e.Children {
+			n.Children = append(n.Children, build(c))
+		}
+		return n
+	}
+	return xmltree.New(build(s.Root))
+}

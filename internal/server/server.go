@@ -1,0 +1,423 @@
+// Package server implements xmatchd's HTTP/JSON serving layer: a
+// long-lived, hot-reloadable multi-tenant catalog of prepared datasets
+// (mapping set + document + block tree + per-dataset engine) behind a small
+// API:
+//
+//	POST /v1/query         one PTQ (basic / compact / top-k)
+//	POST /v1/batch         many PTQs over one dataset, engine-fanned
+//	GET  /v1/datasets      catalog listing
+//	GET  /healthz          liveness
+//	GET  /statsz           cache, in-flight, and latency counters
+//	POST /v1/admin/reload  rebuild the catalog and swap it atomically
+//
+// Every query runs through a per-request engine.Sub budget, so one fat
+// batch cannot starve the dataset's worker pool, and every response's
+// results decode byte-identically to the sequential internal/core
+// evaluators (asserted end-to-end by server_test.go).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmatch/internal/core"
+	"xmatch/internal/engine"
+)
+
+// Options configure the HTTP layer. The zero value is serviceable.
+type Options struct {
+	// RequestWorkers caps the pool slots any single request's evaluation
+	// may hold (admission control). 0 means half the dataset's pool
+	// (rounded up), so two concurrent requests can always make progress;
+	// negative forces sequential evaluation per request.
+	RequestWorkers int
+	// MaxBodyBytes bounds request bodies; 0 means 1 MiB.
+	MaxBodyBytes int64
+	// MaxBatchQueries bounds the queries one /v1/batch request may carry
+	// — like MaxBodyBytes, a cap on the work a single well-formed request
+	// can demand. 0 means 256.
+	MaxBatchQueries int
+}
+
+// Loader builds a fresh catalog: called once at startup and again on every
+// /v1/admin/reload. It must return a fully constructed catalog — the server
+// swaps it in atomically only on success, so a failed reload keeps serving
+// the previous catalog.
+type Loader func() (*Catalog, error)
+
+// Server is the xmatchd HTTP handler.
+type Server struct {
+	opts     Options
+	loader   Loader
+	reloadMu sync.Mutex // serializes Reload: last request wins, in order
+	cat      atomic.Pointer[Catalog]
+	mux      *http.ServeMux
+	stats    serverStats
+}
+
+// New builds a server over the loader's initial catalog.
+func New(loader Loader, opts Options) (*Server, error) {
+	cat, err := loader()
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.MaxBatchQueries == 0 {
+		opts.MaxBatchQueries = 256
+	}
+	s := &Server{opts: opts, loader: loader}
+	s.stats.start = time.Now()
+	s.cat.Store(cat)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/query", s.timed(&s.stats.latQuery, &s.stats.queries, s.handleQuery))
+	s.mux.HandleFunc("/v1/batch", s.timed(&s.stats.latBatch, &s.stats.batches, s.handleBatch))
+	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Catalog returns the current catalog snapshot.
+func (s *Server) Catalog() *Catalog { return s.cat.Load() }
+
+// Reload rebuilds the catalog through the loader and swaps it in,
+// returning the new dataset names. On error the old catalog stays active.
+// Reloads are serialized so overlapping calls cannot finish out of order
+// and resurrect a stale catalog.
+func (s *Server) Reload() ([]string, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cat, err := s.loader()
+	if err != nil {
+		return nil, err
+	}
+	s.cat.Store(cat)
+	s.stats.reloads.Add(1)
+	names := make([]string, 0, len(cat.names))
+	names = append(names, cat.names...)
+	return names, nil
+}
+
+// budget resolves the per-request worker cap against a dataset's pool.
+func (s *Server) budget(d *Dataset) int {
+	switch {
+	case s.opts.RequestWorkers > 0:
+		return s.opts.RequestWorkers
+	case s.opts.RequestWorkers < 0:
+		return 1
+	default:
+		return (d.Engine.Workers() + 1) / 2
+	}
+}
+
+// Wire types of the query API.
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	Dataset string `json:"dataset"`
+	Pattern string `json:"pattern"`
+	// Mode selects the evaluator: "compact" (block tree; the default),
+	// "basic" (Algorithm 3 over all mappings), or "topk" (requires K > 0).
+	Mode string `json:"mode,omitempty"`
+	K    int    `json:"k,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query.
+type QueryResponse struct {
+	Dataset string            `json:"dataset"`
+	Pattern string            `json:"pattern"`
+	Mode    string            `json:"mode"`
+	K       int               `json:"k,omitempty"`
+	Results []core.WireResult `json:"results"`
+	Answers []core.WireAnswer `json:"answers"`
+}
+
+// BatchQuery is one query of a POST /v1/batch body.
+type BatchQuery struct {
+	Pattern string `json:"pattern"`
+	// K > 0 evaluates the top-k PTQ for this query; 0 evaluates the full
+	// compact PTQ.
+	K int `json:"k,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Dataset string       `json:"dataset"`
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchAnswer is one per-query answer within a BatchResponse; Error is set
+// (and Results/Answers are null) when that query failed. Results and
+// Answers carry no omitempty so an empty answer encodes as [] exactly like
+// a /v1/query response — the wire form of a result set never depends on
+// which endpoint produced it.
+type BatchAnswer struct {
+	Pattern string            `json:"pattern"`
+	K       int               `json:"k,omitempty"`
+	Results []core.WireResult `json:"results"`
+	Answers []core.WireAnswer `json:"answers"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch; Responses
+// preserve request order.
+type BatchResponse struct {
+	Dataset   string        `json:"dataset"`
+	Responses []BatchAnswer `json:"responses"`
+}
+
+// DatasetInfo is one row of GET /v1/datasets.
+type DatasetInfo struct {
+	Name     string `json:"name"`
+	Source   string `json:"source"`
+	Target   string `json:"target"`
+	Mappings int    `json:"mappings"`
+	DocNodes int    `json:"docNodes"`
+	Blocks   int    `json:"blocks"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.stats.errors.Add(1)
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body with a size cap, rejecting
+// trailing garbage.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// timed wraps a handler with method enforcement, the in-flight gauge, the
+// request counter, and the latency histogram.
+func (s *Server) timed(h *histogram, counter *atomic.Uint64, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			s.fail(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		counter.Add(1)
+		s.stats.inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			h.observe(time.Since(start))
+			s.stats.inFlight.Add(-1)
+		}()
+		fn(w, r)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ds := s.Catalog().Get(req.Dataset)
+	if ds == nil {
+		s.fail(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	// Validate the mode before preparing: rejecting a bad request must not
+	// pay parse/resolve or churn the prepared-query cache.
+	mode := req.Mode
+	if mode == "" {
+		mode = "compact"
+	}
+	switch mode {
+	case "basic", "compact":
+	case "topk":
+		if req.K <= 0 {
+			s.fail(w, http.StatusBadRequest, "mode topk requires k > 0")
+			return
+		}
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown mode %q (want basic, compact, or topk)", mode)
+		return
+	}
+	eng := ds.Engine.Sub(s.budget(ds))
+	q, err := eng.Prepare(req.Pattern, ds.Set)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var results []core.Result
+	switch mode {
+	case "basic":
+		results = eng.EvaluateBasic(q, ds.Set, ds.Doc)
+	case "compact":
+		results = eng.Evaluate(q, ds.Set, ds.Doc, ds.Tree)
+	default: // topk
+		results = eng.EvaluateTopK(q, ds.Set, ds.Doc, ds.Tree, req.K)
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Dataset: req.Dataset,
+		Pattern: req.Pattern,
+		Mode:    mode,
+		K:       req.K,
+		Results: core.ToWire(results),
+		Answers: core.AnswersToWire(core.AggregateLeaf(q, results)),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ds := s.Catalog().Get(req.Dataset)
+	if ds == nil {
+		s.fail(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatchQueries {
+		s.fail(w, http.StatusBadRequest, "batch has %d queries, limit %d", len(req.Queries), s.opts.MaxBatchQueries)
+		return
+	}
+	eng := ds.Engine.Sub(s.budget(ds))
+	engReqs := make([]engine.Request, len(req.Queries))
+	for i, bq := range req.Queries {
+		engReqs[i] = engine.Request{Pattern: bq.Pattern, K: bq.K}
+	}
+	resp := BatchResponse{Dataset: req.Dataset, Responses: make([]BatchAnswer, len(engReqs))}
+	for i, er := range eng.EvaluateBatch(ds.Set, ds.Doc, ds.Tree, engReqs) {
+		ba := BatchAnswer{Pattern: er.Pattern, K: er.K}
+		if er.Err != nil {
+			ba.Error = er.Err.Error()
+		} else {
+			ba.Results = core.ToWire(er.Results)
+			ba.Answers = core.AnswersToWire(core.AggregateLeaf(er.Query, er.Results))
+		}
+		resp.Responses[i] = ba
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	cat := s.Catalog()
+	infos := make([]DatasetInfo, 0, len(cat.names))
+	for _, d := range cat.Datasets() {
+		infos = append(infos, DatasetInfo{
+			Name:     d.Name,
+			Source:   d.Set.Source.Name,
+			Target:   d.Set.Target.Name,
+			Mappings: d.Set.Len(),
+			DocNodes: d.Doc.Len(),
+			Blocks:   d.Tree.Stats().NumBlocks,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	names, err := s.Reload()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "reload failed (previous catalog still serving): %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": names})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"datasets":      len(s.Catalog().names),
+		"uptimeSeconds": time.Since(s.stats.start).Seconds(),
+	})
+}
+
+// DatasetStats is one dataset's /statsz row.
+type DatasetStats struct {
+	Name           string `json:"name"`
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	CacheEntries   int    `json:"cacheEntries"`
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	UptimeSeconds float64                   `json:"uptimeSeconds"`
+	InFlight      int64                     `json:"inFlight"`
+	Queries       uint64                    `json:"queries"`
+	Batches       uint64                    `json:"batches"`
+	Reloads       uint64                    `json:"reloads"`
+	Errors        uint64                    `json:"errors"`
+	Latency       map[string]HistogramStats `json:"latency"`
+	Datasets      []DatasetStats            `json:"datasets"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	st := Stats{
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		InFlight:      s.stats.inFlight.Load(),
+		Queries:       s.stats.queries.Load(),
+		Batches:       s.stats.batches.Load(),
+		Reloads:       s.stats.reloads.Load(),
+		Errors:        s.stats.errors.Load(),
+		Latency: map[string]HistogramStats{
+			"query": s.stats.latQuery.snapshot(),
+			"batch": s.stats.latBatch.snapshot(),
+		},
+	}
+	for _, d := range s.Catalog().Datasets() {
+		cs := d.Engine.CacheStats()
+		st.Datasets = append(st.Datasets, DatasetStats{
+			Name:           d.Name,
+			CacheHits:      cs.Hits,
+			CacheMisses:    cs.Misses,
+			CacheEvictions: cs.Evictions,
+			CacheEntries:   cs.Entries,
+		})
+	}
+	writeJSON(w, http.StatusOK, st)
+}

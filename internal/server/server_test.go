@@ -1,0 +1,569 @@
+package server_test
+
+// End-to-end integration tests: a catalog with two datasets served over
+// httptest, asserting the differential guarantee over the wire — for every
+// dataset/query/k in the matrix, /v1/query and /v1/batch responses decode
+// to results byte-identical to sequential internal/core evaluation — plus
+// concurrent clients, the stats/health/reload endpoints, and the error
+// paths. Run under -race in CI.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/engine"
+	"xmatch/internal/server"
+	"xmatch/internal/store"
+)
+
+// fixture holds one serving dataset alongside the direct (sequential core)
+// evaluation ingredients the differential assertions need.
+type fixture struct {
+	name    string
+	queries []string
+	ds      *server.Dataset
+}
+
+// manifest is the two-dataset catalog the tests serve: the Table III
+// workload dataset D7 and the small D1.
+func manifest() *store.Catalog {
+	return &store.Catalog{Entries: []store.CatalogEntry{
+		{Name: "orders", Dataset: "D7", Mappings: 20, DocNodes: 1200, DocSeed: 7},
+		{Name: "small", Dataset: "D1", Mappings: 16, DocNodes: 600, DocSeed: 3},
+	}}
+}
+
+// leafPatterns derives resolvable spine queries from a dataset's target
+// schema: dotted leaf paths as '/' patterns. It prefers leaves whose basic
+// PTQ answer is non-empty (so the matrix exercises real matches) but keeps
+// the first empty-answer leaf too, pinning the wire form of an empty result
+// set.
+func leafPatterns(t *testing.T, d *server.Dataset, n int) []string {
+	t.Helper()
+	var nonEmpty, empty []string
+	for _, e := range d.Set.Target.Leaves() {
+		if len(nonEmpty) >= n-1 && len(empty) >= 1 {
+			break
+		}
+		pattern := strings.ReplaceAll(e.Path, ".", "/")
+		q, err := core.PrepareQuery(pattern, d.Set)
+		if err != nil {
+			continue
+		}
+		if len(core.EvaluateBasic(q, d.Set, d.Doc)) > 0 {
+			if len(nonEmpty) < n-1 {
+				nonEmpty = append(nonEmpty, pattern)
+			}
+		} else if len(empty) < 1 {
+			empty = append(empty, pattern)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		t.Fatal("no leaf pattern with a non-empty answer; fixture too weak")
+	}
+	return append(nonEmpty, empty...)
+}
+
+type testEnv struct {
+	ts       *httptest.Server
+	srv      *server.Server
+	fixtures []fixture
+	loads    *int // loader invocation count
+}
+
+func newTestEnv(t *testing.T, opts server.Options) *testEnv {
+	t.Helper()
+	loads := 0
+	loader := func() (*server.Catalog, error) {
+		loads++
+		return server.BuildCatalog(manifest(), ".", engine.Options{Workers: 4})
+	}
+	srv, err := server.New(loader, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	cat := srv.Catalog()
+	orders := cat.Get("orders")
+	small := cat.Get("small")
+	if orders == nil || small == nil {
+		t.Fatal("catalog is missing test datasets")
+	}
+	var d7Queries []string
+	for _, q := range dataset.Queries() {
+		d7Queries = append(d7Queries, q.Text)
+	}
+	return &testEnv{
+		ts:  ts,
+		srv: srv,
+		fixtures: []fixture{
+			{name: "orders", queries: d7Queries, ds: orders},
+			{name: "small", queries: leafPatterns(t, small, 4), ds: small},
+		},
+		loads: &loads,
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// directWire evaluates a query with the sequential core evaluators and
+// returns the JSON encoding of its wire results and answers.
+func directWire(t *testing.T, f fixture, pattern, mode string, k int) (results, answers []byte) {
+	t.Helper()
+	q, err := core.PrepareQuery(pattern, f.ds.Set)
+	if err != nil {
+		t.Fatalf("%s %q: %v", f.name, pattern, err)
+	}
+	var rs []core.Result
+	switch mode {
+	case "basic":
+		rs = core.EvaluateBasic(q, f.ds.Set, f.ds.Doc)
+	case "compact":
+		rs = core.Evaluate(q, f.ds.Set, f.ds.Doc, f.ds.Tree)
+	case "topk":
+		rs = core.EvaluateTopK(q, f.ds.Set, f.ds.Doc, f.ds.Tree, k)
+	default:
+		t.Fatalf("bad mode %q", mode)
+	}
+	results, err = json.Marshal(core.ToWire(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err = json.Marshal(core.AnswersToWire(core.AggregateLeaf(q, rs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, answers
+}
+
+// rawQueryResp keeps the results/answers regions of a response as raw bytes
+// for exact comparison.
+type rawQueryResp struct {
+	Dataset string          `json:"dataset"`
+	Pattern string          `json:"pattern"`
+	Mode    string          `json:"mode"`
+	Results json.RawMessage `json:"results"`
+	Answers json.RawMessage `json:"answers"`
+}
+
+type rawBatchResp struct {
+	Dataset   string `json:"dataset"`
+	Responses []struct {
+		Pattern string          `json:"pattern"`
+		K       int             `json:"k"`
+		Results json.RawMessage `json:"results"`
+		Answers json.RawMessage `json:"answers"`
+		Error   string          `json:"error"`
+	} `json:"responses"`
+}
+
+// modeMatrix is the query-mode/k matrix every dataset/query pair runs under.
+var modeMatrix = []struct {
+	mode string
+	k    int
+}{
+	{"basic", 0}, {"compact", 0}, {"topk", 1}, {"topk", 3}, {"topk", 1000},
+}
+
+// TestQueryDifferentialOverTheWire is the acceptance matrix: every
+// dataset/query/mode/k, /v1/query results and answers byte-identical to
+// sequential core evaluation.
+func TestQueryDifferentialOverTheWire(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	for _, f := range env.fixtures {
+		for _, pattern := range f.queries {
+			for _, mk := range modeMatrix {
+				wantResults, wantAnswers := directWire(t, f, pattern, mk.mode, mk.k)
+				resp, body := postJSON(t, env.ts.URL+"/v1/query",
+					server.QueryRequest{Dataset: f.name, Pattern: pattern, Mode: mk.mode, K: mk.k})
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s %q %s/%d: status %d: %s", f.name, pattern, mk.mode, mk.k, resp.StatusCode, body)
+				}
+				var got rawQueryResp
+				if err := json.Unmarshal(body, &got); err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%s %q %s/%d", f.name, pattern, mk.mode, mk.k)
+				if got.Dataset != f.name || got.Pattern != pattern || got.Mode != mk.mode {
+					t.Errorf("%s: echo mismatch: %+v", label, got)
+				}
+				if !bytes.Equal(got.Results, wantResults) {
+					t.Errorf("%s: results differ from sequential core:\ngot  %s\nwant %s", label, got.Results, wantResults)
+				}
+				if !bytes.Equal(got.Answers, wantAnswers) {
+					t.Errorf("%s: answers differ from sequential core:\ngot  %s\nwant %s", label, got.Answers, wantAnswers)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDifferentialOverTheWire fans each dataset's whole query list
+// into one /v1/batch call per k and checks every response slot.
+func TestBatchDifferentialOverTheWire(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	for _, f := range env.fixtures {
+		for _, k := range []int{0, 2} {
+			var breq server.BatchRequest
+			breq.Dataset = f.name
+			for _, pattern := range f.queries {
+				breq.Queries = append(breq.Queries, server.BatchQuery{Pattern: pattern, K: k})
+			}
+			resp, body := postJSON(t, env.ts.URL+"/v1/batch", breq)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s k=%d: status %d: %s", f.name, k, resp.StatusCode, body)
+			}
+			var got rawBatchResp
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Responses) != len(f.queries) {
+				t.Fatalf("%s k=%d: %d responses, want %d", f.name, k, len(got.Responses), len(f.queries))
+			}
+			for i, pattern := range f.queries {
+				mode := "compact"
+				if k > 0 {
+					mode = "topk"
+				}
+				wantResults, wantAnswers := directWire(t, f, pattern, mode, k)
+				slot := got.Responses[i]
+				if slot.Error != "" {
+					t.Errorf("%s k=%d %q: unexpected error %q", f.name, k, pattern, slot.Error)
+					continue
+				}
+				if slot.Pattern != pattern {
+					t.Errorf("%s k=%d slot %d: pattern %q, want %q (order not preserved)", f.name, k, i, slot.Pattern, pattern)
+				}
+				if !bytes.Equal(slot.Results, wantResults) {
+					t.Errorf("%s k=%d %q: batch results differ from sequential core", f.name, k, pattern)
+				}
+				if !bytes.Equal(slot.Answers, wantAnswers) {
+					t.Errorf("%s k=%d %q: batch answers differ from sequential core", f.name, k, pattern)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentClients hammers query and batch from parallel goroutines
+// and requires every response to stay byte-identical to the precomputed
+// sequential answers; meaningful under -race.
+func TestConcurrentClients(t *testing.T) {
+	env := newTestEnv(t, server.Options{RequestWorkers: 2})
+	type expectation struct {
+		f       fixture
+		pattern string
+		want    []byte
+	}
+	var exps []expectation
+	for _, f := range env.fixtures {
+		for _, pattern := range f.queries[:3] {
+			want, _ := directWire(t, f, pattern, "compact", 0)
+			exps = append(exps, expectation{f, pattern, want})
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				exp := exps[(c+i)%len(exps)]
+				if c%2 == 0 {
+					_, body := postJSON(t, env.ts.URL+"/v1/query",
+						server.QueryRequest{Dataset: exp.f.name, Pattern: exp.pattern})
+					var got rawQueryResp
+					if err := json.Unmarshal(body, &got); err != nil {
+						t.Errorf("client %d: %v", c, err)
+						return
+					}
+					if !bytes.Equal(got.Results, exp.want) {
+						t.Errorf("client %d: concurrent query diverged for %s %q", c, exp.f.name, exp.pattern)
+					}
+				} else {
+					_, body := postJSON(t, env.ts.URL+"/v1/batch", server.BatchRequest{
+						Dataset: exp.f.name,
+						Queries: []server.BatchQuery{{Pattern: exp.pattern}},
+					})
+					var got rawBatchResp
+					if err := json.Unmarshal(body, &got); err != nil {
+						t.Errorf("client %d: %v", c, err)
+						return
+					}
+					if len(got.Responses) != 1 || !bytes.Equal(got.Responses[0].Results, exp.want) {
+						t.Errorf("client %d: concurrent batch diverged for %s %q", c, exp.f.name, exp.pattern)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// After the storm: the gauge must be back to zero and the caches warm.
+	resp, body := getJSON(t, env.ts.URL+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %d", resp.StatusCode)
+	}
+	var st server.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("inFlight = %d after all clients finished", st.InFlight)
+	}
+	if st.Queries == 0 || st.Batches == 0 {
+		t.Errorf("request counters not incremented: %+v", st)
+	}
+	var hits uint64
+	for _, d := range st.Datasets {
+		hits += d.CacheHits
+	}
+	if hits == 0 {
+		t.Errorf("no prepared-query cache hits across %d requests", st.Queries+st.Batches)
+	}
+	if st.Latency["query"].Count != st.Queries {
+		t.Errorf("query latency histogram count %d != queries %d", st.Latency["query"].Count, st.Queries)
+	}
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestDatasetsAndHealthz(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	resp, body := getJSON(t, env.ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, env.ts.URL+"/v1/datasets")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("datasets: %d", resp.StatusCode)
+	}
+	var list struct {
+		Datasets []server.DatasetInfo `json:"datasets"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Datasets) != 2 || list.Datasets[0].Name != "orders" || list.Datasets[1].Name != "small" {
+		t.Errorf("dataset listing wrong: %+v", list.Datasets)
+	}
+	if list.Datasets[0].Mappings != 20 || list.Datasets[0].Blocks == 0 {
+		t.Errorf("orders info wrong: %+v", list.Datasets[0])
+	}
+}
+
+func TestReload(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	before := env.srv.Catalog()
+	resp, body := postJSON(t, env.ts.URL+"/v1/admin/reload", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, body)
+	}
+	if *env.loads != 2 {
+		t.Errorf("loader called %d times, want 2 (startup + reload)", *env.loads)
+	}
+	if env.srv.Catalog() == before {
+		t.Error("reload did not swap the catalog")
+	}
+	// The reloaded catalog must answer queries identically.
+	f := env.fixtures[0]
+	want, _ := directWire(t, f, f.queries[0], "compact", 0)
+	_, qbody := postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: f.name, Pattern: f.queries[0]})
+	var got rawQueryResp
+	if err := json.Unmarshal(qbody, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Results, want) {
+		t.Error("post-reload query differs from sequential core")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	cases := []struct {
+		name string
+		do   func() (*http.Response, []byte)
+		code int
+	}{
+		{"unknown dataset", func() (*http.Response, []byte) {
+			return postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: "nope", Pattern: "x"})
+		}, http.StatusNotFound},
+		{"bad pattern", func() (*http.Response, []byte) {
+			return postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: "orders", Pattern: "[[["})
+		}, http.StatusBadRequest},
+		{"unresolvable pattern", func() (*http.Response, []byte) {
+			return postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: "orders", Pattern: "No/Such/Path"})
+		}, http.StatusBadRequest},
+		{"topk without k", func() (*http.Response, []byte) {
+			return postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: "orders", Pattern: "Order", Mode: "topk"})
+		}, http.StatusBadRequest},
+		{"bad mode", func() (*http.Response, []byte) {
+			return postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: "orders", Pattern: "Order", Mode: "???"})
+		}, http.StatusBadRequest},
+		{"malformed body", func() (*http.Response, []byte) {
+			resp, err := http.Post(env.ts.URL+"/v1/query", "application/json", strings.NewReader("{not json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			return resp, nil
+		}, http.StatusBadRequest},
+		{"empty batch", func() (*http.Response, []byte) {
+			return postJSON(t, env.ts.URL+"/v1/batch", server.BatchRequest{Dataset: "orders"})
+		}, http.StatusBadRequest},
+		{"oversized batch", func() (*http.Response, []byte) {
+			req := server.BatchRequest{Dataset: "orders"}
+			for i := 0; i < 257; i++ {
+				req.Queries = append(req.Queries, server.BatchQuery{Pattern: "Order"})
+			}
+			return postJSON(t, env.ts.URL+"/v1/batch", req)
+		}, http.StatusBadRequest},
+		{"GET on query", func() (*http.Response, []byte) {
+			return getJSON(t, env.ts.URL+"/v1/query")
+		}, http.StatusMethodNotAllowed},
+		{"GET on reload", func() (*http.Response, []byte) {
+			return getJSON(t, env.ts.URL+"/v1/admin/reload")
+		}, http.StatusMethodNotAllowed},
+		{"oversized pattern", func() (*http.Response, []byte) {
+			return postJSON(t, env.ts.URL+"/v1/query",
+				server.QueryRequest{Dataset: "orders", Pattern: strings.Repeat("a/", 5000) + "a"})
+		}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := c.do()
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.code)
+		}
+	}
+	// Errors must be counted.
+	_, body := getJSON(t, env.ts.URL+"/statsz")
+	var st server.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors == 0 {
+		t.Error("error counter not incremented")
+	}
+}
+
+// TestBatchAnswersWithColdCache is the regression test for answer
+// aggregation in /v1/batch: match bindings compare pattern nodes by
+// pointer, so aggregating with a re-prepared query (instead of the one the
+// batch evaluated with) silently matches nothing once the prepared-query
+// cache is disabled or evicted. With caching off, batch answers must still
+// be byte-identical to sequential core evaluation.
+func TestBatchAnswersWithColdCache(t *testing.T) {
+	loader := func() (*server.Catalog, error) {
+		return server.BuildCatalog(manifest(), ".", engine.Options{Workers: 4, CacheCapacity: -1})
+	}
+	srv, err := server.New(loader, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	f := fixture{name: "orders", ds: srv.Catalog().Get("orders")}
+	pattern := dataset.Queries()[1].Text
+	wantResults, wantAnswers := directWire(t, f, pattern, "compact", 0)
+	_, body := postJSON(t, ts.URL+"/v1/batch", server.BatchRequest{
+		Dataset: "orders",
+		Queries: []server.BatchQuery{{Pattern: pattern}},
+	})
+	var got rawBatchResp
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Responses) != 1 {
+		t.Fatalf("%d responses, want 1", len(got.Responses))
+	}
+	if !bytes.Equal(got.Responses[0].Results, wantResults) {
+		t.Errorf("cold-cache batch results differ from sequential core")
+	}
+	if !bytes.Equal(got.Responses[0].Answers, wantAnswers) {
+		t.Errorf("cold-cache batch answers differ from sequential core:\ngot  %s\nwant %s",
+			got.Responses[0].Answers, wantAnswers)
+	}
+}
+
+// TestBlobBackedCatalog round-trips a mapping set through a store blob and
+// serves it: the manifest path the daemon takes for persisted sets,
+// including the generated fallback document.
+func TestBlobBackedCatalog(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := server.BuildCatalog(manifest(), ".", engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := cat.Get("small")
+	blob := dir + "/small.set"
+	f, err := os.Create(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveSet(f, orig.Set); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	man := &store.Catalog{Entries: []store.CatalogEntry{
+		{Name: "frozen", SetPath: "small.set", DocSeed: 5},
+	}}
+	got, err := server.BuildCatalog(man, dir, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got.Get("frozen")
+	if d == nil {
+		t.Fatal("blob-backed dataset missing")
+	}
+	if d.Set.Len() != orig.Set.Len() {
+		t.Errorf("blob round trip lost mappings: %d != %d", d.Set.Len(), orig.Set.Len())
+	}
+	if d.Doc.Len() == 0 {
+		t.Error("generated fallback document is empty")
+	}
+	// And it must answer a query end to end.
+	pattern := leafPatterns(t, d, 2)[0]
+	if _, err := core.PrepareQuery(pattern, d.Set); err != nil {
+		t.Fatalf("blob-backed dataset cannot prepare %q: %v", pattern, err)
+	}
+}

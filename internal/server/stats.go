@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the histogram bucket upper bounds in milliseconds;
+// the implicit final bucket is +Inf.
+var latencyBucketsMs = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. sumMicros keeps the total in integer microseconds so the
+// hot path never does floating-point atomics.
+type histogram struct {
+	counts    [len(latencyBucketsMs) + 1]atomic.Uint64
+	total     atomic.Uint64
+	sumMicros atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumMicros.Add(uint64(d / time.Microsecond))
+}
+
+// HistogramBucket is one cumulative-free histogram bucket in the /statsz
+// payload: the count of observations at most LeMs milliseconds (the last
+// bucket has LeMs 0 and holds the overflow).
+type HistogramBucket struct {
+	LeMs  float64 `json:"leMs,omitempty"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramStats is the wire form of one endpoint's latency histogram.
+type HistogramStats struct {
+	Count   uint64            `json:"count"`
+	SumMs   float64           `json:"sumMs"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+func (h *histogram) snapshot() HistogramStats {
+	out := HistogramStats{
+		Count: h.total.Load(),
+		SumMs: float64(h.sumMicros.Load()) / 1e3,
+	}
+	out.Buckets = make([]HistogramBucket, len(h.counts))
+	for i := range h.counts {
+		b := HistogramBucket{Count: h.counts[i].Load()}
+		if i < len(latencyBucketsMs) {
+			b.LeMs = latencyBucketsMs[i]
+		}
+		out.Buckets[i] = b
+	}
+	return out
+}
+
+// serverStats aggregates the daemon's operational counters.
+type serverStats struct {
+	start    time.Time
+	inFlight atomic.Int64
+	queries  atomic.Uint64
+	batches  atomic.Uint64
+	reloads  atomic.Uint64
+	errors   atomic.Uint64
+	latQuery histogram
+	latBatch histogram
+}

@@ -22,9 +22,29 @@ const (
 	version = 1
 )
 
+// FormatError reports a structurally invalid or corrupted store blob: bad
+// magic, truncation, unsupported version, wrong kind, or an undecodable or
+// inconsistent payload. Callers that load untrusted or possibly-damaged
+// files (the xmatchd catalog loader) can distinguish corruption from
+// transient I/O errors with errors.As: genuine read failures (a device
+// error mid-read, say) are returned unclassified. A FormatError caused by
+// an underlying error keeps it on the chain via Unwrap.
+type FormatError struct {
+	Msg string
+	Err error // underlying cause, if any
+}
+
+func (e *FormatError) Error() string { return "store: " + e.Msg }
+
+func (e *FormatError) Unwrap() error { return e.Err }
+
+func formatErrorf(format string, args ...any) error {
+	return &FormatError{Msg: fmt.Sprintf(format, args...)}
+}
+
 type header struct {
 	Version int
-	Kind    string // "schema", "matching", "mappingset"
+	Kind    string // "schema", "matching", "mappingset", "catalog"
 }
 
 type schemaDTO struct {
@@ -91,28 +111,69 @@ func writeHeader(w io.Writer, kind string) error {
 	return gob.NewEncoder(w).Encode(header{Version: version, Kind: kind})
 }
 
+// trackingReader remembers the first non-EOF error its underlying reader
+// produced, so decode failures can be told apart: a gob error with a clean
+// reader is corruption, a gob error after a reader failure is I/O.
+type trackingReader struct {
+	r   io.Reader
+	err error
+}
+
+func (t *trackingReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF && t.err == nil {
+		t.err = err
+	}
+	return n, err
+}
+
+// blobReader decodes a store blob's payload after readHeader validated the
+// envelope.
+type blobReader struct {
+	*gob.Decoder
+	tr *trackingReader
+}
+
+// classify wraps a payload decode error: *FormatError (corruption or
+// truncation) unless the underlying reader itself failed mid-read, which
+// stays an unclassified I/O error.
+func (b *blobReader) classify(err error, what string) error {
+	if err == nil {
+		return nil
+	}
+	if b.tr.err != nil {
+		return fmt.Errorf("store: %s: %w", what, b.tr.err)
+	}
+	return &FormatError{Msg: what + ": " + err.Error(), Err: err}
+}
+
 // readHeader consumes and validates the magic and header, returning the
-// remaining gob stream decoder.
-func readHeader(r io.Reader, wantKind string) (*gob.Decoder, error) {
+// remaining gob stream decoder. Validation failures and truncation are
+// *FormatError; genuine read failures stay unclassified.
+func readHeader(r io.Reader, wantKind string) (*blobReader, error) {
+	tr := &trackingReader{r: r}
 	buf := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("store: reading magic: %w", err)
+	if n, err := io.ReadFull(tr, buf); err != nil {
+		if tr.err != nil {
+			return nil, fmt.Errorf("store: reading magic: %w", tr.err)
+		}
+		return nil, &FormatError{Msg: fmt.Sprintf("truncated magic (%d bytes)", n), Err: err}
 	}
 	if string(buf) != magic {
-		return nil, fmt.Errorf("store: bad magic %q", buf)
+		return nil, formatErrorf("bad magic %q", buf)
 	}
-	dec := gob.NewDecoder(r)
+	b := &blobReader{Decoder: gob.NewDecoder(tr), tr: tr}
 	var h header
-	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("store: reading header: %w", err)
+	if err := b.Decode(&h); err != nil {
+		return nil, b.classify(err, "reading header")
 	}
 	if h.Version != version {
-		return nil, fmt.Errorf("store: unsupported version %d (want %d)", h.Version, version)
+		return nil, formatErrorf("unsupported version %d (want %d)", h.Version, version)
 	}
 	if h.Kind != wantKind {
-		return nil, fmt.Errorf("store: file contains a %s, want a %s", h.Kind, wantKind)
+		return nil, formatErrorf("file contains a %s, want a %s", h.Kind, wantKind)
 	}
-	return dec, nil
+	return b, nil
 }
 
 // SaveSchema writes a schema.

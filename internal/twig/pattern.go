@@ -111,6 +111,18 @@ func (p *Pattern) String() string {
 	return render(p.Root, true)
 }
 
+// Limits on accepted pattern text. Patterns may arrive from untrusted
+// remote clients (the xmatchd daemon), so Parse bounds both the input
+// length and the node count; bounding nodes also bounds the parser's and
+// resolver's recursion depth. The paper's Table III workload peaks at 7
+// nodes, so the limits are far above any legitimate query.
+const (
+	// MaxPatternLen is the maximum pattern text length Parse accepts.
+	MaxPatternLen = 4096
+	// MaxPatternNodes is the maximum number of pattern nodes Parse accepts.
+	MaxPatternNodes = 64
+)
+
 // Parse parses a twig pattern. Grammar (whitespace-insensitive between
 // tokens):
 //
@@ -122,6 +134,9 @@ func (p *Pattern) String() string {
 //
 // A value after a relpath applies to the last step of that relpath.
 func Parse(s string) (*Pattern, error) {
+	if len(s) > MaxPatternLen {
+		return nil, fmt.Errorf("twig: pattern length %d exceeds limit %d", len(s), MaxPatternLen)
+	}
 	p := &parser{s: s}
 	root, err := p.parsePath(true)
 	if err != nil {
@@ -147,8 +162,9 @@ func MustParse(s string) *Pattern {
 }
 
 type parser struct {
-	s string
-	i int
+	s     string
+	i     int
+	nodes int // nodes created so far, bounded by MaxPatternNodes
 }
 
 func (p *parser) skipSpace() {
@@ -189,6 +205,9 @@ func (p *parser) parseSteps(axis Axis) (*Node, error) {
 	name := p.parseName()
 	if name == "" {
 		return nil, fmt.Errorf("expected element name at offset %d", p.i)
+	}
+	if p.nodes++; p.nodes > MaxPatternNodes {
+		return nil, fmt.Errorf("pattern exceeds %d nodes", MaxPatternNodes)
 	}
 	node := &Node{Label: name, Axis: axis}
 	for p.peek("[") {

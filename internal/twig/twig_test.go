@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -442,5 +443,20 @@ func TestParseNeverPanics(t *testing.T) {
 		"a" + string(rune(0)) + "b", "日本語/中文",
 	} {
 		_, _ = Parse(s)
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	// Just under the node limit parses; one past it errors.
+	ok := "a" + strings.Repeat("/a", MaxPatternNodes-1)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("pattern with %d nodes rejected: %v", MaxPatternNodes, err)
+	}
+	if _, err := Parse(ok + "/a"); err == nil {
+		t.Fatalf("pattern with %d nodes accepted", MaxPatternNodes+1)
+	}
+	long := "a[.=\"" + strings.Repeat("x", MaxPatternLen) + "\"]"
+	if _, err := Parse(long); err == nil {
+		t.Fatalf("pattern of length %d accepted", len(long))
 	}
 }
