@@ -14,6 +14,7 @@ import (
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
 	"xmatch/internal/engine"
+	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
 	"xmatch/internal/twig"
@@ -22,11 +23,12 @@ import (
 
 // fixtures are shared across benchmarks and built once.
 var (
-	fixOnce sync.Once
-	fixD7   *dataset.Dataset
-	fixSets map[int]*mapping.Set // |M| -> set (D7)
-	fixDoc  *xmltree.Document
-	fixTree *core.BlockTree
+	fixOnce   sync.Once
+	fixD7     *dataset.Dataset
+	fixSets   map[int]*mapping.Set // |M| -> set (D7)
+	fixDoc    *xmltree.Document
+	fixDocIdx *xmltree.Document // same generation, positional index attached
+	fixTree   *core.BlockTree
 )
 
 func setup(b *testing.B) {
@@ -42,6 +44,10 @@ func setup(b *testing.B) {
 			fixSets[m] = set
 		}
 		fixDoc = fixD7.OrderDocument(3473, 42)
+		// A separate instance for the indexed benchmarks, so attaching the
+		// index cannot change what the unindexed benchmarks measure.
+		fixDocIdx = fixD7.OrderDocument(3473, 42)
+		index.Attach(fixDocIdx)
 		bt, err := core.Build(fixSets[100], core.DefaultOptions())
 		if err != nil {
 			panic(err)
@@ -469,6 +475,79 @@ func BenchmarkPTQTopK(b *testing.B) {
 	})
 }
 
+// BenchmarkPTQ*Indexed mirror the sequential/parallel PTQ pairs with the
+// positional index attached to the document, so the trajectory tracks all
+// four corners: {joined, holistic} × {seq, par}.
+
+func BenchmarkPTQBasicIndexed(b *testing.B) {
+	setup(b)
+	set := fixSets[500]
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.EvaluateBasic(q, set, fixDocIdx)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		for i := 0; i < b.N; i++ {
+			_ = eng.EvaluateBasic(q, set, fixDocIdx)
+		}
+	})
+}
+
+func BenchmarkPTQCompactIndexed(b *testing.B) {
+	setup(b)
+	set := fixSets[500]
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.Evaluate(q, set, fixDocIdx, bt)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		for i := 0; i < b.N; i++ {
+			_ = eng.Evaluate(q, set, fixDocIdx, bt)
+		}
+	})
+}
+
+func BenchmarkPTQTopKIndexed(b *testing.B) {
+	setup(b)
+	set := fixSets[500]
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 50
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.EvaluateTopK(q, set, fixDocIdx, bt, k)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		for i := 0; i < b.N; i++ {
+			_ = eng.EvaluateTopK(q, set, fixDocIdx, bt, k)
+		}
+	})
+}
+
 // BenchmarkPTQBatch measures the batched multi-query API over the full
 // Table III workload: cold (fresh engine, every pattern parsed) vs warm
 // (prepared-query cache hits).
@@ -567,6 +646,67 @@ func BenchmarkAblationTwigEngine(b *testing.B) {
 			_ = twig.MatchByPathsFiltered(fixDoc, q.Pattern.Root, binding)
 		}
 	})
+}
+
+// deepTwigFixture builds the deep-twig matcher workload: a document whose
+// shape punishes per-subtree materialization. Every branch carries a full
+// B/C/D chain (a deep sub-match the joined evaluator materializes
+// unconditionally), but only one branch in forty also carries the E child
+// required to complete a match — exactly the dangling-intermediate pattern
+// holistic twig joins were invented to prune. The value-predicate variant
+// additionally binds D to a rare text, turning the joined evaluator's
+// candidate scan into a value-index lookup.
+func deepTwigFixture(withValue bool) (*xmltree.Document, *twig.Node, twig.PathBinding) {
+	root := xmltree.NewRoot("R")
+	for i := 0; i < 400; i++ {
+		a := root.AddChild("A")
+		c := a.AddChild("B").AddChild("C")
+		c.AddChild("D").AddText(fmt.Sprintf("v%d", i%100))
+		if i%40 == 0 {
+			a.AddChild("E").AddText("e")
+		}
+	}
+	doc := xmltree.New(root)
+	pat := twig.MustParse("A[./B/C/D][./E]")
+	if withValue {
+		pat = twig.MustParse(`A[./B/C/D="v0"][./E]`)
+	}
+	n := pat.Nodes() // A, B, C, D, E
+	binding := twig.PathBinding{
+		n[0]: "R.A", n[1]: "R.A.B", n[2]: "R.A.B.C", n[3]: "R.A.B.C.D", n[4]: "R.A.E",
+	}
+	return doc, pat.Root, binding
+}
+
+// BenchmarkTwigMatchJoined and BenchmarkTwigMatchHolistic pair the joined
+// evaluator (per-subtree materialization + interval joins) against the
+// holistic indexed matcher on the deep-twig workload; the trajectory file
+// BENCH_3.json records the gap.
+func BenchmarkTwigMatchJoined(b *testing.B) {
+	for _, withValue := range []bool{false, true} {
+		name := map[bool]string{false: "structural", true: "value"}[withValue]
+		doc, qn, binding := deepTwigFixture(withValue)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = twig.MatchByPaths(doc, qn, binding)
+			}
+		})
+	}
+}
+
+func BenchmarkTwigMatchHolistic(b *testing.B) {
+	for _, withValue := range []bool{false, true} {
+		name := map[bool]string{false: "structural", true: "value"}[withValue]
+		doc, qn, binding := deepTwigFixture(withValue)
+		ix := index.Build(doc)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = ix.MatchTwig(doc, qn, binding)
+			}
+		})
+	}
 }
 
 // BenchmarkAblationLazyMurty compares lazy child evaluation in Murty's

@@ -1,0 +1,82 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark-trajectory file: a map from benchmark name to its measured
+// ns/op (and, with -benchmem, B/op and allocs/op). CI runs the benchmark
+// smoke pass through it and uploads the result (BENCH_<pr>.json) so the
+// repository accumulates a perf trajectory across PRs.
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measurements.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"B_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_op,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Benchmark<Name>-<P> <N> <ns> ns/op [<B> B/op <allocs> allocs/op]
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the GOMAXPROCS suffix so names are machine-portable.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := Metrics{}
+		var err error
+		if m.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+			continue
+		}
+		for i := 3; i+2 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i+1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+2] {
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		out[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -36,11 +36,14 @@ import (
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
 	"xmatch/internal/engine"
+	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
 	"xmatch/internal/matcher"
 	"xmatch/internal/schema"
 	"xmatch/internal/server"
+	"xmatch/internal/store"
+	"xmatch/internal/xmltree"
 	"xmatch/internal/xsd"
 )
 
@@ -57,6 +60,8 @@ func main() {
 		err = runMappings(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "index":
+		err = runIndex(os.Args[2:])
 	case "match":
 		err = runMatch(os.Args[2:])
 	case "keywords":
@@ -72,12 +77,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|match> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|index|match> [flags]
   stats    -d <D1..D10>                     matching and block-tree statistics
   mappings -d <D1..D10> [-n 10] [-m 100]    most probable mappings
   query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k);
            [-workers N] [-parallel=false]   ';'-separated twigs run as a batch
+           [-indexed=false]                 disable the positional index
            [-remote http://host:port]       ask a running xmatchd instead
+  index    -d <D1..D10> | -xml <file>       build the positional index, print
+           [-o <blob>] [-check]             its stats; -o persists it as a
+                                            store blob, -check verifies a
+                                            save/load round trip
   keywords -d <D1..D10> -w "a,b,c"          probabilistic keyword query
   match    -src <spec> -tgt <spec>          run the built-in matcher
            (files ending in .xsd are parsed as XML Schema)`)
@@ -178,6 +188,7 @@ func runQuery(args []string) error {
 	docNodes := fs.Int("doc", 3473, "source document size")
 	workers := fs.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = sequential)")
 	parallel := fs.Bool("parallel", true, "enable parallel evaluation (-parallel=false forces sequential)")
+	indexed := fs.Bool("indexed", true, "evaluate through the positional document index (-indexed=false forces the joined matcher)")
 	remote := fs.String("remote", "", "xmatchd base URL (e.g. http://localhost:8777); query the daemon's dataset named by -d instead of evaluating locally")
 	fs.Parse(args)
 	if *qtext == "" {
@@ -206,7 +217,7 @@ func runQuery(args []string) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "m", "doc", "workers", "parallel":
+			case "m", "doc", "workers", "parallel", "indexed":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -222,6 +233,9 @@ func runQuery(args []string) error {
 	}
 	d, _ := dataset.Load(*id)
 	doc := d.OrderDocument(*docNodes, 42)
+	if *indexed {
+		index.Attach(doc)
+	}
 	bt, err := core.Build(set, core.DefaultOptions())
 	if err != nil {
 		return err
@@ -335,6 +349,69 @@ func postJSON(client *http.Client, url string, in, out any) error {
 		return fmt.Errorf("remote: status %s", resp.Status)
 	}
 	return json.Unmarshal(data, out)
+}
+
+// runIndex builds the positional index over a dataset's generated document
+// (or an XML file) and prints its statistics; -o persists it as a store
+// blob for catalog manifests, -check round-trips the blob through
+// save/load verification.
+func runIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	id := fs.String("d", "D7", "dataset ID (ignored with -xml)")
+	xmlPath := fs.String("xml", "", "index an XML document file instead of a generated dataset document")
+	docNodes := fs.Int("doc", 3473, "generated document size")
+	seed := fs.Int64("seed", 42, "document generator seed")
+	out := fs.String("o", "", "write the index as a store blob to this path")
+	check := fs.Bool("check", false, "verify a save/load round trip of the blob")
+	fs.Parse(args)
+
+	var doc *xmltree.Document
+	var source string
+	if *xmlPath != "" {
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			return err
+		}
+		doc, err = xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		source = *xmlPath
+	} else {
+		d, err := dataset.Load(*id)
+		if err != nil {
+			return err
+		}
+		doc = d.OrderDocument(*docNodes, *seed)
+		source = fmt.Sprintf("%s (doc=%d seed=%d)", *id, *docNodes, *seed)
+	}
+
+	ix := index.Build(doc)
+	st := ix.Stats()
+	fmt.Printf("index %s: %d nodes\n", source, doc.Len())
+	fmt.Printf("postings: %d over %d distinct paths, %d value keys\n",
+		st.Postings, st.DistinctPaths, st.ValueKeys)
+	fmt.Printf("resident: %dB, built in %v\n", st.ResidentBytes, st.BuildTime.Round(time.Microsecond))
+
+	var blob bytes.Buffer
+	if err := store.SaveIndex(&blob, ix); err != nil {
+		return err
+	}
+	fmt.Printf("blob: %dB\n", blob.Len())
+	if *check {
+		if _, err := store.LoadIndex(bytes.NewReader(blob.Bytes()), doc); err != nil {
+			return fmt.Errorf("index: round-trip verification failed: %w", err)
+		}
+		fmt.Println("round trip: ok")
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, blob.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
 }
 
 func runMatch(args []string) error {

@@ -136,8 +136,10 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau fl
 	}
 	var names []string
 	for _, d := range srv.Catalog().Datasets() {
-		names = append(names, fmt.Sprintf("%s(|M|=%d doc=%d blocks=%d)",
-			d.Name, d.Set.Len(), d.Doc.Len(), d.Tree.Stats().NumBlocks))
+		xs := d.Index.Stats()
+		names = append(names, fmt.Sprintf("%s(|M|=%d doc=%d blocks=%d idx=%dB/%v)",
+			d.Name, d.Set.Len(), d.Doc.Len(), d.Tree.Stats().NumBlocks,
+			xs.ResidentBytes, xs.BuildTime.Round(time.Millisecond)))
 	}
 	log.Printf("xmatchd: catalog ready in %v: %s", time.Since(start).Round(time.Millisecond), strings.Join(names, " "))
 	log.Printf("xmatchd: listening on %s", addr)

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+// Matcher is the pluggable twig-matching seam of PTQ evaluation: every
+// rewritten pattern (whole queries in Algorithm 3, subtrees and single
+// nodes in Algorithm 4) is matched against the document through it. A
+// Matcher must return matches byte-identical in content and order to
+// twig.MatchByPaths — evaluation correctness (memoization, block sharing,
+// result merging, the engine's parallel chunking) is proven against that
+// contract.
+//
+// The positional index of internal/index implements Matcher; attaching it
+// to a document (index.Attach) routes all evaluation over that document —
+// basic, block-tree, top-k, keyword-embedded and aggregate alike — through
+// the holistic indexed matcher. The index is discovered through the
+// document's accelerator slot rather than passed parameter-by-parameter,
+// so one dataset-wide index built at prepare time serves every mapping of
+// the set with zero per-query plumbing and zero synchronization.
+type Matcher interface {
+	MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.PathBinding) []twig.Match
+}
+
+// matchPattern evaluates one rewritten pattern subtree over the document:
+// through the document's attached Matcher when present, through the joined
+// evaluator twig.MatchByPaths otherwise.
+func matchPattern(doc *xmltree.Document, qn *twig.Node, paths twig.PathBinding) []twig.Match {
+	if m, ok := doc.Accel().(Matcher); ok {
+		return m.MatchTwig(doc, qn, paths)
+	}
+	return twig.MatchByPaths(doc, qn, paths)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"xmatch/internal/mapping"
@@ -79,7 +80,7 @@ func EvaluateBasicMapping(q *Query, emb twig.Embedding, mi int, set *mapping.Set
 	if !ok {
 		return nil
 	}
-	return twig.MatchByPaths(doc, q.Pattern.Root, binding)
+	return matchPattern(doc, q.Pattern.Root, binding)
 }
 
 // Evaluate answers the PTQ with Algorithm 4 (twig_query_tree): query
@@ -297,13 +298,13 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 	for _, mi := range relevant {
 		m := set.Mappings[mi]
 		s, _ := m.SourceFor(elemID)
-		key := fmt.Sprintf("n%d:%d", qn.Index, s)
+		key := string(appendNodeKey(make([]byte, 0, 16), 'n', qn.Index, s))
 		if matches, ok := cache.get(key); ok {
 			r0[mi] = matches
 			continue
 		}
 		binding := twig.PathBinding{root0: set.Source.ByID(s).Path}
-		matches := twig.MatchByPaths(doc, root0, binding)
+		matches := matchPattern(doc, root0, binding)
 		// Re-key matches to the original query node.
 		rekeyed := make([]twig.Match, len(matches))
 		for i, mt := range matches {
@@ -325,20 +326,23 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 }
 
 // cachedSubtreeEval evaluates the query subtree for one mapping, memoized
-// by the mapping's source choices over the subtree.
+// by the mapping's source choices over the subtree. The memo key is built
+// with strconv appends into one preallocated buffer — this runs once per
+// (mapping, subtree) on the hot path, and fmt-formatted keys dominated its
+// allocation profile (see BenchmarkMatchKey for the pattern).
 func cachedSubtreeEval(q *Query, emb twig.Embedding, qn *twig.Node, mi int,
 	set *mapping.Set, doc *xmltree.Document, cache *evalCache) []twig.Match {
 
 	m := set.Mappings[mi]
-	var b strings.Builder
-	fmt.Fprintf(&b, "s%d", qn.Index)
+	kb := appendNodeKey(make([]byte, 0, 8+8*q.Pattern.Size()), 's', qn.Index, -1)
 	var sig func(n *twig.Node) bool
 	sig = func(n *twig.Node) bool {
 		s, ok := m.SourceFor(emb[n.Index])
 		if !ok {
 			return false
 		}
-		fmt.Fprintf(&b, ":%d", s)
+		kb = append(kb, ':')
+		kb = strconv.AppendInt(kb, int64(s), 10)
 		for _, c := range n.Children {
 			if !sig(c) {
 				return false
@@ -349,13 +353,25 @@ func cachedSubtreeEval(q *Query, emb twig.Embedding, qn *twig.Node, mi int,
 	if !sig(qn) {
 		return nil
 	}
-	key := b.String()
+	key := string(kb)
 	if matches, ok := cache.get(key); ok {
 		return matches
 	}
 	matches := matchSubtreeWithMapping(q, emb, qn, m, set, doc)
 	cache.put(key, matches)
 	return matches
+}
+
+// appendNodeKey appends a memo-key prefix: a tag byte and the subtree
+// root's pattern index, plus one source element ID when s >= 0.
+func appendNodeKey(buf []byte, tag byte, index, s int) []byte {
+	buf = append(buf, tag)
+	buf = strconv.AppendInt(buf, int64(index), 10)
+	if s >= 0 {
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(s), 10)
+	}
+	return buf
 }
 
 // matchSubtreeWithBlock evaluates the query subtree once using a block's
@@ -382,7 +398,7 @@ func matchSubtreeWithBlock(q *Query, emb twig.Embedding, qn *twig.Node, b *Block
 	if !collect(qn) || !bindingNests(qn, binding) {
 		return nil
 	}
-	return twig.MatchByPaths(doc, qn, binding)
+	return matchPattern(doc, qn, binding)
 }
 
 // matchSubtreeWithMapping evaluates the query subtree for one mapping.
@@ -407,7 +423,7 @@ func matchSubtreeWithMapping(q *Query, emb twig.Embedding, qn *twig.Node, m *map
 	if !collect(qn) || !bindingNests(qn, binding) {
 		return nil
 	}
-	return twig.MatchByPaths(doc, qn, binding)
+	return matchPattern(doc, qn, binding)
 }
 
 // ResultMerger accumulates per-mapping matches across embeddings,

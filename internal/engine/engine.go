@@ -9,7 +9,11 @@
 // The engine is a pure orchestration layer: every algorithmic decision stays
 // in internal/core, and for any worker count the engine returns results
 // byte-identical to the sequential core evaluators — same mapping order,
-// same match order, same probabilities (see the differential tests).
+// same match order, same probabilities (see the differential tests). That
+// includes the matching backend: when a positional index (internal/index)
+// is attached to the document, every worker evaluates through it — the
+// index is immutable, so the workers share it with zero synchronization
+// (indexed_test.go runs this composition under -race).
 package engine
 
 import (

@@ -1,0 +1,169 @@
+// Package index provides a persisted positional document index and a
+// holistic twig-pattern matcher over it — the document-side complement of
+// the block tree of Cheng, Gong and Cheung (ICDE 2010). The block tree
+// shares query work *across mappings*; the index shares document access
+// across the whole mapping set: every mapping binds pattern nodes to
+// dotted document paths, so one immutable per-path postings index serves
+// every rewritten query of every mapping, and is built once per dataset.
+//
+// The index stores, per dotted path, the region encodings (start, end,
+// level) of the path's document nodes in document order — the interval
+// numbering of Al-Khalifa et al. (ICDE 2002) — plus a value index keyed by
+// (path, text) so value predicates become O(1) lookups instead of
+// candidate-list scans. MatchTwig evaluates a rewritten twig pattern over
+// these postings with a holistic two-phase join (TwigStack/TwigList
+// family): linear postings merges prune every candidate that cannot appear
+// in a complete match before any intermediate match list is materialized,
+// and the final enumeration emits twig.Match lists byte-identical in
+// content and order to twig.MatchByPaths (the ordering contract the
+// differential tests and FuzzMatchTwig pin down).
+//
+// An Index is immutable after Build and safe for unsynchronized concurrent
+// readers; Attach hangs it off its document's accelerator slot, which is
+// how internal/core's Matcher seam discovers it.
+package index
+
+import (
+	"sort"
+	"time"
+
+	"xmatch/internal/xmltree"
+)
+
+// Posting is one indexed document node: its region encoding plus the node
+// itself. Start/End/Level mirror the node's interval numbering so the merge
+// loops of the holistic join scan flat arrays instead of chasing node
+// pointers; the Node is touched only when a match is emitted.
+type Posting struct {
+	Start, End int32
+	Level      int32
+	Node       *xmltree.Node
+}
+
+// valueKey keys the value index: exact node text under one path.
+type valueKey struct {
+	path, text string
+}
+
+// Index is an immutable positional index over one document.
+type Index struct {
+	doc    *xmltree.Document
+	paths  map[string][]Posting   // dotted path -> postings in document order
+	values map[valueKey][]Posting // (path, text) -> postings in document order
+
+	stats Stats
+}
+
+// Stats describes an index for observability (/statsz, the CLI's index
+// subcommand) and capacity planning.
+type Stats struct {
+	// BuildTime is the wall time Build took.
+	BuildTime time.Duration
+	// Postings is the number of region postings (one per document node).
+	Postings int
+	// DistinctPaths is the number of distinct dotted paths indexed.
+	DistinctPaths int
+	// ValueKeys is the number of distinct (path, text) value-index keys.
+	ValueKeys int
+	// ResidentBytes estimates the index's in-memory footprint: postings
+	// arrays (both maps) plus map-key string bytes. Node pointers are
+	// counted, the document itself is not.
+	ResidentBytes int
+}
+
+// Build constructs the index over doc in one preorder pass.
+func Build(doc *xmltree.Document) *Index {
+	start := time.Now()
+	ix := &Index{
+		doc:    doc,
+		paths:  make(map[string][]Posting),
+		values: make(map[valueKey][]Posting),
+	}
+	for _, n := range doc.Nodes() {
+		p := Posting{Start: int32(n.Start), End: int32(n.End), Level: int32(n.Level), Node: n}
+		ix.paths[n.Path] = append(ix.paths[n.Path], p)
+		if n.Text != "" {
+			ix.values[valueKey{n.Path, n.Text}] = append(ix.values[valueKey{n.Path, n.Text}], p)
+		}
+	}
+	ix.stats = ix.computeStats()
+	ix.stats.BuildTime = time.Since(start)
+	return ix
+}
+
+// Attach builds an index over doc and attaches it to the document's
+// accelerator slot, so internal/core's evaluation dispatches to the
+// holistic matcher. It returns the index. Attaching must happen before the
+// document is shared with concurrent readers.
+func Attach(doc *xmltree.Document) *Index {
+	ix := Build(doc)
+	doc.SetAccel(ix)
+	return ix
+}
+
+// For returns the index attached to doc, or nil.
+func For(doc *xmltree.Document) *Index {
+	ix, _ := doc.Accel().(*Index)
+	return ix
+}
+
+// Install attaches an already-built index to its own document's
+// accelerator slot — the counterpart of Attach for an index loaded from a
+// store blob.
+func (ix *Index) Install() { ix.doc.SetAccel(ix) }
+
+// Detach removes any index from the document's accelerator slot, so
+// evaluation falls back to the joined matcher (twig.MatchByPaths).
+func Detach(doc *xmltree.Document) { doc.SetAccel(nil) }
+
+// Document returns the document the index was built over.
+func (ix *Index) Document() *xmltree.Document { return ix.doc }
+
+// Stats returns the index statistics snapshot.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Postings returns the region postings of the given dotted path in
+// document order. The returned slice must not be modified.
+func (ix *Index) Postings(path string) []Posting { return ix.paths[path] }
+
+// ValuePostings returns the postings of nodes under path whose text equals
+// value, in document order. The returned slice must not be modified.
+func (ix *Index) ValuePostings(path, value string) []Posting {
+	return ix.values[valueKey{path, value}]
+}
+
+// Paths returns the indexed dotted paths, sorted. Used by persistence and
+// diagnostics; the hot path never calls it.
+func (ix *Index) Paths() []string {
+	out := make([]string, 0, len(ix.paths))
+	for p := range ix.paths {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValueTexts returns the distinct indexed text values under path, sorted.
+func (ix *Index) ValueTexts(path string) []string {
+	var out []string
+	for k := range ix.values {
+		if k.path == path {
+			out = append(out, k.text)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ix *Index) computeStats() Stats {
+	const postingBytes = 24 // 3×int32 (padded to 16) + pointer
+	st := Stats{DistinctPaths: len(ix.paths), ValueKeys: len(ix.values)}
+	for p, ps := range ix.paths {
+		st.Postings += len(ps)
+		st.ResidentBytes += len(p) + len(ps)*postingBytes
+	}
+	for k, ps := range ix.values {
+		st.ResidentBytes += len(k.path) + len(k.text) + len(ps)*postingBytes
+	}
+	return st
+}

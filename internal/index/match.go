@@ -1,0 +1,227 @@
+package index
+
+import (
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+// MatchTwig evaluates the rewritten pattern subtree rooted at qn over the
+// indexed document, returning matches byte-identical in content and order
+// to twig.MatchByPaths (the contract FuzzMatchTwig and the differential
+// tests pin). The signature satisfies internal/core's Matcher seam.
+//
+// The evaluation is a holistic two-phase join in the TwigStack/TwigList
+// family, specialized to the exact-path semantics of PTQ rewriting. Because
+// every candidate list holds nodes of one dotted path, and two nodes with
+// the same path can never nest (a descendant's path strictly extends its
+// ancestor's), each list is a disjoint, start-sorted interval sequence —
+// so every structural check is a linear two-pointer merge over region
+// encodings, no stacks or binary searches needed:
+//
+//  1. postings lookup: per pattern node, the path's postings — or, for a
+//     value predicate, the (path, text) value-index postings, making the
+//     predicate a hash lookup instead of a candidate scan;
+//  2. bottom-up usefulness: a candidate survives only if, for every
+//     pattern child, some surviving child candidate lies strictly inside
+//     its interval;
+//  3. top-down reachability: a candidate survives only if it lies strictly
+//     inside some surviving parent candidate.
+//
+// After the two passes, every remaining candidate participates in at least
+// one complete match (usefulness gives a complete match below it,
+// reachability a rooted partial match above it), so the enumeration phase
+// materializes no intermediate result that the joined evaluator's output
+// would discard — the intermediate-result blowup of per-subtree interval
+// joins is gone. Enumeration then mirrors MatchByPaths' candidate order
+// and mixed-radix product exactly, which is what makes the output order
+// identical.
+func (ix *Index) MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.PathBinding) []twig.Match {
+	if doc != ix.doc {
+		// Defensive: an index answers only for its own document.
+		return twig.MatchByPaths(doc, qn, paths)
+	}
+	// Fast path: a single-node pattern is a pure postings lookup.
+	if len(qn.Children) == 0 {
+		return emitSingles(qn, ix.candidates(qn, paths))
+	}
+
+	st := &twigState{}
+	st.collect(qn)
+	st.cand = make([][]Posting, len(st.nodes))
+	for i, n := range st.nodes {
+		ps := ix.candidates(n, paths)
+		if len(ps) == 0 {
+			return nil
+		}
+		// Shared, read-only: the pruning passes copy on first drop, so the
+		// common no-waste case (every candidate completes a match) touches
+		// the index's postings without allocating.
+		st.cand[i] = ps
+	}
+
+	// Bottom-up usefulness: reverse preorder visits children first.
+	for i := len(st.nodes) - 1; i >= 0; i-- {
+		n := st.nodes[i]
+		for _, c := range n.Children {
+			st.cand[i] = keepWithDescendant(st.cand[i], st.cand[st.ord(c)])
+			if len(st.cand[i]) == 0 {
+				return nil
+			}
+		}
+	}
+	// Top-down reachability: preorder visits parents first.
+	for i, n := range st.nodes {
+		for _, c := range n.Children {
+			ci := st.ord(c)
+			st.cand[ci] = keepInsideParent(st.cand[ci], st.cand[i])
+		}
+	}
+	return st.enumerate(qn)
+}
+
+// candidates returns the postings list for one pattern node: the value
+// index for value predicates, the path postings otherwise. The value index
+// holds only non-empty texts (Build skips text-less nodes), so an
+// empty-string predicate — which the joined evaluator satisfies with
+// text-less nodes — filters the path postings directly.
+func (ix *Index) candidates(n *twig.Node, paths twig.PathBinding) []Posting {
+	if n.HasValue {
+		if n.Value == "" {
+			return filterCOW(ix.Postings(paths[n]), func(p Posting) bool { return p.Node.Text == "" })
+		}
+		return ix.ValuePostings(paths[n], n.Value)
+	}
+	return ix.Postings(paths[n])
+}
+
+// twigState is the per-evaluation working set: the pattern subtree in
+// preorder and one candidate list per pattern node. Patterns are tiny
+// (Parse caps them at 64 nodes, the paper's workload peaks at 7), so
+// ordinals are found by pointer scan rather than a map.
+type twigState struct {
+	nodes []*twig.Node
+	cand  [][]Posting
+}
+
+func (st *twigState) collect(n *twig.Node) {
+	st.nodes = append(st.nodes, n)
+	for _, c := range n.Children {
+		st.collect(c)
+	}
+}
+
+func (st *twigState) ord(n *twig.Node) int {
+	for i, m := range st.nodes {
+		if m == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// filterCOW retains the elements satisfying keep, which is called exactly
+// once per element in list order. It returns list itself when nothing is
+// dropped — the common case on productive workloads — and a fresh slice
+// otherwise, so shared index postings are never mutated.
+func filterCOW(list []Posting, keep func(Posting) bool) []Posting {
+	for i := range list {
+		if keep(list[i]) {
+			continue
+		}
+		out := append(make([]Posting, 0, len(list)-1), list[:i]...)
+		for _, p := range list[i+1:] {
+			if keep(p) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return list
+}
+
+// keepWithDescendant retains the parents with at least one child posting
+// strictly inside their interval. Both lists are start-sorted sequences of
+// pairwise-disjoint intervals, so one forward merge suffices: the first
+// child past a parent's start decides.
+func keepWithDescendant(parents, children []Posting) []Posting {
+	j := 0
+	return filterCOW(parents, func(p Posting) bool {
+		for j < len(children) && children[j].Start <= p.Start {
+			j++
+		}
+		return j < len(children) && children[j].Start < p.End
+	})
+}
+
+// keepInsideParent retains the children strictly inside some parent
+// posting. A child whose start falls inside a parent's interval is a
+// descendant of it, so the start alone decides.
+func keepInsideParent(children, parents []Posting) []Posting {
+	j := 0
+	return filterCOW(children, func(c Posting) bool {
+		for j < len(parents) && parents[j].End < c.Start {
+			j++
+		}
+		return j < len(parents) && parents[j].Start < c.Start
+	})
+}
+
+// emitSingles materializes single-binding matches in postings order.
+func emitSingles(qn *twig.Node, ps []Posting) []twig.Match {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]twig.Match, len(ps))
+	for i, p := range ps {
+		out[i] = twig.Match{{Q: qn, D: p.Node}}
+	}
+	return out
+}
+
+// enumerate materializes matches bottom-up from the pruned candidate
+// lists, mirroring MatchByPaths' combination step: candidates in document
+// order, one contiguous run of sub-matches per child, runs combined by a
+// mixed-radix counter with the last child varying fastest. Sub-match lists
+// are ordered by their root binding's start, so run boundaries advance
+// monotonically with the parent candidates — per-child cursors replace the
+// joined evaluator's binary searches.
+func (st *twigState) enumerate(n *twig.Node) []twig.Match {
+	cands := st.cand[st.ord(n)]
+	if len(n.Children) == 0 {
+		return emitSingles(n, cands)
+	}
+	sub := make([][]twig.Match, len(n.Children))
+	for i, c := range n.Children {
+		sub[i] = st.enumerate(c)
+	}
+	cursors := make([]int, len(n.Children))
+	runs := make([][]twig.Match, len(n.Children))
+	var out []twig.Match
+	for _, d := range cands {
+		ok := true
+		for i := range n.Children {
+			lo := cursors[i]
+			for lo < len(sub[i]) && int32(sub[i][lo][0].D.Start) <= d.Start {
+				lo++
+			}
+			hi := lo
+			for hi < len(sub[i]) && int32(sub[i][hi][0].D.Start) < d.End {
+				hi++
+			}
+			cursors[i] = hi
+			runs[i] = sub[i][lo:hi]
+			if lo == hi {
+				// Unreachable after the two pruning passes (every kept
+				// parent has a kept child inside, and every kept child
+				// roots a complete match); defensive only.
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = twig.AppendProduct(out, twig.Match{{Q: n, D: d.Node}}, runs)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xmatch/internal/xmltree"
+)
+
+// Snapshot is the persistable form of an Index: the region encodings and
+// value keys with no node pointers. internal/store serializes it as a
+// versioned blob; FromSnapshot re-binds it to a live document, verifying
+// every posting against the document so a stale or corrupted blob is
+// rejected instead of silently mis-answering queries.
+type Snapshot struct {
+	// DocNodes is the node count of the document the index was built over.
+	DocNodes int
+	// Paths holds one entry per indexed dotted path, sorted by path.
+	Paths []SnapshotPath
+	// Values holds one entry per (path, text) value key, sorted.
+	Values []SnapshotValue
+}
+
+// SnapshotPath is the persisted postings list of one dotted path.
+type SnapshotPath struct {
+	Path                 string
+	Starts, Ends, Levels []int32
+}
+
+// SnapshotValue is the persisted postings list of one value key. Region
+// data is not repeated: the starts identify nodes already described by the
+// path postings.
+type SnapshotValue struct {
+	Path, Text string
+	Starts     []int32
+}
+
+// Snapshot extracts the persistable form of the index. Entries are sorted,
+// so two snapshots of the same index serialize to identical bytes.
+func (ix *Index) Snapshot() *Snapshot {
+	snap := &Snapshot{DocNodes: ix.doc.Len()}
+	for _, path := range ix.Paths() {
+		ps := ix.paths[path]
+		sp := SnapshotPath{
+			Path:   path,
+			Starts: make([]int32, len(ps)),
+			Ends:   make([]int32, len(ps)),
+			Levels: make([]int32, len(ps)),
+		}
+		for i, p := range ps {
+			sp.Starts[i], sp.Ends[i], sp.Levels[i] = p.Start, p.End, p.Level
+		}
+		snap.Paths = append(snap.Paths, sp)
+	}
+	keys := make([]valueKey, 0, len(ix.values))
+	for k := range ix.values {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].text < keys[j].text
+	})
+	for _, k := range keys {
+		ps := ix.values[k]
+		sv := SnapshotValue{Path: k.path, Text: k.text, Starts: make([]int32, len(ps))}
+		for i, p := range ps {
+			sv.Starts[i] = p.Start
+		}
+		snap.Values = append(snap.Values, sv)
+	}
+	return snap
+}
+
+// FromSnapshot re-binds a snapshot to doc, verifying it posting by
+// posting: every start must resolve to a document node whose path, region
+// encoding, and (for value entries) text agree with the snapshot, postings
+// must be in document order, and every document node must be covered
+// exactly once. Any disagreement — a corrupted blob, or a blob built over
+// a different document — is reported as an error; internal/store wraps it
+// as a *FormatError.
+func FromSnapshot(doc *xmltree.Document, snap *Snapshot) (*Index, error) {
+	start := time.Now()
+	if snap.DocNodes != doc.Len() {
+		return nil, fmt.Errorf("index snapshot covers %d nodes, document has %d", snap.DocNodes, doc.Len())
+	}
+	byStart := make(map[int32]*xmltree.Node, doc.Len())
+	for _, n := range doc.Nodes() {
+		byStart[int32(n.Start)] = n
+	}
+	ix := &Index{
+		doc:    doc,
+		paths:  make(map[string][]Posting, len(snap.Paths)),
+		values: make(map[valueKey][]Posting, len(snap.Values)),
+	}
+	total := 0
+	for _, sp := range snap.Paths {
+		if len(sp.Starts) != len(sp.Ends) || len(sp.Starts) != len(sp.Levels) {
+			return nil, fmt.Errorf("index snapshot path %q: region arrays disagree (%d/%d/%d)",
+				sp.Path, len(sp.Starts), len(sp.Ends), len(sp.Levels))
+		}
+		if _, dup := ix.paths[sp.Path]; dup || len(sp.Starts) == 0 {
+			return nil, fmt.Errorf("index snapshot path %q: duplicate or empty entry", sp.Path)
+		}
+		ps := make([]Posting, len(sp.Starts))
+		prev := int32(0)
+		for i := range sp.Starts {
+			n := byStart[sp.Starts[i]]
+			if n == nil {
+				return nil, fmt.Errorf("index snapshot path %q: start %d resolves to no node", sp.Path, sp.Starts[i])
+			}
+			if n.Path != sp.Path || int32(n.End) != sp.Ends[i] || int32(n.Level) != sp.Levels[i] {
+				return nil, fmt.Errorf("index snapshot path %q: posting %d disagrees with document node (path %q, region %d:%d@%d)",
+					sp.Path, i, n.Path, n.Start, n.End, n.Level)
+			}
+			if sp.Starts[i] <= prev {
+				return nil, fmt.Errorf("index snapshot path %q: postings out of document order", sp.Path)
+			}
+			prev = sp.Starts[i]
+			ps[i] = Posting{Start: sp.Starts[i], End: sp.Ends[i], Level: sp.Levels[i], Node: n}
+		}
+		ix.paths[sp.Path] = ps
+		total += len(ps)
+	}
+	if total != doc.Len() {
+		return nil, fmt.Errorf("index snapshot has %d postings, document has %d nodes", total, doc.Len())
+	}
+	covered := make(map[*xmltree.Node]bool)
+	for _, sv := range snap.Values {
+		key := valueKey{sv.Path, sv.Text}
+		if _, dup := ix.values[key]; dup || len(sv.Starts) == 0 || sv.Text == "" {
+			return nil, fmt.Errorf("index snapshot value (%q, %q): duplicate, empty, or textless entry", sv.Path, sv.Text)
+		}
+		ps := make([]Posting, len(sv.Starts))
+		prev := int32(0)
+		for i, s := range sv.Starts {
+			n := byStart[s]
+			if n == nil || n.Path != sv.Path || n.Text != sv.Text {
+				return nil, fmt.Errorf("index snapshot value (%q, %q): start %d disagrees with document", sv.Path, sv.Text, s)
+			}
+			if s <= prev {
+				return nil, fmt.Errorf("index snapshot value (%q, %q): postings out of document order", sv.Path, sv.Text)
+			}
+			prev = s
+			ps[i] = Posting{Start: s, End: int32(n.End), Level: int32(n.Level), Node: n}
+			covered[n] = true
+		}
+		ix.values[key] = ps
+	}
+	// Every text-bearing node must have its value entry, or value-predicate
+	// lookups would silently miss matches. Each covered node was verified
+	// above to sit under its own (path, text) key.
+	for _, n := range doc.Nodes() {
+		if n.Text != "" && !covered[n] {
+			return nil, fmt.Errorf("index snapshot misses value entry for node %q (%q)", n.Path, n.Text)
+		}
+	}
+	ix.stats = ix.computeStats()
+	ix.stats.BuildTime = time.Since(start)
+	return ix, nil
+}

@@ -10,6 +10,7 @@ import (
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
 	"xmatch/internal/engine"
+	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
 	"xmatch/internal/schema"
@@ -18,19 +19,23 @@ import (
 )
 
 // Dataset is one prepared serving tenant: a mapping set, the document it is
-// queried over, the block tree, and a per-dataset engine (own worker pool
-// and prepared-query cache), all immutable once built — a hot reload swaps
-// whole datasets, never mutates one.
+// queried over, its positional index, the block tree, and a per-dataset
+// engine (own worker pool and prepared-query cache), all immutable once
+// built — a hot reload swaps whole datasets, never mutates one. The index
+// is attached to the document before the dataset is published, so every
+// engine worker shares it read-only with zero synchronization.
 type Dataset struct {
 	Name   string
 	Set    *mapping.Set
 	Doc    *xmltree.Document
+	Index  *index.Index
 	Tree   *core.BlockTree
 	Engine *engine.Engine
 }
 
-// NewDataset builds a serving dataset: block tree (tau 0 = default 0.2)
-// plus a dedicated engine.
+// NewDataset builds a serving dataset: block tree (tau 0 = default 0.2),
+// positional index (built here unless one — typically loaded from a store
+// blob — is already attached to the document), plus a dedicated engine.
 func NewDataset(name string, set *mapping.Set, doc *xmltree.Document, tau float64, eopts engine.Options) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: dataset has no name")
@@ -39,10 +44,14 @@ func NewDataset(name string, set *mapping.Set, doc *xmltree.Document, tau float6
 	if err != nil {
 		return nil, fmt.Errorf("server: dataset %s: %w", name, err)
 	}
+	ix := index.For(doc)
+	if ix == nil {
+		ix = index.Attach(doc)
+	}
 	if eopts.Workers == 0 {
 		eopts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Dataset{Name: name, Set: set, Doc: doc, Tree: bt, Engine: engine.New(eopts)}, nil
+	return &Dataset{Name: name, Set: set, Doc: doc, Index: ix, Tree: bt, Engine: engine.New(eopts)}, nil
 }
 
 // Catalog is an immutable snapshot of the serving datasets, looked up by
@@ -148,6 +157,21 @@ func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*
 			}
 		} else {
 			doc = instantiateSchema(set.Source, e.DocSeed)
+		}
+		if e.IndexPath != "" {
+			// A persisted index skips the build; LoadIndex verifies it
+			// against the document, so a stale blob fails the (re)load
+			// instead of serving wrong answers.
+			xf, err := os.Open(filepath.Join(baseDir, e.IndexPath))
+			if err != nil {
+				return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
+			}
+			ix, err := store.LoadIndex(xf, doc)
+			xf.Close()
+			if err != nil {
+				return nil, fmt.Errorf("server: dataset %s: index %s: %w", e.Name, e.IndexPath, err)
+			}
+			ix.Install()
 		}
 	}
 	return NewDataset(e.Name, set, doc, e.Tau, eopts)

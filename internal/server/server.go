@@ -371,13 +371,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// DatasetStats is one dataset's /statsz row.
+// DatasetStats is one dataset's /statsz row. The index fields describe the
+// dataset's positional index: how long the current catalog snapshot took
+// to build (or verify-load) it, its resident footprint, and its postings
+// volume — the capacity signals for sizing a multi-tenant deployment.
 type DatasetStats struct {
 	Name           string `json:"name"`
 	CacheHits      uint64 `json:"cacheHits"`
 	CacheMisses    uint64 `json:"cacheMisses"`
 	CacheEvictions uint64 `json:"cacheEvictions"`
 	CacheEntries   int    `json:"cacheEntries"`
+
+	IndexBuildMs  float64 `json:"indexBuildMs"`
+	IndexBytes    int     `json:"indexBytes"`
+	IndexPostings int     `json:"indexPostings"`
+	IndexPaths    int     `json:"indexPaths"`
 }
 
 // Stats is the /statsz payload.
@@ -411,12 +419,17 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, d := range s.Catalog().Datasets() {
 		cs := d.Engine.CacheStats()
+		xs := d.Index.Stats()
 		st.Datasets = append(st.Datasets, DatasetStats{
 			Name:           d.Name,
 			CacheHits:      cs.Hits,
 			CacheMisses:    cs.Misses,
 			CacheEvictions: cs.Evictions,
 			CacheEntries:   cs.Entries,
+			IndexBuildMs:   float64(xs.BuildTime.Microseconds()) / 1e3,
+			IndexBytes:     xs.ResidentBytes,
+			IndexPostings:  xs.Postings,
+			IndexPaths:     xs.DistinctPaths,
 		})
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -10,6 +10,7 @@ package server_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -21,8 +22,10 @@ import (
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
 	"xmatch/internal/engine"
+	"xmatch/internal/index"
 	"xmatch/internal/server"
 	"xmatch/internal/store"
+	"xmatch/internal/xmltree"
 )
 
 // fixture holds one serving dataset alongside the direct (sequential core)
@@ -521,6 +524,155 @@ func TestBatchAnswersWithColdCache(t *testing.T) {
 	if !bytes.Equal(got.Responses[0].Answers, wantAnswers) {
 		t.Errorf("cold-cache batch answers differ from sequential core:\ngot  %s\nwant %s",
 			got.Responses[0].Answers, wantAnswers)
+	}
+}
+
+// TestStatszIndexStats asserts the per-dataset positional-index rows of
+// /statsz: present at startup, and refreshed (still present and sane)
+// after a reload rebuilds the catalog.
+func TestStatszIndexStats(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	check := func(phase string) {
+		t.Helper()
+		resp, body := getJSON(t, env.ts.URL+"/statsz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: statsz status %d", phase, resp.StatusCode)
+		}
+		var st server.Stats
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Datasets) != 2 {
+			t.Fatalf("%s: %d dataset rows, want 2", phase, len(st.Datasets))
+		}
+		for _, ds := range st.Datasets {
+			d := env.srv.Catalog().Get(ds.Name)
+			if d == nil {
+				t.Fatalf("%s: statsz row for unknown dataset %q", phase, ds.Name)
+			}
+			if ds.IndexPostings != d.Doc.Len() {
+				t.Errorf("%s %s: indexPostings = %d, want one per node = %d", phase, ds.Name, ds.IndexPostings, d.Doc.Len())
+			}
+			if ds.IndexBytes <= 0 || ds.IndexPaths <= 0 {
+				t.Errorf("%s %s: implausible index stats %+v", phase, ds.Name, ds)
+			}
+			if ds.IndexBuildMs <= 0 {
+				t.Errorf("%s %s: indexBuildMs = %v, want > 0", phase, ds.Name, ds.IndexBuildMs)
+			}
+		}
+	}
+	check("startup")
+	if resp, body := postJSON(t, env.ts.URL+"/v1/admin/reload", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, body)
+	}
+	check("after reload")
+}
+
+// TestIndexBlobCatalog serves a catalog whose entry references a persisted
+// index blob, asserts it answers identically to a freshly built index, and
+// that corrupted or stale index blobs fail the catalog build with the
+// typed store error.
+func TestIndexBlobCatalog(t *testing.T) {
+	dir := t.TempDir()
+	base, err := server.BuildCatalog(manifest(), ".", engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := base.Get("small")
+
+	writeFile := func(name string, write func(f *os.File) error) string {
+		t.Helper()
+		f, err := os.Create(dir + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return name
+	}
+	setPath := writeFile("small.set", func(f *os.File) error { return store.SaveSet(f, orig.Set) })
+	docPath := writeFile("small.xml", func(f *os.File) error { return orig.Doc.WriteXML(f) })
+
+	// The index blob must be built over the exact document the entry will
+	// load, so round-trip the document first.
+	df, err := os.Open(dir + "/" + docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := xmltree.Parse(df)
+	df.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxPath := writeFile("small.idx", func(f *os.File) error { return store.SaveIndex(f, index.Build(reloaded)) })
+
+	man := &store.Catalog{Entries: []store.CatalogEntry{
+		{Name: "frozen", SetPath: setPath, DocPath: docPath, IndexPath: idxPath},
+	}}
+	cat, err := server.BuildCatalog(man, dir, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cat.Get("frozen")
+	if d.Index == nil || d.Index.Stats().Postings != d.Doc.Len() {
+		t.Fatalf("blob-loaded index missing or wrong: %+v", d.Index)
+	}
+	// Differential: the blob-loaded index answers like a built one.
+	pattern := leafPatterns(t, d, 2)[0]
+	q, err := core.PrepareQuery(pattern, d.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(core.ToWire(core.EvaluateBasic(q, d.Set, d.Doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := server.NewDataset("fresh", orig.Set, orig.Doc, 0, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := core.PrepareQuery(pattern, fresh.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(core.ToWire(core.EvaluateBasic(q2, fresh.Set, fresh.Doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("blob-loaded index diverged:\ngot  %s\nwant %s", got, want)
+	}
+
+	// A corrupted index blob fails the build with the typed error.
+	raw, err := os.ReadFile(dir + "/" + idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	badPath := writeFile("bad.idx", func(f *os.File) error { _, err := f.Write(raw); return err })
+	badMan := &store.Catalog{Entries: []store.CatalogEntry{
+		{Name: "frozen", SetPath: setPath, DocPath: docPath, IndexPath: badPath},
+	}}
+	_, err = server.BuildCatalog(badMan, dir, engine.Options{Workers: 2})
+	var fe *store.FormatError
+	if err == nil || !errors.As(err, &fe) {
+		t.Errorf("corrupted index blob: err = %v, want *store.FormatError", err)
+	}
+
+	// A stale index blob (document changed underneath) fails too.
+	otherDoc := writeFile("other.xml", func(f *os.File) error {
+		_, err := f.WriteString("<r><a>1</a></r>")
+		return err
+	})
+	staleMan := &store.Catalog{Entries: []store.CatalogEntry{
+		{Name: "frozen", SetPath: setPath, DocPath: otherDoc, IndexPath: idxPath},
+	}}
+	if _, err := server.BuildCatalog(staleMan, dir, engine.Options{Workers: 2}); err == nil || !errors.As(err, &fe) {
+		t.Errorf("stale index blob: err = %v, want *store.FormatError", err)
 	}
 }
 

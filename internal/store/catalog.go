@@ -33,6 +33,11 @@ type CatalogEntry struct {
 	// when empty a deterministic single-instance document is generated
 	// from the set's source schema.
 	DocPath string
+	// IndexPath optionally locates a positional-index blob (SaveIndex
+	// format) built over the entry's document, relative to the manifest's
+	// directory; when empty the index is built at catalog-prepare time.
+	// Manifest format v2; v1 manifests decode with it empty.
+	IndexPath string
 
 	// DocNodes is the synthetic document size (built-in entries);
 	// 0 means 3473, the paper's Order.xml.
@@ -64,6 +69,11 @@ func (c *Catalog) Validate() error {
 		}
 		if e.Mappings < 0 || e.DocNodes < 0 || e.Tau < 0 || e.Tau > 1 {
 			return formatErrorf("catalog entry %q: negative size or tau outside [0,1]", e.Name)
+		}
+		if e.IndexPath != "" && e.Dataset != "" {
+			// A built-in entry regenerates its document at load time, so a
+			// persisted index could only ever match by accident.
+			return formatErrorf("catalog entry %q: IndexPath requires a blob-backed entry", e.Name)
 		}
 	}
 	return nil

@@ -1,0 +1,47 @@
+package store
+
+import (
+	"encoding/gob"
+	"io"
+
+	"xmatch/internal/index"
+	"xmatch/internal/xmltree"
+)
+
+// Index blobs (format version 2) persist the positional document index of
+// internal/index: the per-path region postings and value keys, without
+// node pointers. Loading re-binds the snapshot to a live document and
+// verifies every posting against it, so a corrupted blob — or a stale one
+// whose document has since changed — surfaces as a *FormatError instead of
+// silently mis-answering queries. Catalog manifests reference index blobs
+// through CatalogEntry.IndexPath.
+
+// SaveIndex writes a positional index blob. Two saves of the same index
+// produce identical bytes (snapshot entries are sorted), so blobs can be
+// content-addressed or diffed.
+func SaveIndex(w io.Writer, ix *index.Index) error {
+	if err := writeHeader(w, "index"); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(ix.Snapshot())
+}
+
+// LoadIndex reads an index blob written by SaveIndex and re-binds it to
+// doc. Envelope violations, undecodable payloads, and snapshots that
+// disagree with the document are *FormatError; genuine read failures stay
+// unclassified.
+func LoadIndex(r io.Reader, doc *xmltree.Document) (*index.Index, error) {
+	dec, err := readHeader(r, "index")
+	if err != nil {
+		return nil, err
+	}
+	var snap index.Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		return nil, dec.classify(err, "decoding index")
+	}
+	ix, err := index.FromSnapshot(doc, &snap)
+	if err != nil {
+		return nil, &FormatError{Msg: "index blob disagrees with document: " + err.Error(), Err: err}
+	}
+	return ix, nil
+}

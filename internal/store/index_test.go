@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"reflect"
+	"testing"
+
+	"xmatch/internal/index"
+	"xmatch/internal/xmltree"
+)
+
+func indexDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(`<PO>
+		<Line><Num>1</Num><Qty>3</Qty></Line>
+		<Line><Num>2</Num><Qty>7</Qty></Line>
+	</PO>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestIndexGoldenRoundTrip: save → load → identical postings, and the
+// encoded bytes must be stable across two saves.
+func TestIndexGoldenRoundTrip(t *testing.T) {
+	doc := indexDoc(t)
+	ix := index.Build(doc)
+	var buf, buf2 bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(&buf2, ix); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two saves of the same index produced different bytes")
+	}
+	got, err := LoadIndex(bytes.NewReader(buf.Bytes()), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ix.Paths() {
+		if !reflect.DeepEqual(got.Postings(p), ix.Postings(p)) {
+			t.Errorf("postings for %q differ after round trip", p)
+		}
+	}
+	if !reflect.DeepEqual(got.ValuePostings("PO.Line.Qty", "7"), ix.ValuePostings("PO.Line.Qty", "7")) {
+		t.Error("value postings differ after round trip")
+	}
+	st := got.Stats()
+	if st.Postings != doc.Len() || st.ResidentBytes <= 0 {
+		t.Errorf("reloaded stats implausible: %+v", st)
+	}
+}
+
+// TestIndexCorruption: corrupted blobs — damaged envelope, flipped payload
+// bytes, or snapshots disagreeing with the document — are *FormatError.
+func TestIndexCorruption(t *testing.T) {
+	doc := indexDoc(t)
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, index.Build(doc)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"truncated magic": good[:4],
+		"flipped magic":   append([]byte("XMATCH9\n"), good[len(magic):]...),
+		"truncated body":  good[:len(good)-7],
+	}
+	// Flip one byte deep in the gob payload.
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-10] ^= 0xff
+	cases["flipped payload byte"] = flipped
+
+	for name, data := range cases {
+		_, err := LoadIndex(bytes.NewReader(data), doc)
+		if err == nil {
+			// A single flipped byte can survive gob decoding; it must then
+			// fail snapshot verification instead. Anything else is a bug.
+			t.Errorf("%s: load succeeded", name)
+			continue
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v (%T) is not a *FormatError", name, err, err)
+		}
+	}
+
+	// Wrong kind: a catalog blob is not an index.
+	var cat bytes.Buffer
+	if err := SaveCatalog(&cat, testCatalog()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(bytes.NewReader(cat.Bytes()), doc); err == nil {
+		t.Error("loading a catalog blob as an index succeeded")
+	} else {
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("wrong kind: error %v is not a *FormatError", err)
+		}
+	}
+}
+
+// TestIndexStaleDocument: a well-formed blob built over a *different*
+// document must be rejected as a *FormatError — the guard that makes
+// catalog reloads safe when a document changes under its index blob.
+func TestIndexStaleDocument(t *testing.T) {
+	doc := indexDoc(t)
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, index.Build(doc)); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"different shape": `<PO><Line><Num>1</Num></Line></PO>`,
+		"different text":  `<PO><Line><Num>1</Num><Qty>3</Qty></Line><Line><Num>2</Num><Qty>8</Qty></Line></PO>`,
+		"renamed element": `<PO><Line><Num>1</Num><Qty>3</Qty></Line><Row><Num>2</Num><Qty>7</Qty></Row></PO>`,
+	}
+	for name, xml := range cases {
+		other, err := xmltree.ParseString(xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadIndex(bytes.NewReader(buf.Bytes()), other)
+		if err == nil {
+			t.Errorf("%s: stale index blob accepted", name)
+			continue
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v is not a *FormatError", name, err)
+		}
+	}
+}
+
+// TestCatalogV1Compatibility: a manifest written with the version-1
+// envelope (the pre-IndexPath format) must still load, with IndexPath
+// empty; and future versions must be rejected.
+func TestCatalogV1Compatibility(t *testing.T) {
+	man := &Catalog{Entries: []CatalogEntry{
+		{Name: "orders", Dataset: "D7", Mappings: 100},
+		{Name: "frozen", SetPath: "blobs/frozen.set"},
+	}}
+	var buf bytes.Buffer
+	if err := writeHeaderVersion(&buf, "catalog", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&buf).Encode(man); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCatalog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 manifest rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, man) {
+		t.Errorf("v1 manifest round trip mismatch: %+v", got)
+	}
+	if got.Entries[0].IndexPath != "" {
+		t.Errorf("v1 entry grew an IndexPath: %q", got.Entries[0].IndexPath)
+	}
+
+	var future bytes.Buffer
+	if err := writeHeaderVersion(&future, "catalog", version+1); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&future).Encode(man); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadCatalog(bytes.NewReader(future.Bytes()))
+	var fe *FormatError
+	if err == nil || !errors.As(err, &fe) {
+		t.Errorf("future version accepted or misclassified: %v", err)
+	}
+}
+
+func TestCatalogIndexPathValidation(t *testing.T) {
+	// IndexPath on a built-in entry is invalid (the document is
+	// regenerated at load time); on a blob-backed entry it is fine.
+	bad := &Catalog{Entries: []CatalogEntry{{Name: "a", Dataset: "D1", IndexPath: "a.idx"}}}
+	var fe *FormatError
+	if err := bad.Validate(); err == nil || !errors.As(err, &fe) {
+		t.Errorf("IndexPath on built-in entry: %v", err)
+	}
+	good := &Catalog{Entries: []CatalogEntry{{Name: "a", SetPath: "a.set", IndexPath: "a.idx"}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("IndexPath on blob-backed entry rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCatalog(&buf, good); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCatalog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0].IndexPath != "a.idx" {
+		t.Errorf("IndexPath lost in round trip: %+v", got.Entries[0])
+	}
+}

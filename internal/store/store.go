@@ -18,8 +18,14 @@ import (
 )
 
 const (
-	magic   = "XMATCH1\n"
-	version = 1
+	magic = "XMATCH1\n"
+	// version is the blob format written by this build. Version 2 added
+	// index blobs and the optional index-blob reference on catalog
+	// entries; readers accept every version back to minVersion (gob
+	// ignores fields a payload lacks, so v1 blobs decode with the new
+	// fields zero-valued).
+	version    = 2
+	minVersion = 1
 )
 
 // FormatError reports a structurally invalid or corrupted store blob: bad
@@ -105,10 +111,16 @@ type setDTO struct {
 }
 
 func writeHeader(w io.Writer, kind string) error {
+	return writeHeaderVersion(w, kind, version)
+}
+
+// writeHeaderVersion writes the envelope with an explicit version; tests
+// use it to produce blobs of older format versions.
+func writeHeaderVersion(w io.Writer, kind string, v int) error {
 	if _, err := io.WriteString(w, magic); err != nil {
 		return err
 	}
-	return gob.NewEncoder(w).Encode(header{Version: version, Kind: kind})
+	return gob.NewEncoder(w).Encode(header{Version: v, Kind: kind})
 }
 
 // trackingReader remembers the first non-EOF error its underlying reader
@@ -167,8 +179,8 @@ func readHeader(r io.Reader, wantKind string) (*blobReader, error) {
 	if err := b.Decode(&h); err != nil {
 		return nil, b.classify(err, "reading header")
 	}
-	if h.Version != version {
-		return nil, formatErrorf("unsupported version %d (want %d)", h.Version, version)
+	if h.Version < minVersion || h.Version > version {
+		return nil, formatErrorf("unsupported version %d (want %d..%d)", h.Version, minVersion, version)
 	}
 	if h.Kind != wantKind {
 		return nil, formatErrorf("file contains a %s, want a %s", h.Kind, wantKind)

@@ -1,9 +1,8 @@
 package twig
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"xmatch/internal/xmltree"
 )
@@ -31,9 +30,9 @@ func (m Match) Get(qn *Node) *xmltree.Node {
 	return nil
 }
 
-// merge combines two matches over disjoint pattern-node sets into one,
+// Merge combines two matches over disjoint pattern-node sets into one,
 // preserving the preorder-index ordering.
-func (m Match) merge(o Match) Match {
+func (m Match) Merge(o Match) Match {
 	out := make(Match, 0, len(m)+len(o))
 	i, j := 0, 0
 	for i < len(m) && j < len(o) {
@@ -52,13 +51,19 @@ func (m Match) merge(o Match) Match {
 
 // Key returns a canonical identity for the match: the document Start
 // numbers of the bound nodes in pattern preorder. Useful for comparing and
-// deduplicating result sets.
+// deduplicating result sets. It sits on the result-merge hot path (every
+// match of every mapping is keyed for deduplication), so the key is built
+// with strconv appends into one preallocated buffer rather than fmt —
+// BenchmarkMatchKey tracks the allocation difference.
 func (m Match) Key() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 12*len(m))
 	for _, bd := range m {
-		fmt.Fprintf(&b, "%d:%d;", bd.Q.Index, bd.D.Start)
+		buf = strconv.AppendInt(buf, int64(bd.Q.Index), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(bd.D.Start), 10)
+		buf = append(buf, ';')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // PathBinding assigns every node of a pattern subtree the dotted document
@@ -119,7 +124,7 @@ func MatchByPaths(doc *xmltree.Document, qn *Node, paths PathBinding) []Match {
 			continue
 		}
 		base := Match{{Q: qn, D: d}}
-		out = appendProduct(out, base, runs)
+		out = AppendProduct(out, base, runs)
 	}
 	return out
 }
@@ -138,14 +143,18 @@ func within(matches []Match, root *Node, d *xmltree.Node) []Match {
 	return matches[lo:hi]
 }
 
-// appendProduct extends base with every combination of one match per run
-// and appends the results to out.
-func appendProduct(out []Match, base Match, runs [][]Match) []Match {
+// AppendProduct extends base with every combination of one match per run
+// and appends the results to out: runs are combined by a mixed-radix
+// counter with the last run varying fastest, each combination's bindings
+// merged in pattern-preorder. This enumeration order is part of the
+// matcher output contract — the holistic matcher of internal/index shares
+// it so its results stay byte-identical to MatchByPaths'.
+func AppendProduct(out []Match, base Match, runs [][]Match) []Match {
 	combo := make([]int, len(runs))
 	for {
 		m := base
 		for i, r := range runs {
-			m = m.merge(r[combo[i]])
+			m = m.Merge(r[combo[i]])
 		}
 		out = append(out, m)
 		// Advance the mixed-radix counter.
@@ -175,7 +184,7 @@ func StructuralJoin(outer []Match, outerNode *Node, inner []Match, innerRoot *No
 	for _, om := range outer {
 		d := om.Get(outerNode)
 		for _, im := range within(inner, innerRoot, d) {
-			out = append(out, om.merge(im))
+			out = append(out, om.Merge(im))
 		}
 	}
 	return out

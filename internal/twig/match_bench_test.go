@@ -1,0 +1,49 @@
+package twig
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// legacyKey is the fmt-based Match.Key implementation this PR replaced,
+// kept here so the benchmark pair documents the allocation drop: the
+// strconv-append version builds the key in one buffer, the fmt version
+// allocates per binding.
+func legacyKey(m Match) string {
+	var b strings.Builder
+	for _, bd := range m {
+		fmt.Fprintf(&b, "%d:%d;", bd.Q.Index, bd.D.Start)
+	}
+	return b.String()
+}
+
+func benchKeyMatch() Match {
+	doc := buildDoc()
+	p := MustParse("Order/POLine/Quantity")
+	n := p.Nodes()
+	ms := MatchByPaths(doc, p.Root, PathBinding{n[0]: "PO", n[1]: "PO.Line", n[2]: "PO.Line.Qty"})
+	if len(ms) == 0 {
+		panic("bench fixture has no matches")
+	}
+	return ms[0]
+}
+
+// BenchmarkMatchKey pairs the hot-path key builder against the legacy
+// fmt-based one; compare allocs/op to see the drop ResultMerger benefits
+// from on every deduplicated match.
+func BenchmarkMatchKey(b *testing.B) {
+	m := benchKeyMatch()
+	b.Run("strconv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.Key()
+		}
+	})
+	b.Run("legacy-fmt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = legacyKey(m)
+		}
+	})
+}

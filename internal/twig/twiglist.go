@@ -106,7 +106,7 @@ func enumerate(qn *Node, useful map[*Node][]*xmltree.Node) []Match {
 			if !ok {
 				continue
 			}
-			out = appendProduct(out, Match{{Q: n, D: d}}, runs)
+			out = AppendProduct(out, Match{{Q: n, D: d}}, runs)
 		}
 		return out
 	}

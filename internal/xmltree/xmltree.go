@@ -71,7 +71,21 @@ type Document struct {
 
 	nodes  []*Node            // preorder
 	byPath map[string][]*Node // dotted path -> nodes in preorder
+
+	// accel is an opaque accelerator attached by a higher layer (the
+	// positional index of internal/index); consumers type-assert against
+	// their own interfaces. The document never inspects it. See SetAccel.
+	accel any
 }
+
+// SetAccel attaches an opaque accelerator to the document (nil detaches).
+// Attachment is not synchronized: it must happen before the document is
+// shared with concurrent readers, after which the document — accelerator
+// included — is treated as immutable.
+func (d *Document) SetAccel(a any) { d.accel = a }
+
+// Accel returns the attached accelerator, or nil.
+func (d *Document) Accel() any { return d.accel }
 
 // New builds a Document around root, assigning interval numbers, levels and
 // paths to every node and building the path index.
