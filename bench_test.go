@@ -7,12 +7,14 @@ package xmatch_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
 	"xmatch/internal/assignment"
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
+	"xmatch/internal/delta"
 	"xmatch/internal/engine"
 	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
@@ -730,4 +732,54 @@ func BenchmarkAblationLazyMurty(b *testing.B) {
 			_ = g.TopHEager(10)
 		}
 	})
+}
+
+// BenchmarkDeltaApply vs BenchmarkIndexRebuild: the cost of absorbing a
+// small edit batch on the large Order document through the live mutation
+// subsystem (copy-on-write revision + index splice) against the cost the
+// pre-delta architecture paid — a full positional-index rebuild. The
+// delta path also re-derives the document's node list and path index, so
+// the comparison understates its advantage if anything. The CI bench gate
+// watches the pair: incremental maintenance must stay well ahead of the
+// rebuild (the PR-4 acceptance floor is 5x).
+func BenchmarkDeltaApply(b *testing.B) {
+	setup(b)
+	doc := fixD7.OrderDocument(3473, 43)
+	h := delta.Open(doc)
+	qty := doc.Paths()[0]
+	for _, p := range doc.Paths() {
+		if strings.HasSuffix(p, ".Quantity") {
+			qty = p
+			break
+		}
+	}
+	// Address targets by start number — the stable node identity the wire
+	// exposes (WireBinding.Start) and the form a mutation-heavy client
+	// uses. SetText clones keep their numbers, so the starts stay valid
+	// across iterations.
+	var starts []int
+	for _, n := range doc.NodesByPath(qty) {
+		starts = append(starts, n.Start)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Apply([]delta.Edit{
+			{Op: delta.OpSetText, Start: starts[i%len(starts)], Text: fmt.Sprintf("%d", i%50)},
+			{Op: delta.OpSetText, Start: starts[(i+7)%len(starts)], Text: fmt.Sprintf("%d", (i+9)%50)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexRebuild(b *testing.B) {
+	setup(b)
+	doc := fixD7.OrderDocument(3473, 43)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = index.Build(doc)
+	}
 }

@@ -4,14 +4,29 @@
 // smoke pass through it and uploads the result (BENCH_<pr>.json) so the
 // repository accumulates a perf trajectory across PRs.
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_3.json
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_4.json
+//
+// With -prev it additionally gates regressions: every benchmark matching
+// -gate that appears in both the previous trajectory file and the current
+// run is compared on ns/op, and any slowdown beyond -maxregress fails the
+// command (after the current trajectory has been written to stdout, so
+// the artifact survives the failing job for diagnosis):
+//
+//	go test -run '^$' -bench . -benchmem . | \
+//	  benchjson -prev BENCH_3.json -gate 'BenchmarkPTQ' -maxregress 0.25 > BENCH_4.json
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate — renamed or newly added benchmarks must not brick CI.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -24,27 +39,49 @@ type Metrics struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	prev := flag.String("prev", "", "previous trajectory JSON to gate against (no gating when empty)")
+	gate := flag.String("gate", "Benchmark", "regexp selecting the hot benchmarks the gate watches")
+	maxRegress := flag.Float64("maxregress", 0.25, "maximum tolerated fractional ns/op slowdown vs -prev (0.25 = +25%)")
+	flag.Parse()
+
+	if err := run(*prev, *gate, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(prevPath, gatePattern string, maxRegress float64) error {
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cur); err != nil {
+		return err
+	}
+	if prevPath == "" {
+		return nil
+	}
+	return gateAgainst(cur, prevPath, gatePattern, maxRegress)
+}
+
+// parseBench reads `go test -bench` output into the trajectory map.
+func parseBench(f *os.File) (map[string]Metrics, error) {
 	out := map[string]Metrics{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
-		f := strings.Fields(line)
+		fields := strings.Fields(line)
 		// Benchmark<Name>-<P> <N> <ns> ns/op [<B> B/op <allocs> allocs/op]
-		if len(f) < 4 || f[3] != "ns/op" {
+		if len(fields) < 4 || fields[3] != "ns/op" {
 			continue
 		}
-		name := f[0]
+		name := fields[0]
 		if i := strings.LastIndexByte(name, '-'); i > 0 {
 			// Strip the GOMAXPROCS suffix so names are machine-portable.
 			if _, err := strconv.Atoi(name[i+1:]); err == nil {
@@ -53,15 +90,15 @@ func run() error {
 		}
 		m := Metrics{}
 		var err error
-		if m.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+		if m.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
 			continue
 		}
-		for i := 3; i+2 < len(f); i += 2 {
-			v, err := strconv.ParseFloat(f[i+1], 64)
+		for i := 3; i+2 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
 			if err != nil {
 				continue
 			}
-			switch f[i+2] {
+			switch fields[i+2] {
 			case "B/op":
 				m.BytesPerOp = v
 			case "allocs/op":
@@ -71,12 +108,80 @@ func run() error {
 		out[name] = m
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if len(out) == 0 {
-		return fmt.Errorf("no benchmark lines on stdin")
+		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out, nil
+}
+
+// gateAgainst compares the current run to the previous trajectory and
+// fails on gated slowdowns beyond maxRegress.
+func gateAgainst(cur map[string]Metrics, prevPath, gatePattern string, maxRegress float64) error {
+	data, err := os.ReadFile(prevPath)
+	if err != nil {
+		return fmt.Errorf("reading -prev: %w", err)
+	}
+	var prev map[string]Metrics
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("parsing -prev %s: %w", prevPath, err)
+	}
+	re, err := regexp.Compile(gatePattern)
+	if err != nil {
+		return fmt.Errorf("bad -gate pattern: %w", err)
+	}
+
+	names := make([]string, 0, len(prev)+len(cur))
+	for name := range prev {
+		names = append(names, name)
+	}
+	for name := range cur {
+		if _, ok := prev[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var failures []string
+	compared := 0
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %-45s only in %s (skipped)\n", name, prevPath)
+			continue
+		}
+		if _, ok := prev[name]; !ok {
+			// New or renamed: visible in the report so a rename cannot
+			// silently hide a regression, but never a failure.
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %-45s %10s -> %10.0f ns/op  (new, skipped)\n", name, "-", c.NsPerOp)
+			continue
+		}
+		p := prev[name]
+		if p.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := c.NsPerOp / p.NsPerOp
+		verdict := "ok"
+		if ratio > 1+maxRegress {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
+				name, p.NsPerOp, c.NsPerOp, 100*(ratio-1)))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate: %-45s %10.0f -> %10.0f ns/op  %+6.1f%%  %s\n",
+			name, p.NsPerOp, c.NsPerOp, 100*(ratio-1), verdict)
+	}
+	if compared == 0 {
+		return fmt.Errorf("gate %q matched no benchmark present in both runs", gatePattern)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed more than %.0f%%:\n  %s",
+			len(failures), 100*maxRegress, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate: %d benchmark(s) within %.0f%% of %s\n", compared, 100*maxRegress, prevPath)
+	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// feed runs parseBench over literal bench output via a pipe-backed file.
+func feed(t *testing.T, text string) map[string]Metrics {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(text); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const benchOut = `goos: linux
+BenchmarkPTQBasic/seq-8      	     100	   1000000 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkPTQBasic/par-8      	     100	    400000 ns/op
+BenchmarkDeltaApply-8        	     300	    120000 ns/op
+BenchmarkIndexRebuild-8      	     300	   1000000 ns/op
+`
+
+func TestParseBenchStripsProcSuffix(t *testing.T) {
+	m := feed(t, benchOut)
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(m), m)
+	}
+	b, ok := m["BenchmarkPTQBasic/seq"]
+	if !ok || b.NsPerOp != 1e6 || b.BytesPerOp != 2048 || b.AllocsPerOp != 12 {
+		t.Fatalf("BenchmarkPTQBasic/seq parsed as %+v", b)
+	}
+}
+
+func writePrev(t *testing.T, m map[string]Metrics) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prev.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateAgainst(t *testing.T) {
+	cur := feed(t, benchOut)
+
+	// Within tolerance: previous was 10% slower on one, equal elsewhere.
+	okPrev := writePrev(t, map[string]Metrics{
+		"BenchmarkPTQBasic/seq": {NsPerOp: 950000},
+		"BenchmarkDeltaApply":   {NsPerOp: 120000},
+		"BenchmarkRenamedAway":  {NsPerOp: 1}, // only in prev: skipped
+	})
+	if err := gateAgainst(cur, okPrev, "BenchmarkPTQ|BenchmarkDelta|BenchmarkRenamed", 0.25); err != nil {
+		t.Fatalf("tolerable drift failed the gate: %v", err)
+	}
+
+	// A >25% slowdown on a gated benchmark fails.
+	badPrev := writePrev(t, map[string]Metrics{
+		"BenchmarkPTQBasic/seq": {NsPerOp: 700000}, // current 1e6 = +43%
+		"BenchmarkDeltaApply":   {NsPerOp: 120000},
+	})
+	if err := gateAgainst(cur, badPrev, "BenchmarkPTQ", 0.25); err == nil {
+		t.Fatal("43% regression passed the gate")
+	}
+
+	// The same slowdown outside the gate pattern is ignored.
+	if err := gateAgainst(cur, badPrev, "BenchmarkDelta", 0.25); err != nil {
+		t.Fatalf("ungated regression failed the gate: %v", err)
+	}
+
+	// A gate that matches nothing shared is an error (misconfigured CI).
+	if err := gateAgainst(cur, okPrev, "BenchmarkNothing", 0.25); err == nil {
+		t.Fatal("empty gate intersection passed")
+	}
+}

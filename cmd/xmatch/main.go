@@ -10,6 +10,7 @@
 //	xmatch query    -d D7 -q 'Order/DeliverTo/Contact/EMail' [-k 10] [-workers 8]
 //	xmatch query    -d D7 -q 'Order//EMail; Order//Quantity'  # batched queries
 //	xmatch query    -remote http://localhost:8777 -d D7 -q 'Order//EMail'
+//	xmatch mutate   -remote http://localhost:8777 -d D7 -edits '[{"op":"settext","path":"Order.POLine.Quantity","text":"9"}]'
 //	xmatch match    -src a.spec -tgt b.spec   # run the COMA-style matcher
 //
 // Queries run on the concurrent engine of internal/engine; -workers bounds
@@ -29,12 +30,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
+	"xmatch/internal/delta"
 	"xmatch/internal/engine"
 	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
@@ -62,6 +65,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "index":
 		err = runIndex(os.Args[2:])
+	case "mutate":
+		err = runMutate(os.Args[2:])
 	case "match":
 		err = runMatch(os.Args[2:])
 	case "keywords":
@@ -77,17 +82,31 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|index|match> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|index|mutate|match> [flags]
   stats    -d <D1..D10>                     matching and block-tree statistics
   mappings -d <D1..D10> [-n 10] [-m 100]    most probable mappings
   query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k);
            [-workers N] [-parallel=false]   ';'-separated twigs run as a batch
-           [-indexed=false]                 disable the positional index
+           [-indexed=false]                 skip positional-index discovery:
+                                            evaluate through the joined
+                                            matcher (local only; a remote
+                                            daemon's indexing is fixed by its
+                                            catalog, so with -remote this
+                                            flag is rejected, not a no-op)
            [-remote http://host:port]       ask a running xmatchd instead
   index    -d <D1..D10> | -xml <file>       build the positional index, print
-           [-o <blob>] [-check]             its stats; -o persists it as a
-                                            store blob, -check verifies a
-                                            save/load round trip
+           | -manifest <cat> -name <entry>  its stats; -o persists it as a
+           [-o <blob>] [-check]             store blob, -check verifies a
+                                            save/load round trip; -manifest
+                                            indexes a catalog entry's document
+                                            (the entry must have one)
+  mutate   -d <name> -edits <json|@file>    apply an edit batch to a live
+           [-remote http://host:port]       document: remote posts to a
+           [-doc N] [-seed N] [-verify]     running xmatchd's /v1/admin/mutate;
+                                            local applies to a generated
+                                            dataset document (-verify checks
+                                            the incremental index against a
+                                            full rebuild)
   keywords -d <D1..D10> -w "a,b,c"          probabilistic keyword query
   match    -src <spec> -tgt <spec>          run the built-in matcher
            (files ending in .xsd are parsed as XML Schema)`)
@@ -188,7 +207,7 @@ func runQuery(args []string) error {
 	docNodes := fs.Int("doc", 3473, "source document size")
 	workers := fs.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = sequential)")
 	parallel := fs.Bool("parallel", true, "enable parallel evaluation (-parallel=false forces sequential)")
-	indexed := fs.Bool("indexed", true, "evaluate through the positional document index (-indexed=false forces the joined matcher)")
+	indexed := fs.Bool("indexed", true, "evaluate through the positional document index; false skips accelerator discovery entirely, forcing the joined matcher (local evaluation only: with -remote the daemon's catalog fixes indexing, so the flag is rejected rather than silently ignored)")
 	remote := fs.String("remote", "", "xmatchd base URL (e.g. http://localhost:8777); query the daemon's dataset named by -d instead of evaluating locally")
 	fs.Parse(args)
 	if *qtext == "" {
@@ -351,14 +370,16 @@ func postJSON(client *http.Client, url string, in, out any) error {
 	return json.Unmarshal(data, out)
 }
 
-// runIndex builds the positional index over a dataset's generated document
-// (or an XML file) and prints its statistics; -o persists it as a store
-// blob for catalog manifests, -check round-trips the blob through
-// save/load verification.
+// runIndex builds the positional index over a dataset's generated document,
+// an XML file, or a catalog manifest entry's document, and prints its
+// statistics; -o persists it as a store blob for catalog manifests, -check
+// round-trips the blob through save/load verification.
 func runIndex(args []string) error {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
-	id := fs.String("d", "D7", "dataset ID (ignored with -xml)")
+	id := fs.String("d", "D7", "dataset ID (ignored with -xml or -manifest)")
 	xmlPath := fs.String("xml", "", "index an XML document file instead of a generated dataset document")
+	manifestPath := fs.String("manifest", "", "index the document of a catalog manifest entry (requires -name)")
+	entryName := fs.String("name", "", "catalog entry name within -manifest")
 	docNodes := fs.Int("doc", 3473, "generated document size")
 	seed := fs.Int64("seed", 42, "document generator seed")
 	out := fs.String("o", "", "write the index as a store blob to this path")
@@ -367,7 +388,14 @@ func runIndex(args []string) error {
 
 	var doc *xmltree.Document
 	var source string
-	if *xmlPath != "" {
+	switch {
+	case *manifestPath != "":
+		var err error
+		doc, source, err = manifestDocument(*manifestPath, *entryName)
+		if err != nil {
+			return err
+		}
+	case *xmlPath != "":
 		f, err := os.Open(*xmlPath)
 		if err != nil {
 			return err
@@ -378,7 +406,7 @@ func runIndex(args []string) error {
 			return err
 		}
 		source = *xmlPath
-	} else {
+	default:
 		d, err := dataset.Load(*id)
 		if err != nil {
 			return err
@@ -488,4 +516,166 @@ func loadSpec(path string) (*schema.Schema, error) {
 		return xsd.ParseString(strings.TrimSuffix(name, ".xsd"), string(data), xsd.Options{})
 	}
 	return schema.ParseSpec(strings.TrimSuffix(name, ".spec"), string(data))
+}
+
+// manifestDocument resolves the document of one catalog manifest entry:
+// built-in entries regenerate theirs deterministically, blob-backed
+// entries must name a concrete XML file. An entry without a document —
+// a blob-backed entry whose DocPath is empty, meaning the daemon
+// instantiates a synthetic single-instance document at serve time — is a
+// hard error: indexing a document that only exists inside a running
+// daemon would produce a blob nothing can verify against.
+func manifestDocument(manifestPath, name string) (*xmltree.Document, string, error) {
+	if name == "" {
+		return nil, "", fmt.Errorf("index: -manifest requires -name (which catalog entry to index)")
+	}
+	f, err := os.Open(manifestPath)
+	if err != nil {
+		return nil, "", err
+	}
+	man, err := store.LoadCatalog(f)
+	f.Close()
+	if err != nil {
+		return nil, "", fmt.Errorf("index: manifest %s: %w", manifestPath, err)
+	}
+	for _, e := range man.Entries {
+		if e.Name != name {
+			continue
+		}
+		if e.Dataset != "" {
+			d, err := dataset.Load(e.Dataset)
+			if err != nil {
+				return nil, "", err
+			}
+			nodes := e.DocNodes
+			if nodes == 0 {
+				nodes = server.DefaultDocNodes
+			}
+			doc := d.OrderDocument(nodes, e.DocSeed)
+			return doc, fmt.Sprintf("%s[%s] (doc=%d seed=%d)", manifestPath, name, nodes, e.DocSeed), nil
+		}
+		if e.DocPath == "" {
+			return nil, "", fmt.Errorf("index: catalog entry %q in %s has no document (DocPath is empty; the daemon generates one at serve time) — point the entry at a concrete XML file, or index that file directly with -xml", name, manifestPath)
+		}
+		docFile := filepath.Join(filepath.Dir(manifestPath), e.DocPath)
+		df, err := os.Open(docFile)
+		if err != nil {
+			return nil, "", err
+		}
+		doc, err := xmltree.Parse(df)
+		df.Close()
+		if err != nil {
+			return nil, "", err
+		}
+		return doc, fmt.Sprintf("%s[%s] (%s)", manifestPath, name, docFile), nil
+	}
+	return nil, "", fmt.Errorf("index: manifest %s has no entry named %q", manifestPath, name)
+}
+
+// parseEdits decodes the -edits argument: a JSON array of delta.Edit,
+// inline or @file.
+func parseEdits(arg string) ([]delta.Edit, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("mutate: -edits is required (a JSON array, or @file)")
+	}
+	data := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		var err error
+		data, err = os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+	}
+	var edits []delta.Edit
+	if err := json.Unmarshal(data, &edits); err != nil {
+		return nil, fmt.Errorf("mutate: parsing edits: %w", err)
+	}
+	if err := delta.Validate(edits); err != nil {
+		return nil, err
+	}
+	return edits, nil
+}
+
+// runMutate applies an edit batch to a live document: against a running
+// xmatchd (-remote, the production path), or locally against a generated
+// dataset document as a demonstration of the delta subsystem, optionally
+// verifying the incrementally-maintained index against a full rebuild.
+func runMutate(args []string) error {
+	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+	id := fs.String("d", "D7", "dataset (serving name with -remote, else a built-in ID)")
+	editsArg := fs.String("edits", "", "JSON array of edits, or @file (required)")
+	remote := fs.String("remote", "", "xmatchd base URL; POST the batch to its /v1/admin/mutate")
+	docNodes := fs.Int("doc", 3473, "generated document size (local only)")
+	seed := fs.Int64("seed", 42, "document generator seed (local only)")
+	verify := fs.Bool("verify", false, "after applying, verify the incremental index equals a full rebuild (local only)")
+	fs.Parse(args)
+
+	edits, err := parseEdits(*editsArg)
+	if err != nil {
+		return err
+	}
+
+	if *remote != "" {
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "doc", "seed", "verify":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("mutate: %s only apply to local mutation; with -remote the daemon owns the document", strings.Join(conflicts, ", "))
+		}
+		client := &http.Client{Timeout: 60 * time.Second}
+		var resp server.MutateResponse
+		if err := postJSON(client, strings.TrimRight(*remote, "/")+"/v1/admin/mutate",
+			server.MutateRequest{Dataset: *id, Edits: edits}, &resp); err != nil {
+			return err
+		}
+		persisted := "in-memory only (no edit log; lost on reload)"
+		if resp.Persisted {
+			persisted = "appended to the dataset's edit log"
+		}
+		fmt.Printf("mutated %s: %d edit(s) applied, epoch %d, %d nodes, %s\n",
+			resp.Dataset, resp.Applied, resp.Epoch, resp.DocNodes, persisted)
+		return nil
+	}
+
+	d, err := dataset.Load(*id)
+	if err != nil {
+		return err
+	}
+	doc := d.OrderDocument(*docNodes, *seed)
+	h := delta.Open(doc)
+	before := h.Snapshot()
+	start := time.Now()
+	snap, err := h.Apply(edits)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := snap.Index.Stats()
+	fmt.Printf("mutated %s: %d edit(s) in %v, epoch %d, %d -> %d nodes\n",
+		*id, len(edits), elapsed.Round(time.Microsecond), snap.Epoch, before.Doc.Len(), snap.Doc.Len())
+	fmt.Printf("index: %d postings over %d paths spliced in %v (overlay depth %d)\n",
+		st.Postings, st.DistinctPaths, st.BuildTime.Round(time.Microsecond), st.Overlays)
+	if *verify {
+		rebuildStart := time.Now()
+		fresh := index.Build(snap.Doc)
+		rebuildTime := time.Since(rebuildStart)
+		a, err := json.Marshal(snap.Index.Snapshot())
+		if err != nil {
+			return err
+		}
+		b, err := json.Marshal(fresh.Snapshot())
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("mutate: VERIFY FAILED: incremental index diverged from full rebuild")
+		}
+		fmt.Printf("verify: incremental index == full rebuild (rebuild took %v, %.1fx the splice)\n",
+			rebuildTime.Round(time.Microsecond), float64(rebuildTime)/float64(st.BuildTime))
+	}
+	return nil
 }

@@ -238,3 +238,128 @@ func TestCLISmoke(t *testing.T) {
 		}
 	})
 }
+
+// TestCLIMutate covers the mutate subcommand (local apply with -verify,
+// remote apply against an in-process daemon, error paths) and the index
+// subcommand's manifest mode, including the hard error for a manifest
+// entry that has no document.
+func TestCLIMutate(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+
+	edits := `[{"op":"settext","path":"Order.COND_TYPE_UNIT.LINK_MAP_CAT","text":"99"},` +
+		`{"op":"insert","path":"Order","pos":0,"xml":"<Audit><By>cli</By></Audit>"}]`
+
+	t.Run("local-verify", func(t *testing.T) {
+		out, err := run(t, bin, "mutate", "-d", "D7", "-doc", "900", "-edits", edits, "-verify")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"epoch 1", "incremental index == full rebuild"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("edits-from-file", func(t *testing.T) {
+		path := filepath.Join(dir, "edits.json")
+		if err := os.WriteFile(path, []byte(edits), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := run(t, bin, "mutate", "-d", "D7", "-doc", "900", "-edits", "@"+path)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "2 edit(s)") {
+			t.Errorf("output missing edit count:\n%s", out)
+		}
+	})
+
+	t.Run("remote", func(t *testing.T) {
+		man := &store.Catalog{Entries: []store.CatalogEntry{
+			{Name: "D7", Dataset: "D7", Mappings: 10, DocNodes: 900, DocSeed: 42},
+		}}
+		loader := func() (*server.Catalog, error) {
+			return server.BuildCatalog(man, ".", engine.Options{Workers: 2})
+		}
+		srv, err := server.New(loader, server.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+
+		out, err := run(t, bin, "mutate", "-remote", ts.URL, "-d", "D7", "-edits", edits)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"epoch 1", "in-memory only"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("remote mutate output missing %q:\n%s", want, out)
+			}
+		}
+		if srv.Catalog().Get("D7").Snapshot().Epoch != 1 {
+			t.Error("daemon did not advance the epoch")
+		}
+		// Local-only flags conflict with -remote.
+		if out, err := run(t, bin, "mutate", "-remote", ts.URL, "-d", "D7", "-edits", edits, "-verify"); err == nil {
+			t.Errorf("-remote with -verify succeeded:\n%s", out)
+		} else if !strings.Contains(out, "-verify") {
+			t.Errorf("conflict error does not name the flag:\n%s", out)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		if out, err := run(t, bin, "mutate", "-d", "D7"); err == nil {
+			t.Errorf("mutate without -edits succeeded:\n%s", out)
+		}
+		if out, err := run(t, bin, "mutate", "-d", "D7", "-edits", "not json"); err == nil {
+			t.Errorf("mutate with bad JSON succeeded:\n%s", out)
+		}
+		if out, err := run(t, bin, "mutate", "-d", "D7", "-edits", `[{"op":"warp","path":"Order"}]`); err == nil {
+			t.Errorf("mutate with unknown op succeeded:\n%s", out)
+		}
+		if out, err := run(t, bin, "mutate", "-d", "D7", "-edits", `[{"op":"delete","path":"No.Such"}]`); err == nil {
+			t.Errorf("mutate with unresolvable target succeeded:\n%s", out)
+		}
+	})
+
+	t.Run("index-manifest", func(t *testing.T) {
+		// An entry with no document must fail loudly; a built-in entry works.
+		man := &store.Catalog{Entries: []store.CatalogEntry{
+			{Name: "nodoc", SetPath: "frozen.set"},
+			{Name: "gen", Dataset: "D1", DocNodes: 300},
+		}}
+		manPath := filepath.Join(dir, "cat.xm")
+		f, err := os.Create(manPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.SaveCatalog(f, man); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		out, err := run(t, bin, "index", "-manifest", manPath, "-name", "nodoc")
+		if err == nil {
+			t.Fatalf("indexing a document-less entry succeeded:\n%s", out)
+		}
+		if !strings.Contains(out, "has no document") || !strings.Contains(out, "nodoc") {
+			t.Errorf("document-less entry error unclear:\n%s", out)
+		}
+		if out, err := run(t, bin, "index", "-manifest", manPath, "-name", "missing"); err == nil || !strings.Contains(out, "no entry named") {
+			t.Errorf("unknown entry error unclear: %v\n%s", err, out)
+		}
+		if out, err := run(t, bin, "index", "-manifest", manPath); err == nil || !strings.Contains(out, "-name") {
+			t.Errorf("missing -name error unclear: %v\n%s", err, out)
+		}
+		out, err = run(t, bin, "index", "-manifest", manPath, "-name", "gen", "-check")
+		if err != nil {
+			t.Fatalf("built-in manifest entry: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "round trip: ok") {
+			t.Errorf("manifest index output missing round trip:\n%s", out)
+		}
+	})
+}

@@ -48,28 +48,35 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size per dataset engine (0 = all cores)")
 	reqWorkers := flag.Int("request-workers", 0, "per-request worker budget (0 = half the pool, <0 = sequential)")
 	cache := flag.Int("cache", engine.DefaultCacheCapacity, "prepared-query cache capacity per dataset")
+	editlogDir := flag.String("editlog-dir", "", "persist /v1/admin/mutate batches per built-in dataset as <dir>/<name>.editlog, replayed on start and reload (built-in -datasets mode only; manifests carry their own EditLogPath)")
 	writeManifest := flag.String("write-manifest", "", "write the built-in -datasets selection as a manifest file and exit")
 	flag.Parse()
 
 	if err := run(*addr, *manifest, *datasets, *m, *docNodes, *docSeed, *tau,
-		*workers, *reqWorkers, *cache, *writeManifest); err != nil {
+		*workers, *reqWorkers, *cache, *editlogDir, *writeManifest); err != nil {
 		fmt.Fprintln(os.Stderr, "xmatchd:", err)
 		os.Exit(1)
 	}
 }
 
 // builtinManifest assembles a manifest from a comma-separated ID list.
-func builtinManifest(datasets string, m, docNodes int, docSeed int64, tau float64) (*store.Catalog, error) {
+// With editlog set, each entry persists its mutations to <name>.editlog
+// (resolved against the loader's base directory).
+func builtinManifest(datasets string, m, docNodes int, docSeed int64, tau float64, editlog bool) (*store.Catalog, error) {
 	var man store.Catalog
 	for _, id := range strings.Split(datasets, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
-		man.Entries = append(man.Entries, store.CatalogEntry{
+		e := store.CatalogEntry{
 			Name: id, Dataset: id, Mappings: m,
 			DocNodes: docNodes, DocSeed: docSeed, Tau: tau,
-		})
+		}
+		if editlog {
+			e.EditLogPath = id + ".editlog"
+		}
+		man.Entries = append(man.Entries, e)
 	}
 	if err := man.Validate(); err != nil {
 		return nil, err
@@ -78,16 +85,29 @@ func builtinManifest(datasets string, m, docNodes int, docSeed int64, tau float6
 }
 
 func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau float64,
-	workers, reqWorkers, cache int, writeManifest string) error {
+	workers, reqWorkers, cache int, editlogDir, writeManifest string) error {
 
 	eopts := engine.Options{Workers: workers, CacheCapacity: cache}
+
+	if editlogDir != "" {
+		// Create it up front: the daemon starts fine against a missing
+		// directory (no logs yet = pristine datasets), but the first
+		// mutation's append would fail with a confusing 500.
+		if err := os.MkdirAll(editlogDir, 0o755); err != nil {
+			return fmt.Errorf("creating -editlog-dir: %w", err)
+		}
+	}
 
 	// loadManifest re-reads the manifest source on every call, so a reload
 	// after editing the manifest file picks up the changes.
 	loadManifest := func() (*store.Catalog, string, error) {
 		if manifest == "" {
-			man, err := builtinManifest(datasets, m, docNodes, docSeed, tau)
-			return man, ".", err
+			man, err := builtinManifest(datasets, m, docNodes, docSeed, tau, editlogDir != "")
+			baseDir := "."
+			if editlogDir != "" {
+				baseDir = editlogDir
+			}
+			return man, baseDir, err
 		}
 		f, err := os.Open(manifest)
 		if err != nil {
@@ -102,7 +122,7 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau fl
 	}
 
 	if writeManifest != "" {
-		man, err := builtinManifest(datasets, m, docNodes, docSeed, tau)
+		man, err := builtinManifest(datasets, m, docNodes, docSeed, tau, editlogDir != "")
 		if err != nil {
 			return err
 		}
@@ -136,9 +156,10 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau fl
 	}
 	var names []string
 	for _, d := range srv.Catalog().Datasets() {
-		xs := d.Index.Stats()
-		names = append(names, fmt.Sprintf("%s(|M|=%d doc=%d blocks=%d idx=%dB/%v)",
-			d.Name, d.Set.Len(), d.Doc.Len(), d.Tree.Stats().NumBlocks,
+		snap := d.Snapshot()
+		xs := snap.Index.Stats()
+		names = append(names, fmt.Sprintf("%s(|M|=%d doc=%d epoch=%d blocks=%d idx=%dB/%v)",
+			d.Name, d.Set.Len(), snap.Doc.Len(), snap.Epoch, d.Tree.Stats().NumBlocks,
 			xs.ResidentBytes, xs.BuildTime.Round(time.Millisecond)))
 	}
 	log.Printf("xmatchd: catalog ready in %v: %s", time.Since(start).Round(time.Millisecond), strings.Join(names, " "))

@@ -75,7 +75,7 @@ func PrepareKeywordQuery(keywords []string, set *mapping.Set, doc *xmltree.Docum
 // (relevant but unproductive), mirroring PTQ semantics.
 func EvaluateKeywords(q *KeywordQuery, set *mapping.Set, doc *xmltree.Document) []KeywordResult {
 	var out []KeywordResult
-	var index map[*xmltree.Node]int // node -> preorder position, built lazily
+	var index map[int]int // start number -> preorder position, built lazily
 	for mi, m := range set.Mappings {
 		lists := make([][]*xmltree.Node, len(q.Keywords))
 		relevant := true
@@ -106,9 +106,9 @@ func EvaluateKeywords(q *KeywordQuery, set *mapping.Set, doc *xmltree.Document) 
 			continue
 		}
 		if index == nil {
-			index = make(map[*xmltree.Node]int, doc.Len())
+			index = make(map[int]int, doc.Len())
 			for i, n := range doc.Nodes() {
-				index[n] = i
+				index[n.Start] = i
 			}
 		}
 		out = append(out, KeywordResult{
@@ -127,16 +127,22 @@ func EvaluateKeywords(q *KeywordQuery, set *mapping.Set, doc *xmltree.Document) 
 // returned in document order. It runs in O(|doc| · ⌈k/64⌉) using ancestor
 // bitmask propagation.
 func SLCA(doc *xmltree.Document, lists [][]*xmltree.Node) []*xmltree.Node {
-	index := make(map[*xmltree.Node]int, doc.Len())
+	index := make(map[int]int, doc.Len())
 	for i, n := range doc.Nodes() {
-		index[n] = i
+		index[n.Start] = i
 	}
 	return slcaIndexed(doc, lists, index)
 }
 
-// slcaIndexed is SLCA with a caller-provided node->preorder-position index,
-// so repeated evaluations over the same document share it.
-func slcaIndexed(doc *xmltree.Document, lists [][]*xmltree.Node, index map[*xmltree.Node]int) []*xmltree.Node {
+// slcaIndexed is SLCA with a caller-provided start-number->preorder-position
+// index, so repeated evaluations over the same document share it. The index
+// is keyed by interval start rather than node pointer deliberately: under
+// the delta subsystem a document snapshot shares untouched nodes with its
+// predecessors, and a shared node's Parent pointer may refer to an older
+// epoch's object at the same position — positionally identical, but a
+// distinct pointer. Start numbers identify positions across epochs, so the
+// ancestor walk below stays correct on mutated snapshots.
+func slcaIndexed(doc *xmltree.Document, lists [][]*xmltree.Node, index map[int]int) []*xmltree.Node {
 	k := len(lists)
 	if k == 0 {
 		return nil
@@ -144,7 +150,7 @@ func slcaIndexed(doc *xmltree.Document, lists [][]*xmltree.Node, index map[*xmlt
 	words := (k + 63) / 64
 	masks := make([][]uint64, doc.Len())
 	setBit := func(n *xmltree.Node, bit int) {
-		i := index[n]
+		i := index[n.Start]
 		if masks[i] == nil {
 			masks[i] = make([]uint64, words)
 		}
@@ -180,7 +186,7 @@ func slcaIndexed(doc *xmltree.Document, lists [][]*xmltree.Node, index map[*xmlt
 		// Smallest: no child subtree already contains everything.
 		smallest := true
 		for _, c := range n.Children {
-			if full(index[c]) {
+			if full(index[c.Start]) {
 				smallest = false
 				break
 			}

@@ -1,0 +1,99 @@
+package core
+
+// SLCA over mutated document snapshots. A revision snapshot shares
+// untouched nodes with its base, and a shared node's Parent pointer
+// refers to the base epoch's object at the same position — so the SLCA
+// ancestor walk must key positions by interval start, not node pointer.
+// These tests build exactly that sharing shape with xmltree's revision
+// layer and check the walk against a pointer-pure reparse of the same
+// document.
+
+import (
+	"testing"
+
+	"xmatch/internal/xmltree"
+)
+
+func mustParse(t *testing.T, xml string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// slcaPaths runs SLCA over the nodes holding the given texts and returns
+// the result nodes' paths.
+func slcaPaths(doc *xmltree.Document, texts ...string) []string {
+	var lists [][]*xmltree.Node
+	for _, want := range texts {
+		var list []*xmltree.Node
+		for _, n := range doc.Nodes() {
+			if n.Text == want {
+				list = append(list, n)
+			}
+		}
+		lists = append(lists, list)
+	}
+	var paths []string
+	for _, n := range SLCA(doc, lists) {
+		paths = append(paths, n.Path)
+	}
+	return paths
+}
+
+func TestSLCAOnSharedSnapshotNodes(t *testing.T) {
+	base := mustParse(t, `<r>
+		<g><a>x</a><b>y</b></g>
+		<h><a>x</a><c>z</c></h>
+	</r>`)
+	// Mutate a node far from g: g's subtree stays shared, and after the
+	// spine clone its nodes' Parent pointers refer to the base epoch's
+	// r and g objects.
+	rev := base.BeginRevision()
+	if err := rev.SetText(base.NodesByPath("r.h.c")[0].Start, "z2"); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := rev.Commit()
+	if doc.NodesByPath("r.g")[0] != base.NodesByPath("r.g")[0] {
+		t.Fatal("fixture broken: g subtree was not shared")
+	}
+
+	got := slcaPaths(doc, "x", "y")
+	want := slcaPaths(mustParse(t, doc.String()), "x", "y")
+	if len(want) == 0 {
+		t.Fatal("fixture yields no SLCA")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SLCA over shared snapshot: %v, reparse says %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SLCA over shared snapshot: %v, reparse says %v", got, want)
+		}
+	}
+}
+
+// TestSLCAAcrossManyEpochs compounds revisions so shared nodes' Parent
+// chains reach several epochs back, and cross-checks every epoch.
+func TestSLCAAcrossManyEpochs(t *testing.T) {
+	doc := mustParse(t, `<r><g><a>x</a><b>y</b></g><h><c>q</c></h></r>`)
+	for i := 0; i < 6; i++ {
+		rev := doc.BeginRevision()
+		if err := rev.SetText(doc.NodesByPath("r.h.c")[0].Start, "q"+string(rune('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := rev.InsertSubtree(doc.NodesByPath("r.h")[0].Start, -1, xmltree.NewRoot("d")); err != nil {
+			t.Fatal(err)
+		}
+		next, _ := rev.Commit()
+		doc = next
+
+		got := slcaPaths(doc, "x", "y")
+		want := slcaPaths(mustParse(t, doc.String()), "x", "y")
+		if len(got) != 1 || len(want) != 1 || got[0] != want[0] {
+			t.Fatalf("epoch %d: SLCA %v, reparse says %v", i+1, got, want)
+		}
+	}
+}

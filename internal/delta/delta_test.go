@@ -1,0 +1,158 @@
+package delta_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xmatch/internal/delta"
+	"xmatch/internal/index"
+	"xmatch/internal/xmltree"
+)
+
+func open(t *testing.T, xml string) (*delta.Handle, *delta.Snapshot) {
+	t.Helper()
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := delta.Open(doc)
+	return h, h.Snapshot()
+}
+
+func TestApplyPublishesNewSnapshot(t *testing.T) {
+	h, s0 := open(t, `<r><a>1</a><b/></r>`)
+	if s0.Epoch != 0 || s0.Index != index.For(s0.Doc) {
+		t.Fatalf("initial snapshot: epoch %d, index attached %v", s0.Epoch, s0.Index == index.For(s0.Doc))
+	}
+	s1, err := h.Apply([]delta.Edit{
+		{Op: delta.OpSetText, Path: "r.a", Text: "2"},
+		{Op: delta.OpInsert, Path: "r", XML: `<c>new</c>`, Pos: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Epoch != 1 || h.Snapshot() != s1 {
+		t.Fatalf("epoch %d after one batch", s1.Epoch)
+	}
+	if got := s1.Doc.NodesByPath("r.a")[0].Text; got != "2" {
+		t.Fatalf("settext not applied: %q", got)
+	}
+	if got := s1.Doc.NodesByPath("r.c")[0].Text; got != "new" {
+		t.Fatalf("insert not applied: %q", got)
+	}
+	// The old snapshot is fully intact: document and index.
+	if got := s0.Doc.NodesByPath("r.a")[0].Text; got != "1" {
+		t.Fatalf("old snapshot text changed to %q", got)
+	}
+	if s0.Doc.NodesByPath("r.c") != nil || len(s0.Index.Postings("r.c")) != 0 {
+		t.Fatal("old snapshot sees inserted path")
+	}
+	if len(s0.Index.ValuePostings("r.a", "1")) != 1 {
+		t.Fatal("old snapshot value index changed")
+	}
+	// The new index answers for the new state.
+	if len(s1.Index.ValuePostings("r.a", "2")) != 1 || len(s1.Index.ValuePostings("r.a", "1")) != 0 {
+		t.Fatal("new snapshot value index wrong")
+	}
+	st := h.Stats()
+	if st.Epoch != 1 || st.Batches != 1 || st.Edits != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestApplyIsAtomic(t *testing.T) {
+	h, s0 := open(t, `<r><a>1</a></r>`)
+	_, err := h.Apply([]delta.Edit{
+		{Op: delta.OpSetText, Path: "r.a", Text: "2"},
+		{Op: delta.OpDelete, Path: "r.missing"},
+	})
+	var ee *delta.EditError
+	if !errors.As(err, &ee) || ee.Index != 1 {
+		t.Fatalf("want EditError at index 1, got %v", err)
+	}
+	if h.Snapshot() != s0 {
+		t.Fatal("failed batch advanced the snapshot")
+	}
+	if s0.Doc.NodesByPath("r.a")[0].Text != "1" {
+		t.Fatal("failed batch mutated the document")
+	}
+}
+
+func TestApplyEditErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		edits []delta.Edit
+	}{
+		{"empty batch", nil},
+		{"unknown op", []delta.Edit{{Op: "replace", Path: "r"}}},
+		{"no address", []delta.Edit{{Op: delta.OpDelete}}},
+		{"bad start", []delta.Edit{{Op: delta.OpDelete, Start: 99999}}},
+		{"bad ordinal", []delta.Edit{{Op: delta.OpSetText, Path: "r.a", Ordinal: 5, Text: "x"}}},
+		{"delete root", []delta.Edit{{Op: delta.OpDelete, Path: "r"}}},
+		{"empty rename", []delta.Edit{{Op: delta.OpRename, Path: "r.a"}}},
+		{"empty insert xml", []delta.Edit{{Op: delta.OpInsert, Path: "r"}}},
+		{"malformed insert xml", []delta.Edit{{Op: delta.OpInsert, Path: "r", XML: "<u>"}}},
+	}
+	for _, tc := range cases {
+		h, _ := open(t, `<r><a>1</a></r>`)
+		_, err := h.Apply(tc.edits)
+		var ee *delta.EditError
+		if err == nil || !errors.As(err, &ee) {
+			t.Errorf("%s: got %v, want *EditError", tc.name, err)
+		}
+		if tc.edits != nil {
+			// Validate checks batch shape only; target existence and XML
+			// well-formedness are apply-time concerns.
+			applyOnly := tc.name == "bad start" || tc.name == "bad ordinal" ||
+				tc.name == "delete root" || tc.name == "malformed insert xml"
+			if verr := delta.Validate(tc.edits); (verr == nil) != applyOnly {
+				t.Errorf("%s: Validate() = %v", tc.name, verr)
+			}
+		}
+	}
+}
+
+func TestApplyLogged(t *testing.T) {
+	h, s0 := open(t, `<r><a>1</a></r>`)
+	var logged [][]delta.Edit
+	batch := []delta.Edit{{Op: delta.OpSetText, Path: "r.a", Text: "2"}}
+	if _, err := h.ApplyLogged(batch, func(es []delta.Edit) error {
+		logged = append(logged, es)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 1 || len(logged[0]) != 1 {
+		t.Fatalf("logged %v", logged)
+	}
+	// A failing log must abort publication.
+	_, err := h.ApplyLogged(batch, func([]delta.Edit) error { return errors.New("disk full") })
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("log failure not surfaced: %v", err)
+	}
+	if h.Snapshot().Epoch != 1 {
+		t.Fatal("snapshot advanced despite log failure")
+	}
+	// An invalid batch must not reach the log.
+	logged = nil
+	if _, err := h.ApplyLogged([]delta.Edit{{Op: "bogus", Path: "r"}}, func(es []delta.Edit) error {
+		logged = append(logged, es)
+		return nil
+	}); err == nil || logged != nil {
+		t.Fatalf("invalid batch logged: err=%v logged=%v", err, logged)
+	}
+	_ = s0
+}
+
+func TestOpenAdoptsLoadedIndex(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a>1</a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Attach(doc)
+	h := delta.Open(doc)
+	if h.Snapshot().Index != ix {
+		t.Fatal("Open rebuilt an already-attached index")
+	}
+}

@@ -14,6 +14,15 @@
 // is attached to the document, every worker evaluates through it — the
 // index is immutable, so the workers share it with zero synchronization
 // (indexed_test.go runs this composition under -race).
+//
+// Live documents (internal/delta) compose with the engine by snapshot
+// pinning: every Evaluate*/EvaluateBatch call takes one document and uses
+// it — and the index attached to it — for the whole call, so a caller
+// serving a mutating dataset resolves delta.Handle.Snapshot() exactly once
+// per request and passes snapshot.Doc down. Workers never re-resolve the
+// document, so a mutation published mid-request cannot mix epochs inside
+// one evaluation (delta_test.go races writers against pinned readers under
+// -race).
 package engine
 
 import (

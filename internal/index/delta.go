@@ -1,0 +1,190 @@
+package index
+
+// Incremental index maintenance under document mutation. A mutated
+// document snapshot (produced by xmltree's revision layer) differs from
+// its base by an explicit node-level change set; ApplyChanges turns the
+// base snapshot's index into the new snapshot's index by splicing exactly
+// the postings lists those changes touch. The result is an overlay epoch:
+// a thin Index holding only the spliced entries plus a pointer to the base
+// index, so the untouched majority of the postings — typically all but a
+// handful of paths — is shared structurally across epochs. Lookups walk
+// the overlay chain newest-first; the chain is bounded by flattenDepth,
+// after which an epoch is materialized into a self-contained index, so
+// chained lookups stay O(1) amortized and superseded epochs (and the
+// document snapshots they pin) become collectable.
+//
+// Every spliced list is freshly allocated: the base index's slices are
+// never written, so queries running against any older snapshot proceed
+// unperturbed while new epochs are built — the copy-on-write contract the
+// delta subsystem's concurrency model rests on.
+
+import (
+	"time"
+
+	"xmatch/internal/xmltree"
+)
+
+// flattenDepth bounds the overlay chain: the epoch that would become the
+// flattenDepth-th overlay is materialized into a base-free index instead.
+// The flatten is O(index size), so amortized over the preceding thin
+// epochs it adds a fraction of one full rebuild — and it unpins the
+// superseded epochs' documents from memory.
+const flattenDepth = 16
+
+// ApplyChanges derives the index of a mutated document snapshot from the
+// index of its base snapshot and the revision's change set. Postings of
+// unaffected paths are shared with the base; affected paths and value keys
+// get freshly spliced lists. The receiver is not modified and remains the
+// valid index of its own document. The returned index is not yet attached
+// to newDoc; callers publish it with Install.
+func (ix *Index) ApplyChanges(newDoc *xmltree.Document, cs *xmltree.ChangeSet) *Index {
+	start := time.Now()
+	nx := &Index{
+		doc:    newDoc,
+		base:   ix,
+		epoch:  ix.epoch + 1,
+		depth:  ix.depth + 1,
+		paths:  make(map[string][]Posting),
+		values: make(map[valueKey][]Posting),
+		stats:  ix.stats,
+	}
+	nx.stats.Epoch = nx.epoch
+
+	dropped := make(map[*xmltree.Node]bool, len(cs.Dropped))
+	affectedPaths := make(map[string]bool)
+	affectedValues := make(map[valueKey]bool)
+	for _, n := range cs.Dropped {
+		dropped[n] = true
+		affectedPaths[n.Path] = true
+		if n.Text != "" {
+			affectedValues[valueKey{n.Path, n.Text}] = true
+		}
+	}
+	addedByPath := make(map[string][]*xmltree.Node)
+	addedByValue := make(map[valueKey][]*xmltree.Node)
+	for _, n := range cs.Added { // document order, which splice preserves
+		affectedPaths[n.Path] = true
+		addedByPath[n.Path] = append(addedByPath[n.Path], n)
+		if n.Text != "" {
+			k := valueKey{n.Path, n.Text}
+			affectedValues[k] = true
+			addedByValue[k] = append(addedByValue[k], n)
+		}
+	}
+
+	for p := range affectedPaths {
+		old := ix.Postings(p)
+		nl := splice(old, dropped, addedByPath[p])
+		nx.paths[p] = nl
+		nx.stats.Postings += len(nl) - len(old)
+		nx.stats.ResidentBytes += (len(nl) - len(old)) * postingBytes
+		switch {
+		case len(old) == 0 && len(nl) > 0:
+			nx.stats.DistinctPaths++
+			nx.stats.ResidentBytes += len(p)
+		case len(old) > 0 && len(nl) == 0:
+			nx.stats.DistinctPaths--
+			nx.stats.ResidentBytes -= len(p)
+		}
+	}
+	for k := range affectedValues {
+		old := ix.ValuePostings(k.path, k.text)
+		nl := splice(old, dropped, addedByValue[k])
+		nx.values[k] = nl
+		nx.stats.ResidentBytes += (len(nl) - len(old)) * postingBytes
+		switch {
+		case len(old) == 0 && len(nl) > 0:
+			nx.stats.ValueKeys++
+			nx.stats.ResidentBytes += len(k.path) + len(k.text)
+		case len(old) > 0 && len(nl) == 0:
+			nx.stats.ValueKeys--
+			nx.stats.ResidentBytes -= len(k.path) + len(k.text)
+		}
+	}
+
+	if nx.depth >= flattenDepth {
+		nx = nx.flatten()
+	}
+	nx.stats.Overlays = nx.depth
+	nx.stats.BuildTime = time.Since(start)
+	return nx
+}
+
+// splice merges one postings list: the old postings minus those whose
+// nodes were dropped, interleaved by start number with postings for the
+// added nodes. Both inputs are in document order; so is the result. The
+// old list is never modified. An empty result is returned as nil, the
+// overlay's deletion marker.
+func splice(old []Posting, dropped map[*xmltree.Node]bool, added []*xmltree.Node) []Posting {
+	out := make([]Posting, 0, len(old)+len(added))
+	i := 0
+	for _, n := range added {
+		for ; i < len(old); i++ {
+			if dropped[old[i].Node] {
+				continue
+			}
+			if int(old[i].Start) > n.Start {
+				break
+			}
+			out = append(out, old[i])
+		}
+		out = append(out, Posting{Start: int32(n.Start), End: int32(n.End), Level: int32(n.Level), Node: n})
+	}
+	for ; i < len(old); i++ {
+		if !dropped[old[i].Node] {
+			out = append(out, old[i])
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// chainDown returns the overlay chain oldest-first.
+func (ix *Index) chainDown() []*Index {
+	var chain []*Index
+	for x := ix; x != nil; x = x.base {
+		chain = append(chain, x)
+	}
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	return chain
+}
+
+// materialize returns the effective postings maps of the overlay chain:
+// the oldest epoch's full maps with each newer overlay applied on top
+// (nil entries delete). The returned maps are fresh even for a base-free
+// index, so callers may keep them.
+func (ix *Index) materialize() (map[string][]Posting, map[valueKey][]Posting) {
+	paths := make(map[string][]Posting, len(ix.paths))
+	values := make(map[valueKey][]Posting, len(ix.values))
+	for _, x := range ix.chainDown() {
+		for p, ps := range x.paths {
+			if ps == nil {
+				delete(paths, p)
+			} else {
+				paths[p] = ps
+			}
+		}
+		for k, ps := range x.values {
+			if ps == nil {
+				delete(values, k)
+			} else {
+				values[k] = ps
+			}
+		}
+	}
+	return paths, values
+}
+
+// flatten materializes an overlay index into a self-contained one,
+// releasing the base chain.
+func (ix *Index) flatten() *Index {
+	if ix.base == nil {
+		return ix
+	}
+	paths, values := ix.materialize()
+	return &Index{doc: ix.doc, epoch: ix.epoch, paths: paths, values: values, stats: ix.stats}
+}

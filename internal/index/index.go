@@ -45,11 +45,24 @@ type valueKey struct {
 	path, text string
 }
 
-// Index is an immutable positional index over one document.
+// Index is an immutable positional index over one document snapshot.
+//
+// An index is either self-contained (Build, FromSnapshot) or an overlay
+// epoch derived from a base index by ApplyChanges: then paths and values
+// hold only the entries the mutation spliced — a nil slice marks a deleted
+// entry — and lookups fall through to the base chain. Either way the index
+// never changes after construction and is safe for unsynchronized
+// concurrent readers; document mutation produces a new Index for the new
+// snapshot rather than touching this one.
 type Index struct {
 	doc    *xmltree.Document
 	paths  map[string][]Posting   // dotted path -> postings in document order
 	values map[valueKey][]Posting // (path, text) -> postings in document order
+
+	// base is the previous epoch's index for an overlay, nil otherwise.
+	base  *Index
+	epoch uint64
+	depth int // overlay chain length above the nearest self-contained index
 
 	stats Stats
 }
@@ -67,8 +80,17 @@ type Stats struct {
 	ValueKeys int
 	// ResidentBytes estimates the index's in-memory footprint: postings
 	// arrays (both maps) plus map-key string bytes. Node pointers are
-	// counted, the document itself is not.
+	// counted, the document itself is not. For an overlay epoch this is
+	// the effective (as-if-flattened) footprint; entries shared with the
+	// base chain are counted once.
 	ResidentBytes int
+	// Epoch counts the mutations applied since the index was built: 0 for
+	// a fresh Build or a loaded snapshot, incremented by every
+	// ApplyChanges.
+	Epoch uint64
+	// Overlays is the current overlay chain length (0 for a
+	// self-contained index) — the number of epochs a lookup may traverse.
+	Overlays int
 }
 
 // Build constructs the index over doc in one preorder pass.
@@ -122,21 +144,41 @@ func (ix *Index) Document() *xmltree.Document { return ix.doc }
 // Stats returns the index statistics snapshot.
 func (ix *Index) Stats() Stats { return ix.stats }
 
+// Epoch returns the number of mutations applied since the index was
+// built: 0 for a fresh Build or loaded snapshot.
+func (ix *Index) Epoch() uint64 { return ix.epoch }
+
 // Postings returns the region postings of the given dotted path in
-// document order. The returned slice must not be modified.
-func (ix *Index) Postings(path string) []Posting { return ix.paths[path] }
+// document order. The returned slice must not be modified. An overlay
+// epoch answers from its own spliced entries first and falls through to
+// the base chain; a self-contained index answers in one lookup.
+func (ix *Index) Postings(path string) []Posting {
+	for x := ix; x != nil; x = x.base {
+		if ps, ok := x.paths[path]; ok {
+			return ps
+		}
+	}
+	return nil
+}
 
 // ValuePostings returns the postings of nodes under path whose text equals
 // value, in document order. The returned slice must not be modified.
 func (ix *Index) ValuePostings(path, value string) []Posting {
-	return ix.values[valueKey{path, value}]
+	k := valueKey{path, value}
+	for x := ix; x != nil; x = x.base {
+		if ps, ok := x.values[k]; ok {
+			return ps
+		}
+	}
+	return nil
 }
 
 // Paths returns the indexed dotted paths, sorted. Used by persistence and
 // diagnostics; the hot path never calls it.
 func (ix *Index) Paths() []string {
-	out := make([]string, 0, len(ix.paths))
-	for p := range ix.paths {
+	paths, _ := ix.materialize()
+	out := make([]string, 0, len(paths))
+	for p := range paths {
 		out = append(out, p)
 	}
 	sort.Strings(out)
@@ -145,8 +187,9 @@ func (ix *Index) Paths() []string {
 
 // ValueTexts returns the distinct indexed text values under path, sorted.
 func (ix *Index) ValueTexts(path string) []string {
+	_, values := ix.materialize()
 	var out []string
-	for k := range ix.values {
+	for k := range values {
 		if k.path == path {
 			out = append(out, k.text)
 		}
@@ -155,8 +198,11 @@ func (ix *Index) ValueTexts(path string) []string {
 	return out
 }
 
+// postingBytes estimates one Posting's resident size: 3×int32 (padded to
+// 16) + pointer.
+const postingBytes = 24
+
 func (ix *Index) computeStats() Stats {
-	const postingBytes = 24 // 3×int32 (padded to 16) + pointer
 	st := Stats{DistinctPaths: len(ix.paths), ValueKeys: len(ix.values)}
 	for p, ps := range ix.paths {
 		st.Postings += len(ps)

@@ -37,11 +37,20 @@ type SnapshotValue struct {
 }
 
 // Snapshot extracts the persistable form of the index. Entries are sorted,
-// so two snapshots of the same index serialize to identical bytes.
+// so two snapshots of the same index serialize to identical bytes. An
+// overlay epoch is materialized first, so the snapshot of a mutated
+// index is indistinguishable from that of a fresh build over the same
+// document.
 func (ix *Index) Snapshot() *Snapshot {
+	pathMap, valueMap := ix.materialize()
 	snap := &Snapshot{DocNodes: ix.doc.Len()}
-	for _, path := range ix.Paths() {
-		ps := ix.paths[path]
+	pathNames := make([]string, 0, len(pathMap))
+	for p := range pathMap {
+		pathNames = append(pathNames, p)
+	}
+	sort.Strings(pathNames)
+	for _, path := range pathNames {
+		ps := pathMap[path]
 		sp := SnapshotPath{
 			Path:   path,
 			Starts: make([]int32, len(ps)),
@@ -53,8 +62,8 @@ func (ix *Index) Snapshot() *Snapshot {
 		}
 		snap.Paths = append(snap.Paths, sp)
 	}
-	keys := make([]valueKey, 0, len(ix.values))
-	for k := range ix.values {
+	keys := make([]valueKey, 0, len(valueMap))
+	for k := range valueMap {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -64,7 +73,7 @@ func (ix *Index) Snapshot() *Snapshot {
 		return keys[i].text < keys[j].text
 	})
 	for _, k := range keys {
-		ps := ix.values[k]
+		ps := valueMap[k]
 		sv := SnapshotValue{Path: k.path, Text: k.text, Starts: make([]int32, len(ps))}
 		for i, p := range ps {
 			sv.Starts[i] = p.Start

@@ -9,6 +9,7 @@ import (
 
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
+	"xmatch/internal/delta"
 	"xmatch/internal/engine"
 	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
@@ -18,24 +19,32 @@ import (
 	"xmatch/internal/xmltree"
 )
 
-// Dataset is one prepared serving tenant: a mapping set, the document it is
-// queried over, its positional index, the block tree, and a per-dataset
-// engine (own worker pool and prepared-query cache), all immutable once
-// built — a hot reload swaps whole datasets, never mutates one. The index
-// is attached to the document before the dataset is published, so every
-// engine worker shares it read-only with zero synchronization.
+// Dataset is one prepared serving tenant: a mapping set, the live document
+// it is queried over, the block tree, and a per-dataset engine (own worker
+// pool and prepared-query cache). The mapping set, block tree, and engine
+// are immutable; the document and its positional index live behind a
+// delta.Handle, which serializes writers and publishes immutable
+// (document, index) snapshot pairs — a request pins one snapshot up front
+// and every engine worker shares it read-only with zero synchronization.
 type Dataset struct {
 	Name   string
 	Set    *mapping.Set
-	Doc    *xmltree.Document
-	Index  *index.Index
 	Tree   *core.BlockTree
 	Engine *engine.Engine
+	// Live owns the document's mutable identity: Live.Snapshot() is the
+	// current (document, index) pair, /v1/admin/mutate applies batches
+	// through it.
+	Live *delta.Handle
+
+	// editLog is the resolved edit-log file path; empty means mutations
+	// are in-memory only (lost on reload).
+	editLog string
 }
 
 // NewDataset builds a serving dataset: block tree (tau 0 = default 0.2),
 // positional index (built here unless one — typically loaded from a store
 // blob — is already attached to the document), plus a dedicated engine.
+// The document must not be mutated afterwards except through Live.
 func NewDataset(name string, set *mapping.Set, doc *xmltree.Document, tau float64, eopts engine.Options) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: dataset has no name")
@@ -44,14 +53,53 @@ func NewDataset(name string, set *mapping.Set, doc *xmltree.Document, tau float6
 	if err != nil {
 		return nil, fmt.Errorf("server: dataset %s: %w", name, err)
 	}
-	ix := index.For(doc)
-	if ix == nil {
-		ix = index.Attach(doc)
-	}
 	if eopts.Workers == 0 {
 		eopts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Dataset{Name: name, Set: set, Doc: doc, Index: ix, Tree: bt, Engine: engine.New(eopts)}, nil
+	return &Dataset{Name: name, Set: set, Tree: bt, Engine: engine.New(eopts), Live: delta.Open(doc)}, nil
+}
+
+// Snapshot pins the dataset's current (document, index) snapshot. Request
+// handlers call it exactly once and evaluate everything against the pinned
+// pair, so a concurrent mutation never changes a request mid-flight.
+func (d *Dataset) Snapshot() *delta.Snapshot { return d.Live.Snapshot() }
+
+// Doc returns the current snapshot's document. Prefer Snapshot when more
+// than one field of the pair is needed.
+func (d *Dataset) Doc() *xmltree.Document { return d.Live.Snapshot().Doc }
+
+// Index returns the current snapshot's positional index.
+func (d *Dataset) Index() *index.Index { return d.Live.Snapshot().Index }
+
+// EditLogPath returns the dataset's resolved edit-log file path ("" when
+// mutations are not persisted).
+func (d *Dataset) EditLogPath() string { return d.editLog }
+
+// WithEditLog configures edit-log persistence: applied batches are
+// appended to the file at path, and ReplayEditLog restores them. Must be
+// called before the dataset is published.
+func (d *Dataset) WithEditLog(path string) *Dataset {
+	d.editLog = path
+	return d
+}
+
+// ReplayEditLog replays the dataset's persisted edit log (if any) over
+// the pristine document, restoring its edited state. Called once at
+// catalog-prepare time, before the dataset is published.
+func (d *Dataset) ReplayEditLog() error {
+	if d.editLog == "" {
+		return nil
+	}
+	batches, err := store.LoadEditLogFile(d.editLog)
+	if err != nil {
+		return fmt.Errorf("server: dataset %s: edit log %s: %w", d.Name, d.editLog, err)
+	}
+	for i, b := range batches {
+		if _, err := d.Live.Apply(b); err != nil {
+			return fmt.Errorf("server: dataset %s: edit log %s: replaying batch %d: %w", d.Name, d.editLog, i, err)
+		}
+	}
+	return nil
 }
 
 // Catalog is an immutable snapshot of the serving datasets, looked up by
@@ -174,7 +222,20 @@ func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*
 			ix.Install()
 		}
 	}
-	return NewDataset(e.Name, set, doc, e.Tau, eopts)
+	d, err := NewDataset(e.Name, set, doc, e.Tau, eopts)
+	if err != nil {
+		return nil, err
+	}
+	if e.EditLogPath != "" {
+		// Replay restores the entry's edited state over the pristine
+		// document (blob-backed or regenerated alike) without re-parsing
+		// mutated XML; later mutations append to the same log.
+		d.WithEditLog(filepath.Join(baseDir, e.EditLogPath))
+		if err := d.ReplayEditLog(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // instantiateSchema generates a deterministic single-instance document for a

@@ -7,13 +7,21 @@
 //	POST /v1/batch         many PTQs over one dataset, engine-fanned
 //	GET  /v1/datasets      catalog listing
 //	GET  /healthz          liveness
-//	GET  /statsz           cache, in-flight, and latency counters
+//	GET  /statsz           cache, in-flight, mutation, and latency counters
 //	POST /v1/admin/reload  rebuild the catalog and swap it atomically
+//	POST /v1/admin/mutate  apply an edit batch to one dataset's document
 //
 // Every query runs through a per-request engine.Sub budget, so one fat
 // batch cannot starve the dataset's worker pool, and every response's
 // results decode byte-identically to the sequential internal/core
 // evaluators (asserted end-to-end by server_test.go).
+//
+// Documents are live: each dataset's document and positional index sit
+// behind a delta.Handle. A request handler pins the current snapshot once
+// and evaluates against that pair to completion, so mutations applied
+// concurrently (writers serialize per dataset inside the handle) never
+// perturb an in-flight request — they only decide what the next request
+// sees.
 package server
 
 import (
@@ -26,7 +34,9 @@ import (
 	"time"
 
 	"xmatch/internal/core"
+	"xmatch/internal/delta"
 	"xmatch/internal/engine"
+	"xmatch/internal/store"
 )
 
 // Options configure the HTTP layer. The zero value is serviceable.
@@ -42,6 +52,9 @@ type Options struct {
 	// — like MaxBodyBytes, a cap on the work a single well-formed request
 	// can demand. 0 means 256.
 	MaxBatchQueries int
+	// MaxBatchEdits bounds the edits one /v1/admin/mutate request may
+	// carry. 0 means 256.
+	MaxBatchEdits int
 }
 
 // Loader builds a fresh catalog: called once at startup and again on every
@@ -52,9 +65,17 @@ type Loader func() (*Catalog, error)
 
 // Server is the xmatchd HTTP handler.
 type Server struct {
-	opts     Options
-	loader   Loader
-	reloadMu sync.Mutex // serializes Reload: last request wins, in order
+	opts   Options
+	loader Loader
+	// reloadMu serializes Reload (write side) against in-flight mutations
+	// (read side): a reload's loader replays each dataset's edit log and
+	// then publishes the catalog built from it, so a mutation applying —
+	// and appending to a log — between that read and the publish would be
+	// acknowledged yet missing from the new catalog (and its mid-append
+	// write could tear the loader's read). Mutations on different
+	// datasets still run concurrently; per-dataset ordering comes from
+	// the delta handle. Reloads remain last-wins, in order.
+	reloadMu sync.RWMutex
 	cat      atomic.Pointer[Catalog]
 	mux      *http.ServeMux
 	stats    serverStats
@@ -72,6 +93,9 @@ func New(loader Loader, opts Options) (*Server, error) {
 	if opts.MaxBatchQueries == 0 {
 		opts.MaxBatchQueries = 256
 	}
+	if opts.MaxBatchEdits == 0 {
+		opts.MaxBatchEdits = 256
+	}
 	s := &Server{opts: opts, loader: loader}
 	s.stats.start = time.Now()
 	s.cat.Store(cat)
@@ -80,6 +104,7 @@ func New(loader Loader, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/batch", s.timed(&s.stats.latBatch, &s.stats.batches, s.handleBatch))
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/admin/mutate", s.timed(&s.stats.latMutate, &s.stats.mutates, s.handleMutate))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s, nil
@@ -183,7 +208,9 @@ type DatasetInfo struct {
 	Target   string `json:"target"`
 	Mappings int    `json:"mappings"`
 	DocNodes int    `json:"docNodes"`
-	Blocks   int    `json:"blocks"`
+	// Epoch is the document's current mutation epoch (0 = pristine).
+	Epoch  uint64 `json:"epoch"`
+	Blocks int    `json:"blocks"`
 }
 
 // errorResponse is the body of every non-2xx reply.
@@ -263,6 +290,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "unknown mode %q (want basic, compact, or topk)", mode)
 		return
 	}
+	// Pin the document snapshot once: every evaluation below sees this
+	// exact (document, index) pair even if a mutation lands mid-request.
+	snap := ds.Snapshot()
 	eng := ds.Engine.Sub(s.budget(ds))
 	q, err := eng.Prepare(req.Pattern, ds.Set)
 	if err != nil {
@@ -272,11 +302,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var results []core.Result
 	switch mode {
 	case "basic":
-		results = eng.EvaluateBasic(q, ds.Set, ds.Doc)
+		results = eng.EvaluateBasic(q, ds.Set, snap.Doc)
 	case "compact":
-		results = eng.Evaluate(q, ds.Set, ds.Doc, ds.Tree)
+		results = eng.Evaluate(q, ds.Set, snap.Doc, ds.Tree)
 	default: // topk
-		results = eng.EvaluateTopK(q, ds.Set, ds.Doc, ds.Tree, req.K)
+		results = eng.EvaluateTopK(q, ds.Set, snap.Doc, ds.Tree, req.K)
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Dataset: req.Dataset,
@@ -307,13 +337,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "batch has %d queries, limit %d", len(req.Queries), s.opts.MaxBatchQueries)
 		return
 	}
+	// One snapshot pin for the whole batch: its queries are answered over
+	// a single consistent document state.
+	snap := ds.Snapshot()
 	eng := ds.Engine.Sub(s.budget(ds))
 	engReqs := make([]engine.Request, len(req.Queries))
 	for i, bq := range req.Queries {
 		engReqs[i] = engine.Request{Pattern: bq.Pattern, K: bq.K}
 	}
 	resp := BatchResponse{Dataset: req.Dataset, Responses: make([]BatchAnswer, len(engReqs))}
-	for i, er := range eng.EvaluateBatch(ds.Set, ds.Doc, ds.Tree, engReqs) {
+	for i, er := range eng.EvaluateBatch(ds.Set, snap.Doc, ds.Tree, engReqs) {
 		ba := BatchAnswer{Pattern: er.Pattern, K: er.K}
 		if er.Err != nil {
 			ba.Error = er.Err.Error()
@@ -334,16 +367,97 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	cat := s.Catalog()
 	infos := make([]DatasetInfo, 0, len(cat.names))
 	for _, d := range cat.Datasets() {
+		snap := d.Snapshot()
 		infos = append(infos, DatasetInfo{
 			Name:     d.Name,
 			Source:   d.Set.Source.Name,
 			Target:   d.Set.Target.Name,
 			Mappings: d.Set.Len(),
-			DocNodes: d.Doc.Len(),
+			DocNodes: snap.Doc.Len(),
+			Epoch:    snap.Epoch,
 			Blocks:   d.Tree.Stats().NumBlocks,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+// MutateRequest is the body of POST /v1/admin/mutate: one edit batch for
+// one dataset, applied atomically in order.
+type MutateRequest struct {
+	Dataset string       `json:"dataset"`
+	Edits   []delta.Edit `json:"edits"`
+}
+
+// MutateResponse is the body of a successful POST /v1/admin/mutate.
+type MutateResponse struct {
+	Dataset string `json:"dataset"`
+	// Epoch is the document epoch the batch produced; queries arriving
+	// after this response see it.
+	Epoch    uint64 `json:"epoch"`
+	Applied  int    `json:"applied"`
+	DocNodes int    `json:"docNodes"`
+	// Persisted reports whether the batch was appended to the dataset's
+	// edit log (false for datasets without one: the mutation is
+	// in-memory only and will not survive a reload).
+	Persisted bool `json:"persisted"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Edits) == 0 {
+		s.fail(w, http.StatusBadRequest, "mutation has no edits")
+		return
+	}
+	if len(req.Edits) > s.opts.MaxBatchEdits {
+		s.fail(w, http.StatusBadRequest, "mutation has %d edits, limit %d", len(req.Edits), s.opts.MaxBatchEdits)
+		return
+	}
+	if err := delta.Validate(req.Edits); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The reload read-lock covers dataset resolution through apply-and-log:
+	// otherwise a reload could swap the catalog in between, and the batch
+	// would land on the superseded dataset (and in the edit log) after the
+	// reload's replay had already read the log — acknowledged, persisted,
+	// yet absent from the serving catalog until the next reload. The
+	// handle itself serializes writers per dataset and orders log appends
+	// exactly like the batches they record; readers keep their pinned
+	// snapshots throughout and never touch this lock.
+	s.reloadMu.RLock()
+	ds := s.Catalog().Get(req.Dataset)
+	if ds == nil {
+		s.reloadMu.RUnlock()
+		s.fail(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	var log func([]delta.Edit) error
+	if p := ds.EditLogPath(); p != "" {
+		log = func(es []delta.Edit) error { return store.AppendEditBatchFile(p, es) }
+	}
+	snap, err := ds.Live.ApplyLogged(req.Edits, log)
+	s.reloadMu.RUnlock()
+	if err != nil {
+		var ee *delta.EditError
+		if errors.As(err, &ee) {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+		} else {
+			s.fail(w, http.StatusInternalServerError, "mutation not applied: %v", err)
+		}
+		return
+	}
+	s.stats.edits.Add(uint64(len(req.Edits)))
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Dataset:   req.Dataset,
+		Epoch:     snap.Epoch,
+		Applied:   len(req.Edits),
+		DocNodes:  snap.Doc.Len(),
+		Persisted: log != nil,
+	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -372,9 +486,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // DatasetStats is one dataset's /statsz row. The index fields describe the
-// dataset's positional index: how long the current catalog snapshot took
-// to build (or verify-load) it, its resident footprint, and its postings
-// volume — the capacity signals for sizing a multi-tenant deployment.
+// dataset's positional index: how long the current snapshot's index took
+// to build (or verify-load, or splice), its resident footprint, and its
+// postings volume — the capacity signals for sizing a multi-tenant
+// deployment. The epoch fields track the live mutation subsystem: the
+// current document epoch, the batches and edits absorbed since the
+// catalog snapshot was prepared, and the index's current overlay depth
+// (how many spliced epochs a postings lookup may traverse before the next
+// flatten).
 type DatasetStats struct {
 	Name           string `json:"name"`
 	CacheHits      uint64 `json:"cacheHits"`
@@ -386,6 +505,13 @@ type DatasetStats struct {
 	IndexBytes    int     `json:"indexBytes"`
 	IndexPostings int     `json:"indexPostings"`
 	IndexPaths    int     `json:"indexPaths"`
+
+	Epoch         uint64 `json:"epoch"`
+	EditBatches   uint64 `json:"editBatches"`
+	EditsApplied  uint64 `json:"editsApplied"`
+	IndexOverlays int    `json:"indexOverlays"`
+	DocNodes      int    `json:"docNodes"`
+	EditLog       bool   `json:"editLog"`
 }
 
 // Stats is the /statsz payload.
@@ -395,6 +521,8 @@ type Stats struct {
 	Queries       uint64                    `json:"queries"`
 	Batches       uint64                    `json:"batches"`
 	Reloads       uint64                    `json:"reloads"`
+	Mutations     uint64                    `json:"mutations"`
+	Edits         uint64                    `json:"edits"`
 	Errors        uint64                    `json:"errors"`
 	Latency       map[string]HistogramStats `json:"latency"`
 	Datasets      []DatasetStats            `json:"datasets"`
@@ -411,15 +539,20 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Queries:       s.stats.queries.Load(),
 		Batches:       s.stats.batches.Load(),
 		Reloads:       s.stats.reloads.Load(),
+		Mutations:     s.stats.mutates.Load(),
+		Edits:         s.stats.edits.Load(),
 		Errors:        s.stats.errors.Load(),
 		Latency: map[string]HistogramStats{
-			"query": s.stats.latQuery.snapshot(),
-			"batch": s.stats.latBatch.snapshot(),
+			"query":  s.stats.latQuery.snapshot(),
+			"batch":  s.stats.latBatch.snapshot(),
+			"mutate": s.stats.latMutate.snapshot(),
 		},
 	}
 	for _, d := range s.Catalog().Datasets() {
 		cs := d.Engine.CacheStats()
-		xs := d.Index.Stats()
+		snap := d.Snapshot()
+		xs := snap.Index.Stats()
+		ls := d.Live.Stats()
 		st.Datasets = append(st.Datasets, DatasetStats{
 			Name:           d.Name,
 			CacheHits:      cs.Hits,
@@ -430,6 +563,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			IndexBytes:     xs.ResidentBytes,
 			IndexPostings:  xs.Postings,
 			IndexPaths:     xs.DistinctPaths,
+			Epoch:          snap.Epoch,
+			EditBatches:    ls.Batches,
+			EditsApplied:   ls.Edits,
+			IndexOverlays:  xs.Overlays,
+			DocNodes:       snap.Doc.Len(),
+			EditLog:        d.EditLogPath() != "",
 		})
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -62,7 +62,7 @@ func leafPatterns(t *testing.T, d *server.Dataset, n int) []string {
 		if err != nil {
 			continue
 		}
-		if len(core.EvaluateBasic(q, d.Set, d.Doc)) > 0 {
+		if len(core.EvaluateBasic(q, d.Set, d.Doc())) > 0 {
 			if len(nonEmpty) < n-1 {
 				nonEmpty = append(nonEmpty, pattern)
 			}
@@ -147,11 +147,11 @@ func directWire(t *testing.T, f fixture, pattern, mode string, k int) (results, 
 	var rs []core.Result
 	switch mode {
 	case "basic":
-		rs = core.EvaluateBasic(q, f.ds.Set, f.ds.Doc)
+		rs = core.EvaluateBasic(q, f.ds.Set, f.ds.Doc())
 	case "compact":
-		rs = core.Evaluate(q, f.ds.Set, f.ds.Doc, f.ds.Tree)
+		rs = core.Evaluate(q, f.ds.Set, f.ds.Doc(), f.ds.Tree)
 	case "topk":
-		rs = core.EvaluateTopK(q, f.ds.Set, f.ds.Doc, f.ds.Tree, k)
+		rs = core.EvaluateTopK(q, f.ds.Set, f.ds.Doc(), f.ds.Tree, k)
 	default:
 		t.Fatalf("bad mode %q", mode)
 	}
@@ -550,8 +550,8 @@ func TestStatszIndexStats(t *testing.T) {
 			if d == nil {
 				t.Fatalf("%s: statsz row for unknown dataset %q", phase, ds.Name)
 			}
-			if ds.IndexPostings != d.Doc.Len() {
-				t.Errorf("%s %s: indexPostings = %d, want one per node = %d", phase, ds.Name, ds.IndexPostings, d.Doc.Len())
+			if ds.IndexPostings != d.Doc().Len() {
+				t.Errorf("%s %s: indexPostings = %d, want one per node = %d", phase, ds.Name, ds.IndexPostings, d.Doc().Len())
 			}
 			if ds.IndexBytes <= 0 || ds.IndexPaths <= 0 {
 				t.Errorf("%s %s: implausible index stats %+v", phase, ds.Name, ds)
@@ -595,7 +595,7 @@ func TestIndexBlobCatalog(t *testing.T) {
 		return name
 	}
 	setPath := writeFile("small.set", func(f *os.File) error { return store.SaveSet(f, orig.Set) })
-	docPath := writeFile("small.xml", func(f *os.File) error { return orig.Doc.WriteXML(f) })
+	docPath := writeFile("small.xml", func(f *os.File) error { return orig.Doc().WriteXML(f) })
 
 	// The index blob must be built over the exact document the entry will
 	// load, so round-trip the document first.
@@ -618,8 +618,8 @@ func TestIndexBlobCatalog(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := cat.Get("frozen")
-	if d.Index == nil || d.Index.Stats().Postings != d.Doc.Len() {
-		t.Fatalf("blob-loaded index missing or wrong: %+v", d.Index)
+	if d.Index() == nil || d.Index().Stats().Postings != d.Doc().Len() {
+		t.Fatalf("blob-loaded index missing or wrong: %+v", d.Index())
 	}
 	// Differential: the blob-loaded index answers like a built one.
 	pattern := leafPatterns(t, d, 2)[0]
@@ -627,11 +627,11 @@ func TestIndexBlobCatalog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := json.Marshal(core.ToWire(core.EvaluateBasic(q, d.Set, d.Doc)))
+	got, err := json.Marshal(core.ToWire(core.EvaluateBasic(q, d.Set, d.Doc())))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := server.NewDataset("fresh", orig.Set, orig.Doc, 0, engine.Options{Workers: 2})
+	fresh, err := server.NewDataset("fresh", orig.Set, orig.Doc(), 0, engine.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -639,7 +639,7 @@ func TestIndexBlobCatalog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := json.Marshal(core.ToWire(core.EvaluateBasic(q2, fresh.Set, fresh.Doc)))
+	want, err := json.Marshal(core.ToWire(core.EvaluateBasic(q2, fresh.Set, fresh.Doc())))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,7 +710,7 @@ func TestBlobBackedCatalog(t *testing.T) {
 	if d.Set.Len() != orig.Set.Len() {
 		t.Errorf("blob round trip lost mappings: %d != %d", d.Set.Len(), orig.Set.Len())
 	}
-	if d.Doc.Len() == 0 {
+	if d.Doc().Len() == 0 {
 		t.Error("generated fallback document is empty")
 	}
 	// And it must answer a query end to end.

@@ -62,12 +62,15 @@ func (h *histogram) snapshot() HistogramStats {
 
 // serverStats aggregates the daemon's operational counters.
 type serverStats struct {
-	start    time.Time
-	inFlight atomic.Int64
-	queries  atomic.Uint64
-	batches  atomic.Uint64
-	reloads  atomic.Uint64
-	errors   atomic.Uint64
-	latQuery histogram
-	latBatch histogram
+	start     time.Time
+	inFlight  atomic.Int64
+	queries   atomic.Uint64
+	batches   atomic.Uint64
+	reloads   atomic.Uint64
+	mutates   atomic.Uint64
+	edits     atomic.Uint64
+	errors    atomic.Uint64
+	latQuery  histogram
+	latBatch  histogram
+	latMutate histogram
 }

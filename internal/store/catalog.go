@@ -38,6 +38,14 @@ type CatalogEntry struct {
 	// directory; when empty the index is built at catalog-prepare time.
 	// Manifest format v2; v1 manifests decode with it empty.
 	IndexPath string
+	// EditLogPath optionally locates the entry's append-only edit log
+	// (CreateEditLog/AppendEditBatch format), relative to the manifest's
+	// directory. At catalog-prepare time the log — if the file exists —
+	// is replayed over the entry's pristine document, restoring its
+	// edited state; /v1/admin/mutate appends every applied batch to it.
+	// Without it, mutations are in-memory only and vanish on reload.
+	// Manifest format v3; older manifests decode with it empty.
+	EditLogPath string
 
 	// DocNodes is the synthetic document size (built-in entries);
 	// 0 means 3473, the paper's Order.xml.

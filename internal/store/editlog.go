@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"xmatch/internal/delta"
+)
+
+// Edit-log blobs (format version 3) persist a dataset's mutation history
+// as an append-only sequence of applied edit batches. Replaying the log
+// over the dataset's pristine document (in order, through delta.Apply)
+// restores its edited state exactly, so a serving daemon can restart — or
+// hot-reload — without re-deriving edits or re-shipping mutated XML.
+//
+// Unlike the other store blobs, an edit log grows in place: batches are
+// appended to an existing file without rewriting it. A single gob stream
+// cannot be appended to (each Encoder emits its own type descriptors), so
+// the payload after the usual magic + header envelope is a sequence of
+// self-contained records, each a uvarint length prefix followed by one
+// gob-encoded batch. A torn tail — a crash mid-append — therefore damages
+// only the final record, and surfaces as a *FormatError on load rather
+// than as silently missing edits.
+
+// editBatch is one persisted record: the edits of one applied batch.
+type editBatch struct {
+	Edits []delta.Edit
+}
+
+// CreateEditLog writes an empty edit-log blob (envelope only).
+func CreateEditLog(w io.Writer) error {
+	return writeHeader(w, "editlog")
+}
+
+// AppendEditBatch appends one batch record to an edit log previously
+// started with CreateEditLog. The writer must be positioned at the end of
+// the log (an *os.File opened with O_APPEND, typically). The frame and
+// payload go down in a single Write, so a crash leaves at worst one torn
+// record at the tail — never an intact record after garbage.
+func AppendEditBatch(w io.Writer, edits []delta.Edit) error {
+	if len(edits) == 0 {
+		return fmt.Errorf("store: edit log: empty batch")
+	}
+	var record bytes.Buffer
+	record.Write(make([]byte, binary.MaxVarintLen64)) // frame placeholder
+	if err := gob.NewEncoder(&record).Encode(editBatch{Edits: edits}); err != nil {
+		return fmt.Errorf("store: encoding edit batch: %w", err)
+	}
+	payloadLen := record.Len() - binary.MaxVarintLen64
+	var frame [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(frame[:], uint64(payloadLen))
+	buf := record.Bytes()
+	copy(buf[binary.MaxVarintLen64-n:], frame[:n])
+	_, err := w.Write(buf[binary.MaxVarintLen64-n:])
+	return err
+}
+
+// LoadEditLog reads an edit log, returning the applied batches in append
+// order. A final record truncated by end-of-file — the footprint of a
+// crash mid-append — is dropped silently: the mutate path logs before it
+// publishes, so a torn tail is by construction a batch that was never
+// acknowledged. Everything else — a damaged envelope, an undecodable or
+// implausible record, a batch that fails delta.Validate — is a
+// *FormatError; genuine read failures stay unclassified.
+func LoadEditLog(r io.Reader) ([][]delta.Edit, error) {
+	dec, err := readHeader(r, "editlog")
+	if err != nil {
+		return nil, err
+	}
+	// The envelope decoder reads exact message bounds (trackingReader is
+	// a ByteReader), so the record stream continues right where the
+	// header ended.
+	br := dec.tr
+	var batches [][]delta.Edit
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return batches, nil
+		}
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) && dec.tr.err == nil {
+				return batches, nil // torn tail: unacknowledged append
+			}
+			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: length prefix", len(batches)))
+		}
+		if size == 0 || size > 64<<20 {
+			return nil, formatErrorf("edit log record %d: implausible size %d", len(batches), size)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if (errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)) && dec.tr.err == nil {
+				return batches, nil // torn tail: unacknowledged append
+			}
+			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: torn record", len(batches)))
+		}
+		var b editBatch
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&b); err != nil {
+			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: decoding", len(batches)))
+		}
+		if err := delta.Validate(b.Edits); err != nil {
+			return nil, &FormatError{Msg: fmt.Sprintf("edit log record %d: %v", len(batches), err), Err: err}
+		}
+		batches = append(batches, b.Edits)
+	}
+}
+
+// AppendEditBatchFile appends one batch to the edit-log file at path,
+// creating the file (with its envelope) if it does not exist. The append
+// is a single write on a file opened with O_APPEND; if it fails partway
+// (disk full, say) the file is truncated back to its pre-append size, so
+// a failed — and therefore unacknowledged — append cannot leave garbage
+// in front of later successful records.
+func AppendEditBatchFile(path string, edits []delta.Edit) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	pre := st.Size()
+	if pre == 0 {
+		if err := CreateEditLog(f); err != nil {
+			return err
+		}
+		if st, err := f.Stat(); err == nil {
+			pre = st.Size()
+		}
+	}
+	if err := AppendEditBatch(f, edits); err != nil {
+		// Best effort: a tail we cannot truncate is still recoverable on
+		// load (torn-tail tolerance) as long as no later append lands
+		// after it; returning the error makes the mutate fail, so the
+		// batch is not acknowledged either way.
+		_ = f.Truncate(pre)
+		return err
+	}
+	return nil
+}
+
+// LoadEditLogFile reads the edit-log file at path. A missing file is an
+// empty history, not an error — a dataset that has never been mutated has
+// no log yet.
+func LoadEditLogFile(path string) ([][]delta.Edit, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEditLog(f)
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"xmatch/internal/delta"
+	"xmatch/internal/xmltree"
+)
+
+func sampleBatches() [][]delta.Edit {
+	return [][]delta.Edit{
+		{
+			{Op: delta.OpSetText, Path: "r.a", Text: "2"},
+			{Op: delta.OpInsert, Path: "r", XML: "<c>x</c>", Pos: -1},
+		},
+		{
+			{Op: delta.OpRename, Start: 17, Label: "b2"},
+		},
+		{
+			{Op: delta.OpDelete, Path: "r.c"},
+		},
+	}
+}
+
+func TestEditLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateEditLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := sampleBatches()
+	for _, b := range want {
+		if err := AppendEditBatch(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadEditLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the log:\ngot  %+v\nwant %+v", got, want)
+	}
+	// An empty log (envelope only) loads as no batches.
+	var empty bytes.Buffer
+	if err := CreateEditLog(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadEditLog(bytes.NewReader(empty.Bytes())); err != nil || len(got) != 0 {
+		t.Fatalf("empty log: %v, %d batches", err, len(got))
+	}
+}
+
+// TestEditLogFileAppendAcrossOpens mirrors the daemon's usage: every
+// applied batch reopens the file and appends, and the log must replay to
+// the same document state the live handle reached.
+func TestEditLogFileAppendAcrossOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "orders.editlog")
+	// Missing file: empty history.
+	if got, err := LoadEditLogFile(path); err != nil || got != nil {
+		t.Fatalf("missing file: %v, %v", err, got)
+	}
+	doc, err := xmltree.ParseString(`<r><a>1</a><b>9</b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := delta.Open(doc)
+	batches := [][]delta.Edit{
+		{{Op: delta.OpSetText, Path: "r.a", Text: "2"}},
+		{{Op: delta.OpInsert, Path: "r", XML: "<c><d>deep</d></c>", Pos: 0}},
+		{{Op: delta.OpDelete, Path: "r.b"}, {Op: delta.OpRename, Path: "r.c", Label: "e"}},
+	}
+	for _, b := range batches {
+		if _, err := h.ApplyLogged(b, func(es []delta.Edit) error {
+			return AppendEditBatchFile(path, es)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed, err := LoadEditLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, batches) {
+		t.Fatalf("log replay order changed: %+v", replayed)
+	}
+	doc2, err := xmltree.ParseString(`<r><a>1</a><b>9</b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := delta.Open(doc2)
+	for _, b := range replayed {
+		if _, err := h2.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h2.Snapshot().Doc.String() != h.Snapshot().Doc.String() {
+		t.Fatalf("replayed document diverged:\n%s\nvs\n%s", h2.Snapshot().Doc, h.Snapshot().Doc)
+	}
+}
+
+func TestEditLogCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateEditLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sampleBatches() {
+		if err := AppendEditBatch(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := buf.Bytes()
+
+	// A flipped byte inside a record's string payload can decode into a
+	// different but shape-valid batch, so only structural damage —
+	// envelope corruption, kind confusion, implausible framing — is
+	// detectable and fatal.
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XMATCH9\n"), good[len(magic):]...),
+	}
+	var cat bytes.Buffer
+	if err := SaveCatalog(&cat, testCatalog()); err != nil {
+		t.Fatal(err)
+	}
+	cases["wrong kind"] = cat.Bytes()
+
+	for name, data := range cases {
+		_, err := LoadEditLog(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: load succeeded", name)
+			continue
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v (%T) is not a *FormatError", name, err, err)
+		}
+	}
+
+	// A torn tail — the footprint of a crash mid-append — drops exactly
+	// the torn (and therefore never-acknowledged) final record and keeps
+	// everything before it, whether the tear hit the payload or the
+	// length prefix itself.
+	for name, data := range map[string][]byte{
+		"torn payload": good[:len(good)-3],
+		"torn varint":  good[:len(good)-1],
+	} {
+		got, err := LoadEditLog(bytes.NewReader(data))
+		if err != nil {
+			t.Errorf("%s: torn tail not tolerated: %v", name, err)
+			continue
+		}
+		if len(got) != len(sampleBatches())-1 {
+			t.Errorf("%s: %d batches survived, want %d", name, len(got), len(sampleBatches())-1)
+		}
+		if !reflect.DeepEqual(got, sampleBatches()[:len(got)]) {
+			t.Errorf("%s: surviving batches changed", name)
+		}
+	}
+
+	// A record carrying an invalid batch (bad shape) must be rejected
+	// even though it decodes.
+	var bad bytes.Buffer
+	if err := CreateEditLog(&bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendEditBatch(&bad, []delta.Edit{{Op: delta.OpDelete, Path: "r"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-corrupt the op by round-tripping through the record layer.
+	raw := bad.Bytes()
+	idx := bytes.LastIndex(raw, []byte("delete"))
+	if idx < 0 {
+		t.Fatal("op bytes not found")
+	}
+	copy(raw[idx:], "deIete")
+	if _, err := LoadEditLog(bytes.NewReader(raw)); err == nil {
+		t.Error("invalid op in log accepted")
+	}
+
+	// Appending an empty batch is refused.
+	if err := AppendEditBatch(&bytes.Buffer{}, nil); err == nil {
+		t.Error("empty batch appended")
+	}
+}
+
+func TestEditLogV3Versioning(t *testing.T) {
+	// An edit log claiming a future version is rejected.
+	var future bytes.Buffer
+	if err := writeHeaderVersion(&future, "editlog", version+1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadEditLog(bytes.NewReader(future.Bytes()))
+	var fe *FormatError
+	if err == nil || !errors.As(err, &fe) {
+		t.Errorf("future edit log accepted or misclassified: %v", err)
+	}
+	// Catalog entries carrying EditLogPath survive a save/load cycle.
+	c := &Catalog{Entries: []CatalogEntry{{Name: "a", SetPath: "a.set", EditLogPath: "a.editlog"}}}
+	var buf bytes.Buffer
+	if err := SaveCatalog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCatalog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0].EditLogPath != "a.editlog" {
+		t.Errorf("EditLogPath lost: %+v", got.Entries[0])
+	}
+	// Appends to a file created by a foreign writer with a stale size-0
+	// header path: AppendEditBatchFile on an empty existing file writes
+	// the envelope first.
+	path := filepath.Join(t.TempDir(), "x.editlog")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendEditBatchFile(path, []delta.Edit{{Op: delta.OpSetText, Path: "r", Text: "t"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadEditLogFile(path); err != nil || len(got) != 1 {
+		t.Fatalf("append to empty file: %v, %d batches", err, len(got))
+	}
+}

@@ -1,0 +1,235 @@
+package store
+
+// Cross-version blob migration coverage: every blob kind written under an
+// older format envelope must still load under the current reader
+// (minVersion = 1), with fields that post-date the envelope decoding as
+// zero values — and every corruption branch of LoadIndex must surface as
+// a *FormatError, never as a silent misload.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"strings"
+	"testing"
+
+	"xmatch/internal/dataset"
+	"xmatch/internal/index"
+	"xmatch/internal/mapgen"
+	"xmatch/internal/xmltree"
+)
+
+// reversion rewrites a current-format blob's envelope to an older version,
+// leaving the payload bytes untouched — exactly what a blob written by an
+// older build looks like, since the payload encodings never changed.
+func reversion(t *testing.T, blob []byte, kind string, v int) []byte {
+	t.Helper()
+	tr := &trackingReader{r: bytes.NewReader(blob)}
+	buf := make([]byte, len(magic))
+	if _, err := tr.Read(buf); err != nil || string(buf) != magic {
+		t.Fatalf("blob has no magic: %v", err)
+	}
+	dec := gob.NewDecoder(tr)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != kind {
+		t.Fatalf("blob is a %s, want %s", h.Kind, kind)
+	}
+	rest := new(bytes.Buffer)
+	if _, err := rest.ReadFrom(tr); err != nil {
+		t.Fatal(err)
+	}
+	out := new(bytes.Buffer)
+	if err := writeHeaderVersion(out, kind, v); err != nil {
+		t.Fatal(err)
+	}
+	out.Write(rest.Bytes())
+	return out.Bytes()
+}
+
+func TestBlobMigrationAcrossVersions(t *testing.T) {
+	d := dataset.MustLoad("D5")
+	set, err := mapgen.TopH(d.Matching, 10, mapgen.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.New(xmltree.NewRoot("r"))
+	doc.Root.AddChild("a").AddText("1")
+	doc = xmltree.New(doc.Root)
+	ix := index.Build(doc)
+
+	kinds := map[string]struct {
+		save func(*bytes.Buffer) error
+		load func([]byte) error
+	}{
+		"schema": {
+			func(b *bytes.Buffer) error { return SaveSchema(b, d.Target) },
+			func(p []byte) error { _, err := LoadSchema(bytes.NewReader(p)); return err },
+		},
+		"matching": {
+			func(b *bytes.Buffer) error { return SaveMatching(b, d.Matching) },
+			func(p []byte) error { _, err := LoadMatching(bytes.NewReader(p)); return err },
+		},
+		"mappingset": {
+			func(b *bytes.Buffer) error { return SaveSet(b, set) },
+			func(p []byte) error { _, err := LoadSet(bytes.NewReader(p)); return err },
+		},
+		"catalog": {
+			func(b *bytes.Buffer) error {
+				return SaveCatalog(b, &Catalog{Entries: []CatalogEntry{{Name: "x", Dataset: "D1"}}})
+			},
+			func(p []byte) error { _, err := LoadCatalog(bytes.NewReader(p)); return err },
+		},
+		"index": {
+			func(b *bytes.Buffer) error { return SaveIndex(b, ix) },
+			func(p []byte) error { _, err := LoadIndex(bytes.NewReader(p), doc); return err },
+		},
+		"editlog": {
+			func(b *bytes.Buffer) error { return CreateEditLog(b) },
+			func(p []byte) error { _, err := LoadEditLog(bytes.NewReader(p)); return err },
+		},
+	}
+	for kind, k := range kinds {
+		var buf bytes.Buffer
+		if err := k.save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", kind, err)
+		}
+		for v := minVersion; v <= version; v++ {
+			if err := k.load(reversion(t, buf.Bytes(), kind, v)); err != nil {
+				t.Errorf("%s: v%d envelope rejected: %v", kind, v, err)
+			}
+		}
+		// One past the current version must be rejected as *FormatError.
+		err := k.load(reversion(t, buf.Bytes(), kind, version+1))
+		var fe *FormatError
+		if err == nil || !errors.As(err, &fe) {
+			t.Errorf("%s: future envelope accepted or misclassified: %v", kind, err)
+		}
+	}
+}
+
+// TestCatalogV1ToV2Fields: the two fields that arrived after v1 decode as
+// empty from a v1 manifest and round-trip under v3.
+func TestCatalogV1ToV2Fields(t *testing.T) {
+	man := &Catalog{Entries: []CatalogEntry{
+		{Name: "frozen", SetPath: "blobs/frozen.set", IndexPath: "blobs/frozen.idx", EditLogPath: "blobs/frozen.editlog"},
+	}}
+	var buf bytes.Buffer
+	if err := SaveCatalog(&buf, man); err != nil {
+		t.Fatal(err)
+	}
+	for v := minVersion; v <= version; v++ {
+		got, err := LoadCatalog(bytes.NewReader(reversion(t, buf.Bytes(), "catalog", v)))
+		if err != nil {
+			t.Fatalf("v%d: %v", v, err)
+		}
+		e := got.Entries[0]
+		if e.IndexPath != "blobs/frozen.idx" || e.EditLogPath != "blobs/frozen.editlog" {
+			t.Errorf("v%d: path fields lost: %+v", v, e)
+		}
+	}
+}
+
+// indexBlobWithSnapshot encodes an arbitrary snapshot payload under a
+// valid current envelope, so each verification branch of LoadIndex can be
+// driven directly.
+func indexBlobWithSnapshot(t *testing.T, snap *index.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, "index"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadIndexFormatErrorBranches(t *testing.T) {
+	doc, err := xmltree.ParseString(`<PO><Line><Num>1</Num></Line><Line><Num>2</Num></Line></PO>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := index.Build(doc).Snapshot()
+
+	var goodBlob bytes.Buffer
+	if err := SaveIndex(&goodBlob, index.Build(doc)); err != nil {
+		t.Fatal(err)
+	}
+
+	perturb := func(f func(*index.Snapshot)) []byte {
+		s := *good
+		s.Paths = append([]index.SnapshotPath(nil), good.Paths...)
+		for i := range s.Paths {
+			s.Paths[i].Starts = append([]int32(nil), good.Paths[i].Starts...)
+			s.Paths[i].Ends = append([]int32(nil), good.Paths[i].Ends...)
+			s.Paths[i].Levels = append([]int32(nil), good.Paths[i].Levels...)
+		}
+		s.Values = append([]index.SnapshotValue(nil), good.Values...)
+		f(&s)
+		return indexBlobWithSnapshot(t, &s)
+	}
+
+	cases := map[string][]byte{
+		"bad magic":        append([]byte("YMATCH1\n"), goodBlob.Bytes()[len(magic):]...),
+		"truncated magic":  goodBlob.Bytes()[:5],
+		"truncated header": goodBlob.Bytes()[:len(magic)+2],
+		"truncated payload": func() []byte {
+			b := goodBlob.Bytes()
+			return b[:len(b)-9]
+		}(),
+		"document size mismatch": perturb(func(s *index.Snapshot) { s.DocNodes++ }),
+		"region arrays disagree": perturb(func(s *index.Snapshot) { s.Paths[0].Ends = s.Paths[0].Ends[:0] }),
+		"posting disagrees": perturb(func(s *index.Snapshot) {
+			s.Paths[0].Levels[0]++
+		}),
+		"unresolvable start": perturb(func(s *index.Snapshot) {
+			s.Paths[0].Starts[0] += 3 // between boundaries: no such node
+		}),
+		"postings out of order": perturb(func(s *index.Snapshot) {
+			p := &s.Paths[1]
+			if len(p.Starts) < 2 {
+				for i := range s.Paths {
+					if len(s.Paths[i].Starts) >= 2 {
+						p = &s.Paths[i]
+						break
+					}
+				}
+			}
+			p.Starts[0], p.Starts[1] = p.Starts[1], p.Starts[0]
+			p.Ends[0], p.Ends[1] = p.Ends[1], p.Ends[0]
+			p.Levels[0], p.Levels[1] = p.Levels[1], p.Levels[0]
+		}),
+		"posting/document count mismatch": perturb(func(s *index.Snapshot) {
+			// Drop one whole path entry: fewer postings than nodes.
+			s.Paths = s.Paths[1:]
+		}),
+		"value disagrees": perturb(func(s *index.Snapshot) { s.Values[0].Text += "!" }),
+		"missing value entry": perturb(func(s *index.Snapshot) {
+			s.Values = s.Values[:len(s.Values)-1]
+		}),
+	}
+	for name, blob := range cases {
+		_, err := LoadIndex(bytes.NewReader(blob), doc)
+		if err == nil {
+			t.Errorf("%s: load succeeded", name)
+			continue
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v (%T) is not *FormatError", name, err, err)
+		}
+	}
+
+	// Sanity: the unperturbed snapshot still loads.
+	if _, err := LoadIndex(bytes.NewReader(goodBlob.Bytes()), doc); err != nil {
+		t.Fatalf("good blob rejected: %v", err)
+	}
+	// And the branch messages stay distinguishable for operators.
+	_, err = LoadIndex(bytes.NewReader(perturb(func(s *index.Snapshot) { s.DocNodes++ })), doc)
+	if err == nil || !strings.Contains(err.Error(), "nodes") {
+		t.Errorf("mismatch error lost its detail: %v", err)
+	}
+}

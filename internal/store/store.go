@@ -21,10 +21,11 @@ const (
 	magic = "XMATCH1\n"
 	// version is the blob format written by this build. Version 2 added
 	// index blobs and the optional index-blob reference on catalog
-	// entries; readers accept every version back to minVersion (gob
-	// ignores fields a payload lacks, so v1 blobs decode with the new
+	// entries; version 3 added edit-log blobs and the optional edit-log
+	// reference. Readers accept every version back to minVersion (gob
+	// ignores fields a payload lacks, so v1/v2 blobs decode with the new
 	// fields zero-valued).
-	version    = 2
+	version    = 3
 	minVersion = 1
 )
 
@@ -50,7 +51,7 @@ func formatErrorf(format string, args ...any) error {
 
 type header struct {
 	Version int
-	Kind    string // "schema", "matching", "mappingset", "catalog"
+	Kind    string // "schema", "matching", "mappingset", "catalog", "index", "editlog"
 }
 
 type schemaDTO struct {
@@ -125,10 +126,15 @@ func writeHeaderVersion(w io.Writer, kind string, v int) error {
 
 // trackingReader remembers the first non-EOF error its underlying reader
 // produced, so decode failures can be told apart: a gob error with a clean
-// reader is corruption, a gob error after a reader failure is I/O.
+// reader is corruption, a gob error after a reader failure is I/O. It
+// implements io.ByteReader so gob decoders read exactly the bytes of each
+// message instead of wrapping the stream in a buffered reader — which is
+// what lets the edit-log loader resume reading length-prefixed records
+// right after the envelope.
 type trackingReader struct {
 	r   io.Reader
 	err error
+	buf [1]byte
 }
 
 func (t *trackingReader) Read(p []byte) (int, error) {
@@ -137,6 +143,13 @@ func (t *trackingReader) Read(p []byte) (int, error) {
 		t.err = err
 	}
 	return n, err
+}
+
+func (t *trackingReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(t, t.buf[:]); err != nil {
+		return 0, err
+	}
+	return t.buf[0], nil
 }
 
 // blobReader decodes a store blob's payload after readHeader validated the

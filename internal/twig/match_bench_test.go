@@ -2,20 +2,35 @@ package twig
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-// legacyKey is the fmt-based Match.Key implementation this PR replaced,
-// kept here so the benchmark pair documents the allocation drop: the
-// strconv-append version builds the key in one buffer, the fmt version
-// allocates per binding.
+// legacyKey is the fmt-based Match.Key implementation PR 3 replaced, kept
+// so the benchmark trio documents the trajectory: fmt (allocates per
+// binding) -> strconv appends (one buffer, decimal) -> fixed-width binary
+// (one buffer, no formatting; immune to start-number magnitude, which
+// grew 16x under gap numbering).
 func legacyKey(m Match) string {
 	var b strings.Builder
 	for _, bd := range m {
 		fmt.Fprintf(&b, "%d:%d;", bd.Q.Index, bd.D.Start)
 	}
 	return b.String()
+}
+
+// strconvKey is the decimal strconv-append implementation this PR
+// replaced with the binary encoding.
+func strconvKey(m Match) string {
+	buf := make([]byte, 0, 12*len(m))
+	for _, bd := range m {
+		buf = strconv.AppendInt(buf, int64(bd.Q.Index), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(bd.D.Start), 10)
+		buf = append(buf, ';')
+	}
+	return string(buf)
 }
 
 func benchKeyMatch() Match {
@@ -29,15 +44,21 @@ func benchKeyMatch() Match {
 	return ms[0]
 }
 
-// BenchmarkMatchKey pairs the hot-path key builder against the legacy
-// fmt-based one; compare allocs/op to see the drop ResultMerger benefits
-// from on every deduplicated match.
+// BenchmarkMatchKey trios the hot-path key builder against its two
+// predecessors; compare allocs/op and ns/op to see what ResultMerger
+// gains on every deduplicated match.
 func BenchmarkMatchKey(b *testing.B) {
 	m := benchKeyMatch()
-	b.Run("strconv", func(b *testing.B) {
+	b.Run("binary", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = m.Key()
+		}
+	})
+	b.Run("strconv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = strconvKey(m)
 		}
 	})
 	b.Run("legacy-fmt", func(b *testing.B) {

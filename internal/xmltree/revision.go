@@ -1,0 +1,519 @@
+package xmltree
+
+// This file implements the document mutation substrate behind the
+// immutable-query API: a Revision is a copy-on-write edit session over one
+// Document snapshot. Edits clone only the nodes they touch (the spine from
+// the root to the edited node, plus the subtree whose labels, paths, or
+// interval numbers change); every other node object — and hence every index
+// posting holding a pointer to it — is shared with the base snapshot.
+// Commit assembles a fresh Document around the partially-shared tree and
+// reports exactly which node objects entered and left the document, which
+// is what internal/index needs to splice its postings instead of
+// rebuilding.
+//
+// Interval numbers come from the gaps the stride-Gap numbering leaves
+// between existing boundaries (see Gap). An insertion takes numbers from
+// the gap between its neighbours; only when a gap is exhausted does the
+// revision renumber — and then only the subtree of the nearest ancestor
+// with enough slack, cloning that subtree so the base snapshot's numbering
+// is untouched. A full-document renumbering happens only when the root
+// interval itself runs out of room.
+//
+// Sharing has one observable consequence, by design: a shared node's
+// Parent pointer refers to the node object of the revision in which it was
+// created, not necessarily to the object occupying that position in the
+// current document. The parent it points at always has the same Start,
+// End, Level, Path, and Label as the current occupant — positional
+// identity is stable even though object identity is not — so consumers
+// that walk Parent chains must key off Start (see core's SLCA) rather
+// than node pointers.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Revision is an in-progress copy-on-write edit batch over a base
+// document. It is single-goroutine; the base document is only read. Apply
+// edits through InsertSubtree, DeleteSubtree, Rename, and SetText, then
+// call Commit for the resulting snapshot. A revision abandoned before
+// Commit leaves no trace.
+type Revision struct {
+	base *Document
+	root *Node // current root (cloned lazily)
+
+	owned   map[*Node]bool // nodes created by this revision
+	dropped []*Node        // base-snapshot nodes no longer in the document
+}
+
+// ChangeSet reports a committed revision's node-level delta: the node
+// objects that left the document (deleted nodes, plus originals superseded
+// by clones) and those that entered it (clones, plus inserted nodes). A
+// node whose position, label, path, and text are all unchanged appears in
+// neither list. Added is in the new snapshot's document order; Dropped is
+// unordered (consumers treat it as a set).
+type ChangeSet struct {
+	Dropped []*Node
+	Added   []*Node
+}
+
+// BeginRevision opens a copy-on-write edit session over the document. The
+// document itself is never modified.
+func (d *Document) BeginRevision() *Revision {
+	return &Revision{base: d, root: d.Root, owned: make(map[*Node]bool)}
+}
+
+// clone makes an owned copy of n attached under parent (an owned node, or
+// nil for the root), sharing n's children, and records n as dropped.
+func (r *Revision) clone(n *Node, parent *Node) *Node {
+	c := &Node{
+		Label:    n.Label,
+		Text:     n.Text,
+		Parent:   parent,
+		Children: append([]*Node(nil), n.Children...),
+		Start:    n.Start,
+		End:      n.End,
+		Level:    n.Level,
+		Path:     n.Path,
+	}
+	r.owned[c] = true
+	r.dropped = append(r.dropped, n)
+	return c
+}
+
+// childIndex returns the index of the child of p whose interval contains
+// start (or whose Start equals it), or -1.
+func childIndex(p *Node, start int) int {
+	i := sort.Search(len(p.Children), func(i int) bool { return p.Children[i].Start > start }) - 1
+	if i >= 0 && start <= p.Children[i].End {
+		return i
+	}
+	return -1
+}
+
+// spine returns the chain of current nodes from the root to the node whose
+// Start equals start, or nil when no such node exists. Descending by
+// interval containment keeps the walk on current objects even where the
+// tree shares subtrees with older snapshots.
+func (r *Revision) spine(start int) []*Node {
+	n := r.root
+	if start < n.Start || start > n.End {
+		return nil
+	}
+	chain := []*Node{n}
+	for n.Start != start {
+		i := childIndex(n, start)
+		if i < 0 {
+			return nil
+		}
+		n = n.Children[i]
+		chain = append(chain, n)
+	}
+	if n.Start != start {
+		return nil
+	}
+	return chain
+}
+
+// Locate returns the current node with the given preorder start number, or
+// nil. The returned node must be treated as read-only.
+func (r *Revision) Locate(start int) *Node {
+	chain := r.spine(start)
+	if chain == nil {
+		return nil
+	}
+	return chain[len(chain)-1]
+}
+
+// LocateByPath returns the ordinal-th node (0-based, document order) whose
+// dotted label path equals path in the revision's current tree, or nil.
+func (r *Revision) LocateByPath(path string, ordinal int) *Node {
+	if ordinal < 0 {
+		return nil
+	}
+	var found *Node
+	seen := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if found != nil {
+			return
+		}
+		if n.Path == path {
+			if seen == ordinal {
+				found = n
+				return
+			}
+			seen++
+			// A node's path strictly extends its ancestors', so no
+			// descendant can share it; descending further is wasted work.
+			return
+		}
+		// Only children whose path could prefix the target are worth
+		// visiting: every node's Path extends its parent's by one label.
+		for _, c := range n.Children {
+			if len(c.Path) <= len(path) && path[:len(c.Path)] == c.Path {
+				walk(c)
+			}
+		}
+	}
+	walk(r.root)
+	return found
+}
+
+// own clones every non-owned node along the spine to start, returning the
+// chain of owned current nodes root..target, or nil when start resolves to
+// no node.
+func (r *Revision) own(start int) []*Node {
+	chain := r.spine(start)
+	if chain == nil {
+		return nil
+	}
+	for i, n := range chain {
+		if r.owned[n] {
+			continue
+		}
+		var parent *Node
+		if i > 0 {
+			parent = chain[i-1]
+		}
+		c := r.clone(n, parent)
+		if parent == nil {
+			r.root = c
+		} else {
+			parent.Children[childIndex(parent, n.Start)] = c
+		}
+		chain[i] = c
+	}
+	return chain
+}
+
+// ownSubtree makes every node of the subtree rooted at the owned node n
+// owned, cloning shared descendants in place.
+func (r *Revision) ownSubtree(n *Node) {
+	for i, c := range n.Children {
+		if !r.owned[c] {
+			c = r.clone(c, n)
+			n.Children[i] = c
+		} else {
+			c.Parent = n
+		}
+		r.ownSubtree(c)
+	}
+}
+
+// SetText replaces the text of the node with the given start number.
+func (r *Revision) SetText(start int, text string) error {
+	chain := r.own(start)
+	if chain == nil {
+		return fmt.Errorf("xmltree: revision: no node with start %d", start)
+	}
+	chain[len(chain)-1].Text = text
+	return nil
+}
+
+// Rename replaces the label of the node with the given start number. The
+// node's dotted path — and every descendant's — changes with it, so the
+// whole subtree is cloned.
+func (r *Revision) Rename(start int, label string) error {
+	if label == "" {
+		return fmt.Errorf("xmltree: revision: empty label")
+	}
+	chain := r.own(start)
+	if chain == nil {
+		return fmt.Errorf("xmltree: revision: no node with start %d", start)
+	}
+	n := chain[len(chain)-1]
+	n.Label = label
+	r.ownSubtree(n)
+	prefix := ""
+	if len(chain) > 1 {
+		prefix = chain[len(chain)-2].Path
+	}
+	repath(n, prefix)
+	return nil
+}
+
+// repath rewrites the dotted paths of an owned subtree below the given
+// parent path prefix.
+func repath(n *Node, prefix string) {
+	if prefix == "" {
+		n.Path = n.Label
+	} else {
+		n.Path = prefix + "." + n.Label
+	}
+	for _, c := range n.Children {
+		repath(c, n.Path)
+	}
+}
+
+// DeleteSubtree removes the node with the given start number and its
+// entire subtree. The root cannot be deleted.
+func (r *Revision) DeleteSubtree(start int) error {
+	chain := r.spine(start)
+	if chain == nil {
+		return fmt.Errorf("xmltree: revision: no node with start %d", start)
+	}
+	if len(chain) == 1 {
+		return fmt.Errorf("xmltree: revision: cannot delete the document root")
+	}
+	// Own the spine up to the parent; the deleted subtree itself needs no
+	// clones, only bookkeeping.
+	parentChain := r.own(chain[len(chain)-2].Start)
+	parent := parentChain[len(parentChain)-1]
+	i := childIndex(parent, start)
+	target := parent.Children[i]
+	parent.Children = append(parent.Children[:i:i], parent.Children[i+1:]...)
+	r.dropSubtree(target)
+	return nil
+}
+
+// dropSubtree records every node of a detached subtree as gone: shared
+// nodes are dropped from the document, revision-owned nodes simply cease
+// to be additions.
+func (r *Revision) dropSubtree(n *Node) {
+	if r.owned[n] {
+		delete(r.owned, n)
+	} else {
+		r.dropped = append(r.dropped, n)
+	}
+	for _, c := range n.Children {
+		r.dropSubtree(c)
+	}
+}
+
+// InsertSubtree inserts a freshly built node tree (for example the root of
+// a parsed fragment; it must not belong to any document) as a child of the
+// node with the given parent start number, at child position pos (clamped;
+// negative appends). The subtree's interval numbers are drawn from the gap
+// between its new neighbours; when the gap is too small, the nearest
+// enclosing ancestor subtree with enough numbering slack is renumbered.
+func (r *Revision) InsertSubtree(parentStart, pos int, sub *Node) error {
+	if sub == nil {
+		return fmt.Errorf("xmltree: revision: nil subtree")
+	}
+	chain := r.own(parentStart)
+	if chain == nil {
+		return fmt.Errorf("xmltree: revision: no node with start %d", parentStart)
+	}
+	parent := chain[len(chain)-1]
+	if pos < 0 || pos > len(parent.Children) {
+		pos = len(parent.Children)
+	}
+	// Adopt the fresh subtree: every node becomes owned, with levels and
+	// paths derived from the insertion point. Interval numbers come later.
+	var adopt func(n, p *Node)
+	adopt = func(n, p *Node) {
+		n.Parent = p
+		n.Level = p.Level + 1
+		if p.Path == "" {
+			n.Path = n.Label
+		} else {
+			n.Path = p.Path + "." + n.Label
+		}
+		r.owned[n] = true
+		for _, c := range n.Children {
+			adopt(c, n)
+		}
+	}
+	adopt(sub, parent)
+	parent.Children = append(parent.Children[:pos:pos], append([]*Node{sub}, parent.Children[pos:]...)...)
+
+	// Boundaries of the gap the new subtree must fit in.
+	lo, hi := parent.Start, parent.End
+	if pos > 0 {
+		lo = parent.Children[pos-1].End
+	}
+	if pos+1 < len(parent.Children) {
+		hi = parent.Children[pos+1].Start
+	}
+	m := countNodes(sub)
+	if hi-lo-1 >= 2*m {
+		numberInto(sub, lo, hi)
+		return nil
+	}
+	r.renumberNear(chain)
+	return nil
+}
+
+// countNodes returns the number of nodes in the subtree rooted at n.
+func countNodes(n *Node) int {
+	c := 1
+	for _, ch := range n.Children {
+		c += countNodes(ch)
+	}
+	return c
+}
+
+// numberInto assigns interval numbers to the subtree rooted at n, spreading
+// its 2·m boundaries evenly across the open interval (lo, hi). The caller
+// guarantees hi-lo-1 >= 2·m, so consecutive boundaries stay strictly
+// increasing.
+func numberInto(n *Node, lo, hi int) {
+	m := countNodes(n)
+	span := hi - lo
+	k := 0
+	var assign func(x *Node)
+	assign = func(x *Node) {
+		k++
+		x.Start = lo + k*span/(2*m+1)
+		for _, c := range x.Children {
+			assign(c)
+		}
+		k++
+		x.End = lo + k*span/(2*m+1)
+	}
+	assign(n)
+}
+
+// renumberNear handles gap exhaustion after an insert (the new subtree is
+// already attached, so node counts below include it): walking the (owned)
+// spine bottom-up, it finds the nearest non-root ancestor whose interval
+// still has 2x numbering slack — slack so the next few inserts in the
+// same region stay renumbering-free — clones that ancestor's subtree, and
+// renumbers it in place. When no ancestor qualifies, the whole document
+// is renumbered with fresh stride-Gap boundaries (the root's own End
+// moves, which no interval below constrains).
+func (r *Revision) renumberNear(chain []*Node) {
+	for i := len(chain) - 1; i > 0; i-- {
+		a := chain[i]
+		desc := countNodes(a) - 1 // boundaries to place: 2 per descendant
+		if a.End-a.Start-1 < 4*desc {
+			continue
+		}
+		r.ownSubtree(a)
+		renumberChildren(a)
+		return
+	}
+	// Renumber the whole document with fresh gaps.
+	root := chain[0]
+	r.ownSubtree(root)
+	counter := 0
+	var assign func(n *Node)
+	assign = func(n *Node) {
+		counter += Gap
+		n.Start = counter
+		for _, c := range n.Children {
+			assign(c)
+		}
+		counter += Gap
+		n.End = counter
+	}
+	assign(root)
+}
+
+// renumberChildren redistributes the interval numbers of a's descendants
+// evenly across a's own (unchanged) interval.
+func renumberChildren(a *Node) {
+	desc := countNodes(a) - 1
+	if desc == 0 {
+		return
+	}
+	span := a.End - a.Start
+	k := 0
+	var assign func(x *Node)
+	assign = func(x *Node) {
+		k++
+		x.Start = a.Start + k*span/(2*desc+1)
+		for _, c := range x.Children {
+			assign(c)
+		}
+		k++
+		x.End = a.Start + k*span/(2*desc+1)
+	}
+	for _, c := range a.Children {
+		assign(c)
+	}
+}
+
+// Commit assembles the revised snapshot: a new Document sharing every
+// untouched node with the base, plus the change set internal/index needs
+// to splice its postings. The base document and any snapshot published
+// from it remain fully usable. Committing a revision twice, or using it
+// after Commit, is invalid.
+func (r *Revision) Commit() (*Document, *ChangeSet) {
+	// The new preorder is a three-way pointer merge: the base snapshot's
+	// preorder minus the dropped nodes, interleaved by start number with
+	// the owned (added) nodes. Preorder and start order coincide in every
+	// snapshot, and edits never reorder surviving shared nodes, so the
+	// merge never needs a tree walk — the per-node cost is a pointer
+	// comparison, not a hash lookup.
+	cs := &ChangeSet{Dropped: r.dropped}
+	cs.Added = make([]*Node, 0, len(r.owned))
+	for n := range r.owned {
+		cs.Added = append(cs.Added, n)
+	}
+	sort.Slice(cs.Added, func(i, j int) bool { return cs.Added[i].Start < cs.Added[j].Start })
+	droppedSorted := append([]*Node(nil), r.dropped...)
+	sort.Slice(droppedSorted, func(i, j int) bool { return droppedSorted[i].Start < droppedSorted[j].Start })
+
+	nd := &Document{Root: r.root}
+	nd.nodes = make([]*Node, 0, len(r.base.nodes)+len(cs.Added)-len(cs.Dropped))
+	ai, di := 0, 0
+	for _, n := range r.base.nodes {
+		// A clone carries its original's start, so emitting added nodes
+		// on strict < keeps each clone in exactly its original's slot.
+		for ai < len(cs.Added) && cs.Added[ai].Start < n.Start {
+			nd.nodes = append(nd.nodes, cs.Added[ai])
+			ai++
+		}
+		for di < len(droppedSorted) && droppedSorted[di].Start < n.Start {
+			di++
+		}
+		if di < len(droppedSorted) && droppedSorted[di] == n {
+			di++
+			continue
+		}
+		nd.nodes = append(nd.nodes, n)
+	}
+	for ; ai < len(cs.Added); ai++ {
+		nd.nodes = append(nd.nodes, cs.Added[ai])
+	}
+
+	// The path index becomes an overlay over the base document's: only
+	// the affected paths get freshly merged lists (nil marks a path that
+	// disappeared); every other lookup falls through the chain. The
+	// chain is materialized once it grows past maxPathDepth.
+	affected := make(map[string]bool, len(cs.Dropped)+len(cs.Added))
+	droppedSet := make(map[*Node]bool, len(cs.Dropped))
+	for _, n := range cs.Dropped {
+		affected[n.Path] = true
+		droppedSet[n] = true
+	}
+	for _, n := range cs.Added {
+		affected[n.Path] = true
+	}
+	nd.base, nd.pathDepth = r.base, r.base.pathDepth+1
+	nd.byPath = make(map[string][]*Node, len(affected))
+	for p := range affected {
+		var list []*Node
+		old := r.base.NodesByPath(p)
+		i := 0
+		// Merge the surviving old nodes with the added ones by Start; both
+		// sequences are in document order.
+		for _, n := range cs.Added {
+			if n.Path != p {
+				continue
+			}
+			for ; i < len(old); i++ {
+				if droppedSet[old[i]] {
+					continue
+				}
+				if old[i].Start > n.Start {
+					break
+				}
+				list = append(list, old[i])
+			}
+			list = append(list, n)
+		}
+		for ; i < len(old); i++ {
+			if !droppedSet[old[i]] {
+				list = append(list, old[i])
+			}
+		}
+		nd.byPath[p] = list // nil when the path disappeared
+	}
+	if nd.pathDepth >= maxPathDepth {
+		nd.byPath, nd.base, nd.pathDepth = nd.pathMap(), nil, 0
+	}
+	return nd, cs
+}

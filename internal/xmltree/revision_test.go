@@ -1,0 +1,268 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// validate checks a document's full structural consistency: preorder node
+// list matches the tree, intervals nest properly and strictly increase,
+// levels and paths derive from the tree shape, and the path index covers
+// exactly the nodes.
+func validate(t *testing.T, d *Document) {
+	t.Helper()
+	var walk func(n *Node, level int, prefix string) []*Node
+	walk = func(n *Node, level int, prefix string) []*Node {
+		if n.Level != level {
+			t.Fatalf("node %q: level %d, want %d", n.Path, n.Level, level)
+		}
+		wantPath := n.Label
+		if prefix != "" {
+			wantPath = prefix + "." + n.Label
+		}
+		if n.Path != wantPath {
+			t.Fatalf("node path %q, want %q", n.Path, wantPath)
+		}
+		if n.Start >= n.End {
+			t.Fatalf("node %q: start %d >= end %d", n.Path, n.Start, n.End)
+		}
+		out := []*Node{n}
+		prev := n.Start
+		for _, c := range n.Children {
+			if c.Start <= prev {
+				t.Fatalf("node %q: child start %d not after %d", n.Path, c.Start, prev)
+			}
+			if !(n.Start < c.Start && c.End < n.End) {
+				t.Fatalf("node %q: child %q interval %d:%d outside %d:%d", n.Path, c.Label, c.Start, c.End, n.Start, n.End)
+			}
+			out = append(out, walk(c, level+1, n.Path)...)
+			prev = c.End
+		}
+		return out
+	}
+	want := walk(d.Root, 0, "")
+	got := d.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() has %d entries, tree has %d", len(got), len(want))
+	}
+	counts := map[string]int{}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes()[%d] is %q(%d), want %q(%d)", i, got[i].Path, got[i].Start, want[i].Path, want[i].Start)
+		}
+		counts[got[i].Path]++
+	}
+	total := 0
+	for p, c := range counts {
+		list := d.NodesByPath(p)
+		if len(list) != c {
+			t.Fatalf("byPath[%q] has %d nodes, want %d", p, len(list), c)
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i].Start <= list[i-1].Start {
+				t.Fatalf("byPath[%q] out of document order", p)
+			}
+		}
+		total += len(list)
+	}
+	if total != len(got) {
+		t.Fatalf("byPath covers %d nodes, want %d", total, len(got))
+	}
+}
+
+func TestGapNumberingLeavesRoom(t *testing.T) {
+	doc, err := ParseString(`<a><b>x</b><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, doc)
+	ns := doc.Nodes()
+	for i := 1; i < len(ns); i++ {
+		if ns[i].Start-ns[i-1].Start < Gap {
+			t.Fatalf("consecutive starts %d and %d closer than Gap", ns[i-1].Start, ns[i].Start)
+		}
+	}
+}
+
+func TestRevisionSetTextSharesUntouchedNodes(t *testing.T) {
+	base, err := ParseString(`<r><a>1</a><b><c>2</c></b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := base.NodesByPath("r.a")[0]
+	rev := base.BeginRevision()
+	if err := rev.SetText(a.Start, "99"); err != nil {
+		t.Fatal(err)
+	}
+	doc, cs := rev.Commit()
+	validate(t, doc)
+	// The base snapshot is unperturbed.
+	if base.NodesByPath("r.a")[0].Text != "1" {
+		t.Fatal("base snapshot text changed")
+	}
+	if doc.NodesByPath("r.a")[0].Text != "99" {
+		t.Fatal("revision text not applied")
+	}
+	// The untouched subtree is the same object; the spine is cloned.
+	if doc.NodesByPath("r.b")[0] != base.NodesByPath("r.b")[0] {
+		t.Fatal("untouched sibling subtree was cloned")
+	}
+	if doc.Root == base.Root {
+		t.Fatal("root was not cloned")
+	}
+	if len(cs.Dropped) != 2 || len(cs.Added) != 2 { // root + a superseded
+		t.Fatalf("change set %d dropped / %d added, want 2/2", len(cs.Dropped), len(cs.Added))
+	}
+}
+
+func TestRevisionInsertUsesGap(t *testing.T) {
+	base, err := ParseString(`<r><a/><b/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := base.BeginRevision()
+	frag, _ := ParseString(`<x><y>t</y></x>`)
+	if err := rev.InsertSubtree(base.Root.Start, 1, frag.Root); err != nil {
+		t.Fatal(err)
+	}
+	doc, cs := rev.Commit()
+	validate(t, doc)
+	if got := len(doc.Nodes()); got != 5 {
+		t.Fatalf("revised doc has %d nodes, want 5", got)
+	}
+	// a and b keep their numbers and identities: the insert fit in the gap.
+	for _, p := range []string{"r.a", "r.b"} {
+		if doc.NodesByPath(p)[0] != base.NodesByPath(p)[0] {
+			t.Fatalf("%s was cloned by a gap-fitting insert", p)
+		}
+	}
+	if doc.NodesByPath("r.x.y")[0].Text != "t" {
+		t.Fatal("inserted subtree text missing")
+	}
+	if len(cs.Added) != 3 { // root clone + x + y
+		t.Fatalf("added %d nodes, want 3", len(cs.Added))
+	}
+	if len(base.Nodes()) != 3 {
+		t.Fatal("base document changed size")
+	}
+}
+
+func TestRevisionDeleteAndRename(t *testing.T) {
+	base, err := ParseString(`<r><a><b>1</b></a><c/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := base.NodesByPath("r.a")[0]
+	c := base.NodesByPath("r.c")[0]
+	rev := base.BeginRevision()
+	if err := rev.DeleteSubtree(a.Start); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.Rename(c.Start, "d"); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := rev.Commit()
+	validate(t, doc)
+	if doc.NodesByPath("r.a") != nil || doc.NodesByPath("r.a.b") != nil {
+		t.Fatal("deleted subtree still indexed")
+	}
+	if doc.NodesByPath("r.c") != nil {
+		t.Fatal("renamed path still present")
+	}
+	if len(doc.NodesByPath("r.d")) != 1 {
+		t.Fatal("renamed node missing")
+	}
+	if base.NodesByPath("r.c")[0].Label != "c" {
+		t.Fatal("base label changed")
+	}
+	if err := base.BeginRevision().DeleteSubtree(base.Root.Start); err == nil {
+		t.Fatal("deleting the root succeeded")
+	}
+}
+
+func TestRevisionRenumberFallback(t *testing.T) {
+	base, err := ParseString(`<r><a/><z/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeatedly insert right after a: the a..z gap (Gap-1 slots wide at
+	// the start) must exhaust and force renumbering, which in turn must
+	// keep every revision — and the original — structurally valid.
+	doc := base
+	for i := 0; i < 40; i++ {
+		rev := doc.BeginRevision()
+		frag, _ := ParseString(`<m><n/></m>`)
+		if err := rev.InsertSubtree(doc.Root.Start, 1, frag.Root); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		next, _ := rev.Commit()
+		validate(t, next)
+		if next.Len() != doc.Len()+2 {
+			t.Fatalf("insert %d: len %d, want %d", i, next.Len(), doc.Len()+2)
+		}
+		doc = next
+	}
+	validate(t, base)
+	if base.Len() != 3 {
+		t.Fatal("base document grew")
+	}
+}
+
+func TestRevisionRandomizedAgainstRebuild(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		doc := New(randomTree(rng, 2+rng.Intn(30)))
+		for batch := 0; batch < 3; batch++ {
+			rev := doc.BeginRevision()
+			edits := 1 + rng.Intn(4)
+			for e := 0; e < edits; e++ {
+				ns := doc.Nodes()
+				n := ns[rng.Intn(len(ns))]
+				switch rng.Intn(4) {
+				case 0, 1:
+					sub := NewRoot(labels[rng.Intn(4)])
+					if rng.Intn(2) == 0 {
+						sub.AddChild(labels[rng.Intn(4)]).AddText("t")
+					}
+					if err := rev.InsertSubtree(n.Start, rng.Intn(3)-1, sub); err != nil {
+						// The node may have been deleted earlier in the batch.
+						if rev.Locate(n.Start) != nil {
+							t.Fatalf("trial %d: insert: %v", trial, err)
+						}
+					}
+				case 2:
+					if n != doc.Root && rev.Locate(n.Start) != nil {
+						if err := rev.DeleteSubtree(n.Start); err != nil {
+							t.Fatalf("trial %d: delete: %v", trial, err)
+						}
+					}
+				case 3:
+					if rev.Locate(n.Start) != nil {
+						var err error
+						if rng.Intn(2) == 0 {
+							err = rev.Rename(n.Start, labels[rng.Intn(4)])
+						} else {
+							err = rev.SetText(n.Start, "t2")
+						}
+						if err != nil {
+							t.Fatalf("trial %d: %v", trial, err)
+						}
+					}
+				}
+			}
+			next, _ := rev.Commit()
+			validate(t, next)
+			// The revised snapshot must serialize exactly like a fresh
+			// document built from the same tree shape.
+			reparsed, err := ParseString(next.String())
+			if err != nil {
+				t.Fatalf("trial %d: reparse: %v", trial, err)
+			}
+			if reparsed.String() != next.String() {
+				t.Fatalf("trial %d: serialization unstable", trial)
+			}
+			doc = next
+		}
+	}
+}

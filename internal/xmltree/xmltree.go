@@ -39,6 +39,16 @@ type Node struct {
 	Path string
 }
 
+// Gap is the stride of the interval numbering: renumbering assigns
+// consecutive interval boundaries Gap apart, so every pair of adjacent
+// boundaries leaves Gap-1 unused integers. Insertions under the revision
+// layer (see BeginRevision) allocate numbers from these gaps, which is what
+// lets an edit keep every untouched node's Start/End — and therefore every
+// untouched index posting — intact. Dense numbering is the Gap = 1 special
+// case; all structural invariants (strict preorder ordering, the ancestor
+// interval test) are stride-independent.
+const Gap = 16
+
 // IsAncestorOf reports whether n is a proper ancestor of d, using the
 // preorder interval numbering.
 func (n *Node) IsAncestorOf(d *Node) bool {
@@ -72,11 +82,23 @@ type Document struct {
 	nodes  []*Node            // preorder
 	byPath map[string][]*Node // dotted path -> nodes in preorder
 
+	// base chains the path index of a revision snapshot to its
+	// predecessor's: byPath then holds only the entries the revision
+	// changed (nil marking a path that disappeared) and lookups fall
+	// through the chain. pathDepth bounds the chain; Commit materializes
+	// a full map when it grows past maxPathDepth. A parsed or built
+	// document has base == nil and a complete byPath.
+	base      *Document
+	pathDepth int
+
 	// accel is an opaque accelerator attached by a higher layer (the
 	// positional index of internal/index); consumers type-assert against
 	// their own interfaces. The document never inspects it. See SetAccel.
 	accel any
 }
+
+// maxPathDepth bounds the byPath overlay chain of revision snapshots.
+const maxPathDepth = 12
 
 // SetAccel attaches an opaque accelerator to the document (nil detaches).
 // Attachment is not synchronized: it must happen before the document is
@@ -104,10 +126,11 @@ func NewRoot(label string) *Node {
 func (d *Document) renumber() {
 	d.nodes = d.nodes[:0]
 	d.byPath = make(map[string][]*Node)
+	d.base, d.pathDepth = nil, 0
 	counter := 0
 	var walk func(n *Node, level int, prefix string)
 	walk = func(n *Node, level int, prefix string) {
-		counter++
+		counter += Gap
 		n.Start = counter
 		n.Level = level
 		if prefix == "" {
@@ -121,7 +144,7 @@ func (d *Document) renumber() {
 			c.Parent = n
 			walk(c, level+1, n.Path)
 		}
-		counter++
+		counter += Gap
 		n.End = counter
 	}
 	if d.Root != nil {
@@ -139,12 +162,43 @@ func (d *Document) Nodes() []*Node { return d.nodes }
 // NodesByPath returns the nodes whose dotted label path from the root equals
 // path, in document (preorder) order. The returned slice must not be
 // modified.
-func (d *Document) NodesByPath(path string) []*Node { return d.byPath[path] }
+func (d *Document) NodesByPath(path string) []*Node {
+	for x := d; x != nil; x = x.base {
+		if l, ok := x.byPath[path]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+// pathMap materializes the effective path index: the oldest snapshot's
+// full map with each overlay applied on top. The returned map is fresh.
+func (d *Document) pathMap() map[string][]*Node {
+	var chain []*Document
+	for x := d; x != nil; x = x.base {
+		chain = append(chain, x)
+	}
+	m := make(map[string][]*Node, len(chain[len(chain)-1].byPath))
+	for i := len(chain) - 1; i >= 0; i-- {
+		for p, l := range chain[i].byPath {
+			if l == nil {
+				delete(m, p)
+			} else {
+				m[p] = l
+			}
+		}
+	}
+	return m
+}
 
 // Paths returns the distinct dotted paths present in the document, sorted.
 func (d *Document) Paths() []string {
-	ps := make([]string, 0, len(d.byPath))
-	for p := range d.byPath {
+	m := d.byPath
+	if d.base != nil {
+		m = d.pathMap()
+	}
+	ps := make([]string, 0, len(m))
+	for p := range m {
 		ps = append(ps, p)
 	}
 	sort.Strings(ps)
