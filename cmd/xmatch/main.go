@@ -96,10 +96,14 @@ func usage() {
            [-remote http://host:port]       ask a running xmatchd instead
   index    -d <D1..D10> | -xml <file>       build the positional index, print
            | -manifest <cat> -name <entry>  its stats; -o persists it as a
-           [-o <blob>] [-check]             store blob, -check verifies a
-                                            save/load round trip; -manifest
-                                            indexes a catalog entry's document
-                                            (the entry must have one)
+           [-o <blob>] [-check] [-stats]    store blob (format v4, compressed
+                                            postings), -check verifies a
+                                            save/load round trip, -stats prints
+                                            the per-path postings table
+                                            (counts, compressed vs flat bytes,
+                                            ratio); -manifest indexes a catalog
+                                            entry's document (the entry must
+                                            have one)
   mutate   -d <name> -edits <json|@file>    apply an edit batch to a live
            [-remote http://host:port]       document: remote posts to a
            [-doc N] [-seed N] [-verify]     running xmatchd's /v1/admin/mutate;
@@ -384,6 +388,7 @@ func runIndex(args []string) error {
 	seed := fs.Int64("seed", 42, "document generator seed")
 	out := fs.String("o", "", "write the index as a store blob to this path")
 	check := fs.Bool("check", false, "verify a save/load round trip of the blob")
+	stats := fs.Bool("stats", false, "print the per-path postings table: counts, compressed vs flat bytes, ratio")
 	fs.Parse(args)
 
 	var doc *xmltree.Document
@@ -418,9 +423,21 @@ func runIndex(args []string) error {
 	ix := index.Build(doc)
 	st := ix.Stats()
 	fmt.Printf("index %s: %d nodes\n", source, doc.Len())
-	fmt.Printf("postings: %d over %d distinct paths, %d value keys\n",
-		st.Postings, st.DistinctPaths, st.ValueKeys)
+	fmt.Printf("postings: %d over %d distinct paths, %d value keys, %d text keys\n",
+		st.Postings, st.DistinctPaths, st.ValueKeys, st.TextKeys)
 	fmt.Printf("resident: %dB, built in %v\n", st.ResidentBytes, st.BuildTime.Round(time.Microsecond))
+	fmt.Printf("postings bytes: %dB compressed vs %dB flat (ratio %.2f)\n",
+		st.PostingsBytes, st.PostingsFlatBytes, st.CompressionRatio())
+	if *stats {
+		fmt.Printf("%9s %12s %10s %7s  %s\n", "postings", "compressed", "flat", "ratio", "path")
+		for _, ps := range ix.PathStats() {
+			ratio := 1.0
+			if ps.FlatBytes > 0 {
+				ratio = float64(ps.ResidentBytes) / float64(ps.FlatBytes)
+			}
+			fmt.Printf("%9d %11dB %9dB %7.2f  %s\n", ps.Postings, ps.ResidentBytes, ps.FlatBytes, ratio, ps.Path)
+		}
+	}
 
 	var blob bytes.Buffer
 	if err := store.SaveIndex(&blob, ix); err != nil {

@@ -31,41 +31,68 @@ type KeywordResult struct {
 	SLCAs []*xmltree.Node
 }
 
-// KeywordQuery is a prepared probabilistic keyword query.
+// KeywordQuery is a prepared probabilistic keyword query. The schema-side
+// resolution (which target elements a keyword names) is document-
+// independent; value terms — keywords matching no target element — carry
+// their lowered form and are resolved against whichever document snapshot
+// EvaluateKeywords is handed, so a prepared keyword query survives
+// document mutations exactly like a prepared twig query does: evaluate it
+// against the new snapshot and the value terms re-resolve there (through
+// the snapshot index's token posting layer when one is attached). The
+// nodes pre-computed at prepare time are only a cache for the prepare-time
+// document.
 type KeywordQuery struct {
 	Keywords []string
 
 	// schemaTargets[i] lists the target element IDs matched by keyword
 	// i; empty means keyword i is a value term.
 	schemaTargets [][]int
-	// valueNodes[i] caches the document nodes matched by value term i.
+	// lowers[i] is keyword i lowered — the value-term form.
+	lowers []string
+	// prepDoc and valueNodes cache the prepare-time document's value-term
+	// resolution; evaluation over any other document re-resolves.
+	prepDoc    *xmltree.Document
 	valueNodes [][]*xmltree.Node
 }
 
 // PrepareKeywordQuery resolves keywords against the target schema of the
-// mapping set and pre-computes value-term matches in the document.
+// mapping set and pre-computes value-term matches in the document. With a
+// positional index attached to the document, value terms resolve through
+// the index's token posting layer — a scan of the distinct-text
+// vocabulary instead of every document node (sublinear whenever texts
+// repeat); without one, the document's nodes are scanned. Both resolutions
+// return identical node lists.
 func PrepareKeywordQuery(keywords []string, set *mapping.Set, doc *xmltree.Document) *KeywordQuery {
 	q := &KeywordQuery{
 		Keywords:      keywords,
 		schemaTargets: make([][]int, len(keywords)),
+		lowers:        make([]string, len(keywords)),
+		prepDoc:       doc,
 		valueNodes:    make([][]*xmltree.Node, len(keywords)),
 	}
 	for i, kw := range keywords {
 		lower := strings.ToLower(kw)
+		q.lowers[i] = lower
 		for _, e := range set.Target.Elements() {
 			if strings.Contains(strings.ToLower(e.Name), lower) {
 				q.schemaTargets[i] = append(q.schemaTargets[i], e.ID)
 			}
 		}
 		if len(q.schemaTargets[i]) == 0 {
-			for _, n := range doc.Nodes() {
-				if n.Text != "" && strings.Contains(strings.ToLower(n.Text), lower) {
-					q.valueNodes[i] = append(q.valueNodes[i], n)
-				}
-			}
+			q.valueNodes[i] = matchingTextNodes(doc, lower)
 		}
 	}
 	return q
+}
+
+// valueTermNodes returns value term i's nodes for the given document:
+// the prepare-time cache when doc is the prepare-time document, a fresh
+// (index-accelerated when possible) resolution otherwise.
+func (q *KeywordQuery) valueTermNodes(i int, doc *xmltree.Document) []*xmltree.Node {
+	if doc == q.prepDoc {
+		return q.valueNodes[i]
+	}
+	return matchingTextNodes(doc, q.lowers[i])
 }
 
 // EvaluateKeywords answers the PKQ: for every mapping that maps at least
@@ -81,7 +108,7 @@ func EvaluateKeywords(q *KeywordQuery, set *mapping.Set, doc *xmltree.Document) 
 		relevant := true
 		for i := range q.Keywords {
 			if len(q.schemaTargets[i]) == 0 {
-				lists[i] = q.valueNodes[i]
+				lists[i] = q.valueTermNodes(i, doc)
 				if len(lists[i]) == 0 {
 					relevant = false
 					break

@@ -1,0 +1,122 @@
+package core_test
+
+// The keyword-preparation differential: resolving value terms through the
+// positional index's token posting layer must return answers identical to
+// the doc.Nodes() scan, on the pristine document and across hundreds of
+// random mutations — and a keyword query prepared against one snapshot
+// must answer correctly against later snapshots (the delta-aware prepared
+// form re-resolves value terms per snapshot).
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/delta"
+	"xmatch/internal/mapgen"
+	"xmatch/internal/mapping"
+	"xmatch/internal/xmltree"
+)
+
+// keywordPools mixes schema terms (resolve against target elements),
+// value terms (digits and fragments present in generated document texts),
+// and junk that matches nothing.
+var keywordPools = [][]string{
+	{"Quantity", "Price", "City", "Contact"},
+	{"0", "1", "2", "3", "7", "v1", "v23"},
+	{"zzz-absent", "42e9"},
+}
+
+func randomKeywords(rng *rand.Rand) []string {
+	n := 1 + rng.Intn(2)
+	out := make([]string, n)
+	for i := range out {
+		pool := keywordPools[rng.Intn(len(keywordPools))]
+		out[i] = pool[rng.Intn(len(pool))]
+	}
+	return out
+}
+
+func randomKeywordEdit(rng *rand.Rand, doc *xmltree.Document) delta.Edit {
+	ns := doc.Nodes()
+	n := ns[rng.Intn(len(ns))]
+	switch rng.Intn(4) {
+	case 0:
+		return delta.Edit{Op: delta.OpInsert, Start: n.Start, Pos: -1,
+			XML: fmt.Sprintf("<Extra>%d</Extra>", rng.Intn(40))}
+	case 1:
+		if n != doc.Root {
+			return delta.Edit{Op: delta.OpDelete, Start: n.Start}
+		}
+		fallthrough
+	case 2:
+		return delta.Edit{Op: delta.OpSetText, Start: n.Start, Text: fmt.Sprintf("v%d", rng.Intn(30))}
+	default:
+		return delta.Edit{Op: delta.OpSetText, Start: n.Start, Text: ""}
+	}
+}
+
+// scanKeywordResults evaluates the keywords with the accelerator detached
+// — the pure doc.Nodes() scan baseline — and restores it.
+func scanKeywordResults(keywords []string, set *mapping.Set, doc *xmltree.Document) []core.KeywordResult {
+	accel := doc.Accel()
+	doc.SetAccel(nil)
+	defer doc.SetAccel(accel)
+	q := core.PrepareKeywordQuery(keywords, set, doc)
+	return core.EvaluateKeywords(q, set, doc)
+}
+
+func TestKeywordIndexedDifferential(t *testing.T) {
+	d, err := dataset.Load("D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := mapgen.TopH(d.Matching, 8, mapgen.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := d.OrderDocument(400, 7)
+	h := delta.Open(doc) // builds and attaches the positional index
+	rng := rand.New(rand.NewSource(20260729))
+
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	prev := h.Snapshot()
+	prevQueries := map[string]*core.KeywordQuery{} // prepared on prev snapshot
+	for trial := 0; trial < trials; trial++ {
+		snap := h.Snapshot()
+		keywords := randomKeywords(rng)
+
+		q := core.PrepareKeywordQuery(keywords, set, snap.Doc)
+		indexed := core.EvaluateKeywords(q, set, snap.Doc)
+		scanned := scanKeywordResults(keywords, set, snap.Doc)
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Fatalf("trial %d (%v): indexed keyword evaluation diverged from the scan\nindexed: %+v\nscan:    %+v",
+				trial, keywords, indexed, scanned)
+		}
+
+		// Delta-awareness: queries prepared against the previous snapshot
+		// must answer the current one identically to a fresh preparation.
+		key := fmt.Sprint(keywords)
+		if old, ok := prevQueries[key]; ok && prev != snap {
+			stale := core.EvaluateKeywords(old, set, snap.Doc)
+			if !reflect.DeepEqual(stale, indexed) {
+				t.Fatalf("trial %d (%v): query prepared on the previous snapshot diverged on the current one",
+					trial, keywords)
+			}
+		}
+		prevQueries[key] = q
+		prev = snap
+
+		if _, err := h.Apply([]delta.Edit{randomKeywordEdit(rng, snap.Doc)}); err != nil {
+			// Some random edits are unapplicable (e.g. deleting an already
+			// replaced target); skip, the next trial mutates again.
+			continue
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+
 	"xmatch/internal/twig"
 	"xmatch/internal/xmltree"
 )
@@ -22,6 +24,35 @@ import (
 // the set with zero per-query plumbing and zero synchronization.
 type Matcher interface {
 	MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.PathBinding) []twig.Match
+}
+
+// TextSearcher is the keyword-preparation seam: an accelerator that can
+// resolve a value term — a lowered keyword — to the document nodes whose
+// lowered text contains it, in document order, without scanning every
+// node. The positional index implements it over its token posting layer
+// (distinct lowered texts -> value keys), making keyword preparation
+// O(vocabulary) instead of O(document). Implementations must return
+// exactly the nodes a doc.Nodes() scan with strings.Contains on lowered
+// texts would, in the same order; the randomized keyword differential
+// pins that contract. Returned slices are owned by the caller.
+type TextSearcher interface {
+	NodesWithTextContaining(lowered string) []*xmltree.Node
+}
+
+// matchingTextNodes resolves one lowered value term against the document:
+// through the attached TextSearcher when present, by scanning the
+// document's nodes otherwise.
+func matchingTextNodes(doc *xmltree.Document, lowered string) []*xmltree.Node {
+	if ts, ok := doc.Accel().(TextSearcher); ok {
+		return ts.NodesWithTextContaining(lowered)
+	}
+	var out []*xmltree.Node
+	for _, n := range doc.Nodes() {
+		if n.Text != "" && strings.Contains(strings.ToLower(n.Text), lowered) {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // matchPattern evaluates one rewritten pattern subtree over the document:

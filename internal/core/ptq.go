@@ -283,8 +283,17 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 		return out
 	}
 
-	if len(qn.Children) == 0 {
-		// Single-node subquery: evaluate directly per mapping.
+	if len(qn.Children) == 0 || !subtreeHasBlocks(qn, emb, set, bt) {
+		// Single-node subquery — or a subtree with no c-block anchored at
+		// or below any of its nodes. Decomposition exists to reach block
+		// sharing deeper in the query; with none available, the
+		// decomposed structural joins compute exactly the per-mapping
+		// subtree matches that one direct (memoized) matcher evaluation
+		// returns, so skip straight to it. This also routes the whole
+		// subtree through the document's accelerator when one is
+		// attached, where repeated bindings are answered from the
+		// matcher-level result memo instead of being re-joined per
+		// mapping.
 		for _, mi := range relevant {
 			out[mi] = cachedSubtreeEval(q, emb, qn, mi, set, doc, cache)
 		}
@@ -317,12 +326,59 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 	for _, c := range qn.Children {
 		rc := evalTree(q, emb, c, set, doc, bt, relevant, relevantSet, cache)
 		next := make(map[int][]twig.Match, len(relevant))
+		// Mappings whose operand lists are the same slices (the subtree
+		// caches hand one slice to every mapping with the same rewrite)
+		// necessarily join to the same result, so each distinct operand
+		// pair is joined once and shared — the join-level counterpart of
+		// the c-block sharing this decomposition could not reach.
+		joins := make(map[joinOperands][]twig.Match, len(relevant))
 		for _, mi := range relevant {
-			next[mi] = twig.StructuralJoin(joined[mi], qn, rc[mi], c)
+			key := joinOperands{outer: sliceIdent(joined[mi]), inner: sliceIdent(rc[mi])}
+			m, ok := joins[key]
+			if !ok {
+				m = twig.StructuralJoin(joined[mi], qn, rc[mi], c)
+				joins[key] = m
+			}
+			next[mi] = m
 		}
 		joined = next
 	}
 	return joined
+}
+
+// ident is a match slice's identity: its first element's address and its
+// length. Two slices with equal identity hold the same matches.
+type ident struct {
+	p *twig.Match
+	n int
+}
+
+// joinOperands keys one structural join's operand pair by identity.
+type joinOperands struct {
+	outer, inner ident
+}
+
+func sliceIdent(s []twig.Match) ident {
+	if len(s) == 0 {
+		return ident{}
+	}
+	return ident{p: &s[0], n: len(s)}
+}
+
+// subtreeHasBlocks reports whether any node of the query subtree rooted
+// at qn (the root included) anchors at least one c-block — i.e. whether
+// decomposing below qn can reach any cross-mapping sharing at all.
+func subtreeHasBlocks(qn *twig.Node, emb twig.Embedding, set *mapping.Set, bt *BlockTree) bool {
+	t := emb[qn.Index]
+	if bt.FindNode(set.Target.ByID(t).Path) == t && len(bt.Blocks[t]) > 0 {
+		return true
+	}
+	for _, c := range qn.Children {
+		if subtreeHasBlocks(c, emb, set, bt) {
+			return true
+		}
+	}
+	return false
 }
 
 // cachedSubtreeEval evaluates the query subtree for one mapping, memoized
@@ -433,10 +489,18 @@ func matchSubtreeWithMapping(q *Query, emb twig.Embedding, qn *twig.Node, m *map
 // their per-chunk outputs through a single ResultMerger in a deterministic
 // order (per mapping, chunk outputs are disjoint, so only the relative order
 // of embeddings matters for match ordering).
+//
+// Duplicates can only arrive from a *second* Add for the same mapping (one
+// evaluation never repeats a match), so the match-key dedup set is built
+// lazily at that point. Single-embedding queries — the common case — never
+// key a single match, which takes Match.Key and its map off the hot path
+// entirely. The first Add's slice is retained as-is (appends copy on
+// growth), so matcher-layer caches may hand the same slice to every
+// mapping safely.
 type ResultMerger struct {
 	set     *mapping.Set
 	matches map[int][]twig.Match
-	seen    map[int]map[string]bool
+	seen    map[int]map[string]bool // built on the second Add for a mapping
 }
 
 // NewResultMerger returns an empty merger for the mapping set.
@@ -451,18 +515,35 @@ func NewResultMerger(set *mapping.Set) *ResultMerger {
 // Add records the matches of mapping mi, dropping duplicates of matches
 // already recorded for mi.
 func (r *ResultMerger) Add(mi int, matches []twig.Match) {
-	if _, ok := r.matches[mi]; !ok {
-		r.matches[mi] = nil
-		r.seen[mi] = make(map[string]bool)
+	existing, ok := r.matches[mi]
+	if !ok {
+		r.matches[mi] = matches
+		return
+	}
+	if len(matches) == 0 {
+		return
+	}
+	seen := r.seen[mi]
+	if seen == nil {
+		seen = make(map[string]bool, len(existing))
+		for _, m := range existing {
+			seen[m.Key()] = true
+		}
+		r.seen[mi] = seen
+		// The stored slice may be shared (matcher caches hand one slice to
+		// many mappings); clone before the first append so growth never
+		// writes into shared backing capacity.
+		existing = append(make([]twig.Match, 0, len(existing)+len(matches)), existing...)
 	}
 	for _, m := range matches {
 		k := m.Key()
-		if r.seen[mi][k] {
+		if seen[k] {
 			continue
 		}
-		r.seen[mi][k] = true
-		r.matches[mi] = append(r.matches[mi], m)
+		seen[k] = true
+		existing = append(existing, m)
 	}
+	r.matches[mi] = existing
 }
 
 // Finish returns the accumulated results ordered by mapping index.

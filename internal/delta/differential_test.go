@@ -78,9 +78,18 @@ func checkAgainstRebuild(t *testing.T, trial int, snap *delta.Snapshot) {
 	}
 	st := snap.Index.Stats()
 	fresh := index.Build(snap.Doc).Stats()
+	// ResidentBytes legitimately differs between the two: overlay splices
+	// keep the flat layout until the next flatten, a fresh build
+	// compresses everything. FlatBytes is layout-independent, so it must
+	// agree exactly; the actual footprint can never exceed it.
 	if st.Postings != fresh.Postings || st.DistinctPaths != fresh.DistinctPaths ||
-		st.ValueKeys != fresh.ValueKeys || st.ResidentBytes != fresh.ResidentBytes {
+		st.ValueKeys != fresh.ValueKeys || st.TextKeys != fresh.TextKeys ||
+		st.FlatBytes != fresh.FlatBytes {
 		t.Fatalf("trial %d: incremental stats diverged: %+v vs %+v", trial, st, fresh)
+	}
+	if st.ResidentBytes <= 0 || st.ResidentBytes > st.FlatBytes {
+		t.Fatalf("trial %d: incremental resident bytes %d out of range (flat %d)",
+			trial, st.ResidentBytes, st.FlatBytes)
 	}
 }
 

@@ -13,12 +13,16 @@ package index
 // chained lookups stay O(1) amortized and superseded epochs (and the
 // document snapshots they pin) become collectable.
 //
-// Every spliced list is freshly allocated: the base index's slices are
+// Spliced lists are kept in the flat representation: they are small,
+// freshly allocated, and short-lived (the next flatten re-compresses
+// them), so the mutate path pays no encode. The base index's lists are
 // never written, so queries running against any older snapshot proceed
 // unperturbed while new epochs are built — the copy-on-write contract the
 // delta subsystem's concurrency model rests on.
 
 import (
+	"slices"
+	"strings"
 	"time"
 
 	"xmatch/internal/xmltree"
@@ -33,10 +37,10 @@ const flattenDepth = 16
 
 // ApplyChanges derives the index of a mutated document snapshot from the
 // index of its base snapshot and the revision's change set. Postings of
-// unaffected paths are shared with the base; affected paths and value keys
-// get freshly spliced lists. The receiver is not modified and remains the
-// valid index of its own document. The returned index is not yet attached
-// to newDoc; callers publish it with Install.
+// unaffected paths are shared with the base; affected paths, value keys
+// and text-layer entries get freshly spliced lists. The receiver is not
+// modified and remains the valid index of its own document. The returned
+// index is not yet attached to newDoc; callers publish it with Install.
 func (ix *Index) ApplyChanges(newDoc *xmltree.Document, cs *xmltree.ChangeSet) *Index {
 	start := time.Now()
 	nx := &Index{
@@ -44,8 +48,9 @@ func (ix *Index) ApplyChanges(newDoc *xmltree.Document, cs *xmltree.ChangeSet) *
 		base:   ix,
 		epoch:  ix.epoch + 1,
 		depth:  ix.depth + 1,
-		paths:  make(map[string][]Posting),
-		values: make(map[valueKey][]Posting),
+		paths:  make(map[string]*PostingList),
+		values: make(map[valueKey]*PostingList),
+		texts:  make(map[string]*textEntry),
 		stats:  ix.stats,
 	}
 	nx.stats.Epoch = nx.epoch
@@ -73,33 +78,74 @@ func (ix *Index) ApplyChanges(newDoc *xmltree.Document, cs *xmltree.ChangeSet) *
 	}
 
 	for p := range affectedPaths {
-		old := ix.Postings(p)
+		old := ix.list(p)
 		nl := splice(old, dropped, addedByPath[p])
 		nx.paths[p] = nl
-		nx.stats.Postings += len(nl) - len(old)
-		nx.stats.ResidentBytes += (len(nl) - len(old)) * postingBytes
+		nx.stats.Postings += nl.Len() - old.Len()
+		nx.stats.PostingsBytes += nl.residentBytes() - old.residentBytes()
+		nx.stats.PostingsFlatBytes += nl.flatBytes() - old.flatBytes()
+		nx.stats.ResidentBytes += nl.residentBytes() - old.residentBytes()
+		nx.stats.FlatBytes += nl.flatBytes() - old.flatBytes()
 		switch {
-		case len(old) == 0 && len(nl) > 0:
+		case old.Len() == 0 && nl.Len() > 0:
 			nx.stats.DistinctPaths++
 			nx.stats.ResidentBytes += len(p)
-		case len(old) > 0 && len(nl) == 0:
+			nx.stats.FlatBytes += len(p)
+		case old.Len() > 0 && nl.Len() == 0:
 			nx.stats.DistinctPaths--
 			nx.stats.ResidentBytes -= len(p)
+			nx.stats.FlatBytes -= len(p)
 		}
 	}
+	// Token-layer entries to re-splice: the lowered text of every value
+	// key a splice touched (its node list changed even when the key
+	// itself survived).
+	textChanges := make(map[string]bool)
 	for k := range affectedValues {
-		old := ix.ValuePostings(k.path, k.text)
+		old := ix.valueList(k)
 		nl := splice(old, dropped, addedByValue[k])
 		nx.values[k] = nl
-		nx.stats.ResidentBytes += (len(nl) - len(old)) * postingBytes
+		nx.stats.PostingsBytes += nl.residentBytes() - old.residentBytes()
+		nx.stats.PostingsFlatBytes += nl.flatBytes() - old.flatBytes()
+		nx.stats.ResidentBytes += nl.residentBytes() - old.residentBytes()
+		nx.stats.FlatBytes += nl.flatBytes() - old.flatBytes()
+		textChanges[strings.ToLower(k.text)] = true
 		switch {
-		case len(old) == 0 && len(nl) > 0:
+		case old.Len() == 0 && nl.Len() > 0:
 			nx.stats.ValueKeys++
 			nx.stats.ResidentBytes += len(k.path) + len(k.text)
-		case len(old) > 0 && len(nl) == 0:
+			nx.stats.FlatBytes += len(k.path) + len(k.text)
+		case old.Len() > 0 && nl.Len() == 0:
 			nx.stats.ValueKeys--
 			nx.stats.ResidentBytes -= len(k.path) + len(k.text)
+			nx.stats.FlatBytes -= len(k.path) + len(k.text)
 		}
+	}
+	// Group the epoch's spliced value keys by lowered text once, so each
+	// text entry's re-splice looks its candidates up directly instead of
+	// rescanning every spliced key.
+	splicedByLower := make(map[string][]valueKey, len(textChanges))
+	for k, pl := range nx.values {
+		if pl.Len() > 0 {
+			lt := strings.ToLower(k.text)
+			splicedByLower[lt] = append(splicedByLower[lt], k)
+		}
+	}
+	for lt := range textChanges {
+		old := ix.textEntryOf(lt)
+		nl := spliceTextEntry(old, lt, nx, splicedByLower[lt])
+		nx.texts[lt] = nl
+		db := textEntryBytes(nl) - textEntryBytes(old)
+		switch {
+		case old == nil && nl != nil:
+			nx.stats.TextKeys++
+			db += len(lt)
+		case old != nil && nl == nil:
+			nx.stats.TextKeys--
+			db -= len(lt)
+		}
+		nx.stats.ResidentBytes += db
+		nx.stats.FlatBytes += db
 	}
 
 	if nx.depth >= flattenDepth {
@@ -112,33 +158,115 @@ func (ix *Index) ApplyChanges(newDoc *xmltree.Document, cs *xmltree.ChangeSet) *
 
 // splice merges one postings list: the old postings minus those whose
 // nodes were dropped, interleaved by start number with postings for the
-// added nodes. Both inputs are in document order; so is the result. The
-// old list is never modified. An empty result is returned as nil, the
-// overlay's deletion marker.
-func splice(old []Posting, dropped map[*xmltree.Node]bool, added []*xmltree.Node) []Posting {
-	out := make([]Posting, 0, len(old)+len(added))
+// added nodes. The old list may be compressed; the result is a fresh flat
+// list in document order. A nil result is the overlay's deletion marker.
+func splice(old *PostingList, dropped map[*xmltree.Node]bool, added []*xmltree.Node) *PostingList {
+	buf := getPostingBuf()
+	olds := old.appendAll(*buf)
+	out := make([]Posting, 0, len(olds)+len(added))
 	i := 0
 	for _, n := range added {
-		for ; i < len(old); i++ {
-			if dropped[old[i].Node] {
+		for ; i < len(olds); i++ {
+			if dropped[olds[i].Node] {
 				continue
 			}
-			if int(old[i].Start) > n.Start {
+			if int(olds[i].Start) > n.Start {
 				break
 			}
-			out = append(out, old[i])
+			out = append(out, olds[i])
 		}
 		out = append(out, Posting{Start: int32(n.Start), End: int32(n.End), Level: int32(n.Level), Node: n})
 	}
-	for ; i < len(old); i++ {
-		if !dropped[old[i].Node] {
-			out = append(out, old[i])
+	for ; i < len(olds); i++ {
+		if !dropped[olds[i].Node] {
+			out = append(out, olds[i])
 		}
 	}
-	if len(out) == 0 {
+	*buf = olds
+	putPostingBuf(buf)
+	return newFlatList(out)
+}
+
+// textEntryOf returns the effective token-layer entry for one lowered
+// text.
+func (ix *Index) textEntryOf(lt string) *textEntry {
+	for x := ix; x != nil; x = x.base {
+		if e, ok := x.texts[lt]; ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// textEntryBytes is one entry's bookkeeping footprint (key string
+// excluded; the caller accounts it).
+func textEntryBytes(e *textEntry) int {
+	if e == nil {
+		return 0
+	}
+	return len(e.keys)*valueKeyBytes + len(e.nodes)*8
+}
+
+// spliceTextEntry recomputes the token-layer entry for one lowered text
+// after the epoch's value splices: the surviving old keys plus the
+// epoch's newly non-empty keys with that lowered text (spliced,
+// pre-grouped by the caller), with their nodes re-merged from the new
+// epoch's value lists. nx's value entries are already spliced, so
+// membership and node sets are decided by the new epoch.
+func spliceTextEntry(old *textEntry, lt string, nx *Index, spliced []valueKey) *textEntry {
+	var keep []valueKey
+	if old != nil {
+		keep = make([]valueKey, 0, len(old.keys)+len(spliced))
+		for _, k := range old.keys {
+			if nx.valueList(k).Len() > 0 {
+				keep = append(keep, k)
+			}
+		}
+	}
+	for _, k := range spliced {
+		dup := false
+		for _, kk := range keep {
+			if kk == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keep = append(keep, k)
+		}
+	}
+	if len(keep) == 0 {
 		return nil
 	}
-	return out
+	sortValueKeys(keep)
+	buf := getPostingBuf()
+	ps := (*buf)[:0]
+	for _, k := range keep {
+		ps = nx.valueList(k).appendAll(ps)
+	}
+	slices.SortFunc(ps, func(a, b Posting) int { return int(a.Start) - int(b.Start) })
+	e := &textEntry{keys: keep, nodes: make([]*xmltree.Node, len(ps))}
+	for i := range ps {
+		e.nodes[i] = ps[i].Node
+	}
+	*buf = ps
+	putPostingBuf(buf)
+	return e
+}
+
+func sortValueKeys(keys []valueKey) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && valueKeyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func valueKeyLess(a, b valueKey) bool {
+	if a.path != b.path {
+		return a.path < b.path
+	}
+	return a.text < b.text
 }
 
 // chainDown returns the overlay chain oldest-first.
@@ -153,38 +281,64 @@ func (ix *Index) chainDown() []*Index {
 	return chain
 }
 
-// materialize returns the effective postings maps of the overlay chain:
-// the oldest epoch's full maps with each newer overlay applied on top
-// (nil entries delete). The returned maps are fresh even for a base-free
-// index, so callers may keep them.
-func (ix *Index) materialize() (map[string][]Posting, map[valueKey][]Posting) {
-	paths := make(map[string][]Posting, len(ix.paths))
-	values := make(map[valueKey][]Posting, len(ix.values))
+// materialize returns the effective maps of the overlay chain: the oldest
+// epoch's full maps with each newer overlay applied on top (nil entries
+// delete). The returned maps are fresh even for a base-free index, so
+// callers may keep them.
+func (ix *Index) materialize() (map[string]*PostingList, map[valueKey]*PostingList, map[string]*textEntry) {
+	paths := make(map[string]*PostingList, len(ix.paths))
+	values := make(map[valueKey]*PostingList, len(ix.values))
+	texts := make(map[string]*textEntry, len(ix.texts))
 	for _, x := range ix.chainDown() {
-		for p, ps := range x.paths {
-			if ps == nil {
+		for p, pl := range x.paths {
+			if pl.Len() == 0 {
 				delete(paths, p)
 			} else {
-				paths[p] = ps
+				paths[p] = pl
 			}
 		}
-		for k, ps := range x.values {
-			if ps == nil {
+		for k, pl := range x.values {
+			if pl.Len() == 0 {
 				delete(values, k)
 			} else {
-				values[k] = ps
+				values[k] = pl
+			}
+		}
+		for lt, e := range x.texts {
+			if e == nil || len(e.keys) == 0 {
+				delete(texts, lt)
+			} else {
+				texts[lt] = e
 			}
 		}
 	}
-	return paths, values
+	return paths, values, texts
 }
 
 // flatten materializes an overlay index into a self-contained one,
-// releasing the base chain.
+// releasing the base chain. Flat overlay splices are re-compressed, so
+// the long-lived form always carries the compact layout.
 func (ix *Index) flatten() *Index {
 	if ix.base == nil {
 		return ix
 	}
-	paths, values := ix.materialize()
-	return &Index{doc: ix.doc, epoch: ix.epoch, paths: paths, values: values, stats: ix.stats}
+	paths, values, texts := ix.materialize()
+	buf := getPostingBuf()
+	for p, pl := range paths {
+		if !pl.compressed() {
+			*buf = pl.appendAll((*buf)[:0])
+			paths[p] = compressPostings(*buf)
+		}
+	}
+	for k, pl := range values {
+		if !pl.compressed() {
+			*buf = pl.appendAll((*buf)[:0])
+			values[k] = compressPostings(*buf)
+		}
+	}
+	putPostingBuf(buf)
+	nx := &Index{doc: ix.doc, epoch: ix.epoch, paths: paths, values: values, texts: texts}
+	nx.stats = nx.computeStats()
+	nx.stats.Epoch = ix.epoch
+	return nx
 }

@@ -8,15 +8,20 @@
 //
 // The index stores, per dotted path, the region encodings (start, end,
 // level) of the path's document nodes in document order — the interval
-// numbering of Al-Khalifa et al. (ICDE 2002) — plus a value index keyed by
-// (path, text) so value predicates become O(1) lookups instead of
-// candidate-list scans. MatchTwig evaluates a rewritten twig pattern over
-// these postings with a holistic two-phase join (TwigStack/TwigList
-// family): linear postings merges prune every candidate that cannot appear
-// in a complete match before any intermediate match list is materialized,
-// and the final enumeration emits twig.Match lists byte-identical in
-// content and order to twig.MatchByPaths (the ordering contract the
-// differential tests and FuzzMatchTwig pin down).
+// numbering of Al-Khalifa et al. (ICDE 2002) — in block-compressed
+// postings lists (see postings.go: delta-encoded uvarint blocks with
+// per-block skip pointers, decoded lazily per block), plus a value index
+// keyed by (path, text) so value predicates become O(1) lookups instead
+// of candidate-list scans, plus a token posting layer keyed by lowered
+// text so keyword-query preparation resolves value terms against the
+// distinct-text vocabulary instead of scanning every document node.
+// MatchTwig evaluates a rewritten twig pattern over these postings with a
+// holistic two-phase join (TwigStack/TwigList family): block-galloping
+// postings merges prune every candidate that cannot appear in a complete
+// match before any intermediate match list is materialized, and the final
+// enumeration emits twig.Match lists byte-identical in content and order
+// to twig.MatchByPaths (the ordering contract the differential tests and
+// FuzzMatchTwig pin down).
 //
 // An Index is immutable after Build and safe for unsynchronized concurrent
 // readers; Attach hangs it off its document's accelerator slot, which is
@@ -24,7 +29,12 @@
 package index
 
 import (
+	"runtime"
+	"slices"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmatch/internal/xmltree"
@@ -32,7 +42,7 @@ import (
 
 // Posting is one indexed document node: its region encoding plus the node
 // itself. Start/End/Level mirror the node's interval numbering so the merge
-// loops of the holistic join scan flat arrays instead of chasing node
+// loops of the holistic join scan decoded arrays instead of chasing node
 // pointers; the Node is touched only when a match is emitted.
 type Posting struct {
 	Start, End int32
@@ -48,21 +58,33 @@ type valueKey struct {
 // Index is an immutable positional index over one document snapshot.
 //
 // An index is either self-contained (Build, FromSnapshot) or an overlay
-// epoch derived from a base index by ApplyChanges: then paths and values
-// hold only the entries the mutation spliced — a nil slice marks a deleted
-// entry — and lookups fall through to the base chain. Either way the index
-// never changes after construction and is safe for unsynchronized
+// epoch derived from a base index by ApplyChanges: then paths, values and
+// texts hold only the entries the mutation spliced — a nil entry marks a
+// deleted one — and lookups fall through to the base chain. Either way the
+// index never changes after construction and is safe for unsynchronized
 // concurrent readers; document mutation produces a new Index for the new
 // snapshot rather than touching this one.
 type Index struct {
 	doc    *xmltree.Document
-	paths  map[string][]Posting   // dotted path -> postings in document order
-	values map[valueKey][]Posting // (path, text) -> postings in document order
+	paths  map[string]*PostingList   // dotted path -> postings in document order
+	values map[valueKey]*PostingList // (path, text) -> postings in document order
+
+	// texts is the token posting layer: lowered node text -> the value
+	// keys carrying exactly that text (case-insensitively) plus their
+	// merged nodes in document order. Keyword value terms resolve by
+	// scanning this vocabulary — sublinear in document size whenever
+	// texts repeat — and concatenating the matching entries' node lists.
+	// Region postings are not duplicated here, only node pointers.
+	texts map[string]*textEntry
 
 	// base is the previous epoch's index for an overlay, nil otherwise.
 	base  *Index
 	epoch uint64
 	depth int // overlay chain length above the nearest self-contained index
+
+	// memo caches whole evaluations over this epoch (see resultMemo); it
+	// is collected together with the epoch.
+	memo resultMemo
 
 	stats Stats
 }
@@ -78,12 +100,26 @@ type Stats struct {
 	DistinctPaths int
 	// ValueKeys is the number of distinct (path, text) value-index keys.
 	ValueKeys int
-	// ResidentBytes estimates the index's in-memory footprint: postings
-	// arrays (both maps) plus map-key string bytes. Node pointers are
-	// counted, the document itself is not. For an overlay epoch this is
-	// the effective (as-if-flattened) footprint; entries shared with the
-	// base chain are counted once.
+	// TextKeys is the number of distinct lowered texts in the token
+	// posting layer (the keyword-term vocabulary).
+	TextKeys int
+	// ResidentBytes estimates the index's actual in-memory footprint:
+	// compressed postings blocks, node-pointer arrays, flat overlay
+	// splices, and map-key string bytes. The document itself is not
+	// counted. For an overlay epoch this is the effective
+	// (as-if-flattened) footprint; entries shared with the base chain are
+	// counted once.
 	ResidentBytes int
+	// FlatBytes is the footprint the same index would have in the
+	// uncompressed flat-[]Posting layout, key strings included.
+	FlatBytes int
+	// PostingsBytes is the resident footprint of the postings lists alone
+	// (delta blocks, skip pointers, node-pointer arrays — no map keys):
+	// the numerator of CompressionRatio.
+	PostingsBytes int
+	// PostingsFlatBytes is the same postings in the flat layout
+	// (postingBytes per posting): the denominator of CompressionRatio.
+	PostingsFlatBytes int
 	// Epoch counts the mutations applied since the index was built: 0 for
 	// a fresh Build or a loaded snapshot, incremented by every
 	// ApplyChanges.
@@ -93,24 +129,226 @@ type Stats struct {
 	Overlays int
 }
 
-// Build constructs the index over doc in one preorder pass.
-func Build(doc *xmltree.Document) *Index {
+// CompressionRatio is PostingsBytes over PostingsFlatBytes — resident
+// compressed postings against the flat-int32 layout. Below 1.0 the
+// compressed layout is paying for itself.
+func (s Stats) CompressionRatio() float64 {
+	if s.PostingsFlatBytes == 0 {
+		return 1
+	}
+	return float64(s.PostingsBytes) / float64(s.PostingsFlatBytes)
+}
+
+// parallelBuildThreshold is the document size from which Build splits the
+// preorder pass into per-chunk partial indexes merged at the end; below
+// it a single pass wins.
+const parallelBuildThreshold = 2048
+
+// Build constructs the block-compressed index over doc. Large documents
+// are indexed in parallel: the preorder node list is split into
+// contiguous chunks, per-chunk partial postings are built concurrently
+// and concatenated in chunk order (chunks are preorder-contiguous, so
+// concatenation preserves document order), and the per-list compression
+// is itself fanned out across workers.
+func Build(doc *xmltree.Document) *Index { return build(doc, true) }
+
+// BuildFlat constructs the index in the uncompressed flat-[]Posting
+// layout: same lookups, same matcher, no delta blocks. It is the
+// reference layout the differential fuzzer runs against the compressed
+// one, and the baseline of BenchmarkPostingsDecode.
+func BuildFlat(doc *xmltree.Document) *Index { return build(doc, false) }
+
+func build(doc *xmltree.Document, compress bool) *Index {
 	start := time.Now()
+	nodes := doc.Nodes()
+	workers := runtime.GOMAXPROCS(0)
+	var paths map[string][]Posting
+	var values map[valueKey][]Posting
+	if len(nodes) >= parallelBuildThreshold && workers > 1 {
+		paths, values = collectParallel(nodes, workers)
+	} else {
+		paths, values = collectSerial(nodes)
+	}
 	ix := &Index{
 		doc:    doc,
-		paths:  make(map[string][]Posting),
-		values: make(map[valueKey][]Posting),
+		paths:  make(map[string]*PostingList, len(paths)),
+		values: make(map[valueKey]*PostingList, len(values)),
 	}
-	for _, n := range doc.Nodes() {
-		p := Posting{Start: int32(n.Start), End: int32(n.End), Level: int32(n.Level), Node: n}
-		ix.paths[n.Path] = append(ix.paths[n.Path], p)
-		if n.Text != "" {
-			ix.values[valueKey{n.Path, n.Text}] = append(ix.values[valueKey{n.Path, n.Text}], p)
+	if compress && len(nodes) >= parallelBuildThreshold && workers > 1 {
+		compressParallel(ix, paths, values, workers)
+	} else {
+		for p, ps := range paths {
+			ix.paths[p] = makeList(ps, compress)
+		}
+		for k, ps := range values {
+			ix.values[k] = makeList(ps, compress)
 		}
 	}
+	ix.texts = textLayer(ix.values)
 	ix.stats = ix.computeStats()
 	ix.stats.BuildTime = time.Since(start)
 	return ix
+}
+
+func makeList(ps []Posting, compress bool) *PostingList {
+	if compress {
+		return compressPostings(ps)
+	}
+	return newFlatList(ps)
+}
+
+func collectSerial(nodes []*xmltree.Node) (map[string][]Posting, map[valueKey][]Posting) {
+	paths := make(map[string][]Posting)
+	values := make(map[valueKey][]Posting)
+	for _, n := range nodes {
+		p := Posting{Start: int32(n.Start), End: int32(n.End), Level: int32(n.Level), Node: n}
+		paths[n.Path] = append(paths[n.Path], p)
+		if n.Text != "" {
+			values[valueKey{n.Path, n.Text}] = append(values[valueKey{n.Path, n.Text}], p)
+		}
+	}
+	return paths, values
+}
+
+// collectParallel builds per-chunk partial postings concurrently and
+// merges them in chunk order. Chunks are contiguous preorder ranges, so
+// appending chunk lists in order yields document order per key.
+func collectParallel(nodes []*xmltree.Node, workers int) (map[string][]Posting, map[valueKey][]Posting) {
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	type shard struct {
+		paths  map[string][]Posting
+		values map[valueKey][]Posting
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	chunk := (len(nodes) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := shard{paths: make(map[string][]Posting), values: make(map[valueKey][]Posting)}
+			for _, n := range nodes[lo:hi] {
+				p := Posting{Start: int32(n.Start), End: int32(n.End), Level: int32(n.Level), Node: n}
+				s.paths[n.Path] = append(s.paths[n.Path], p)
+				if n.Text != "" {
+					s.values[valueKey{n.Path, n.Text}] = append(s.values[valueKey{n.Path, n.Text}], p)
+				}
+			}
+			shards[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	paths := make(map[string][]Posting)
+	values := make(map[valueKey][]Posting)
+	for _, s := range shards {
+		for p, ps := range s.paths {
+			paths[p] = append(paths[p], ps...)
+		}
+		for k, ps := range s.values {
+			values[k] = append(values[k], ps...)
+		}
+	}
+	return paths, values
+}
+
+// compressParallel fans the per-list compression out across workers and
+// installs the results into ix's maps single-threaded.
+func compressParallel(ix *Index, paths map[string][]Posting, values map[valueKey][]Posting, workers int) {
+	type pathJob struct {
+		key string
+		ps  []Posting
+		out *PostingList
+	}
+	type valueJob struct {
+		key valueKey
+		ps  []Posting
+		out *PostingList
+	}
+	pjobs := make([]pathJob, 0, len(paths))
+	for p, ps := range paths {
+		pjobs = append(pjobs, pathJob{key: p, ps: ps})
+	}
+	vjobs := make([]valueJob, 0, len(values))
+	for k, ps := range values {
+		vjobs = append(vjobs, valueJob{key: k, ps: ps})
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	total := len(pjobs) + len(vjobs)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if i < len(pjobs) {
+					pjobs[i].out = compressPostings(pjobs[i].ps)
+				} else {
+					j := i - len(pjobs)
+					vjobs[j].out = compressPostings(vjobs[j].ps)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range pjobs {
+		ix.paths[pjobs[i].key] = pjobs[i].out
+	}
+	for i := range vjobs {
+		ix.values[vjobs[i].key] = vjobs[i].out
+	}
+}
+
+// textEntry is one token-layer entry: the value keys whose text lowers to
+// the entry's key, and their nodes merged in document order.
+type textEntry struct {
+	keys  []valueKey
+	nodes []*xmltree.Node
+}
+
+// textLayer derives the token posting layer from a complete value map:
+// lowered text -> the value keys carrying it (sorted for determinism)
+// with their nodes merged in document order.
+func textLayer(values map[valueKey]*PostingList) map[string]*textEntry {
+	texts := make(map[string]*textEntry)
+	for k := range values {
+		lt := strings.ToLower(k.text)
+		e := texts[lt]
+		if e == nil {
+			e = &textEntry{}
+			texts[lt] = e
+		}
+		e.keys = append(e.keys, k)
+	}
+	buf := getPostingBuf()
+	for _, e := range texts {
+		sortValueKeys(e.keys)
+		ps := (*buf)[:0]
+		for _, k := range e.keys {
+			ps = values[k].appendAll(ps)
+		}
+		slices.SortFunc(ps, func(a, b Posting) int { return int(a.Start) - int(b.Start) })
+		e.nodes = make([]*xmltree.Node, len(ps))
+		for i := range ps {
+			e.nodes[i] = ps[i].Node
+		}
+		*buf = ps
+	}
+	putPostingBuf(buf)
+	return texts
 }
 
 // Attach builds an index over doc and attaches it to the document's
@@ -148,35 +386,96 @@ func (ix *Index) Stats() Stats { return ix.stats }
 // built: 0 for a fresh Build or loaded snapshot.
 func (ix *Index) Epoch() uint64 { return ix.epoch }
 
-// Postings returns the region postings of the given dotted path in
-// document order. The returned slice must not be modified. An overlay
+// list returns the postings list of the given dotted path. An overlay
 // epoch answers from its own spliced entries first and falls through to
 // the base chain; a self-contained index answers in one lookup.
-func (ix *Index) Postings(path string) []Posting {
+func (ix *Index) list(path string) *PostingList {
 	for x := ix; x != nil; x = x.base {
-		if ps, ok := x.paths[path]; ok {
-			return ps
+		if pl, ok := x.paths[path]; ok {
+			return pl
 		}
 	}
 	return nil
 }
 
-// ValuePostings returns the postings of nodes under path whose text equals
-// value, in document order. The returned slice must not be modified.
-func (ix *Index) ValuePostings(path, value string) []Posting {
-	k := valueKey{path, value}
+// valueList returns the postings list of one (path, text) value key.
+func (ix *Index) valueList(k valueKey) *PostingList {
 	for x := ix; x != nil; x = x.base {
-		if ps, ok := x.values[k]; ok {
-			return ps
+		if pl, ok := x.values[k]; ok {
+			return pl
 		}
 	}
 	return nil
+}
+
+// Postings returns the region postings of the given dotted path in
+// document order, decoded into a fresh slice. It is a diagnostic and test
+// accessor; the matcher reads the compressed lists directly through
+// cursors and never materializes whole lists it can gallop over.
+func (ix *Index) Postings(path string) []Posting {
+	return ix.list(path).appendAll(nil)
+}
+
+// ValuePostings returns the postings of nodes under path whose text equals
+// value, in document order, decoded into a fresh slice. Diagnostic and
+// test accessor, like Postings.
+func (ix *Index) ValuePostings(path, value string) []Posting {
+	return ix.valueList(valueKey{path, value}).appendAll(nil)
+}
+
+// NodesWithTextContaining returns the document nodes whose lowered text
+// contains the lowered term, in document order — the token-posting-layer
+// resolution of a keyword value term. It scans the distinct-text
+// vocabulary instead of the document's nodes, so the cost is
+// O(vocabulary) + O(result), sublinear in document size whenever texts
+// repeat. internal/core discovers it through its TextSearcher seam; the
+// result is equal to scanning doc.Nodes() with strings.Contains on
+// lowered texts.
+func (ix *Index) NodesWithTextContaining(lowered string) []*xmltree.Node {
+	var entries []*textEntry
+	total := 0
+	if ix.base == nil {
+		for lt, e := range ix.texts {
+			if strings.Contains(lt, lowered) {
+				entries = append(entries, e)
+				total += len(e.nodes)
+			}
+		}
+	} else {
+		seen := make(map[string]bool)
+		for x := ix; x != nil; x = x.base {
+			for lt, e := range x.texts {
+				if seen[lt] {
+					continue
+				}
+				seen[lt] = true
+				if e == nil || !strings.Contains(lt, lowered) {
+					continue
+				}
+				entries = append(entries, e)
+				total += len(e.nodes)
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*xmltree.Node, 0, total)
+	for _, e := range entries {
+		out = append(out, e.nodes...)
+	}
+	if len(entries) > 1 {
+		// Distinct texts hold disjoint node sets (a node has one text), so
+		// sorting by start is a pure merge with no ties.
+		slices.SortFunc(out, func(a, b *xmltree.Node) int { return a.Start - b.Start })
+	}
+	return out
 }
 
 // Paths returns the indexed dotted paths, sorted. Used by persistence and
 // diagnostics; the hot path never calls it.
 func (ix *Index) Paths() []string {
-	paths, _ := ix.materialize()
+	paths, _, _ := ix.materialize()
 	out := make([]string, 0, len(paths))
 	for p := range paths {
 		out = append(out, p)
@@ -187,7 +486,7 @@ func (ix *Index) Paths() []string {
 
 // ValueTexts returns the distinct indexed text values under path, sorted.
 func (ix *Index) ValueTexts(path string) []string {
-	_, values := ix.materialize()
+	_, values, _ := ix.materialize()
 	var out []string
 	for k := range values {
 		if k.path == path {
@@ -198,18 +497,61 @@ func (ix *Index) ValueTexts(path string) []string {
 	return out
 }
 
-// postingBytes estimates one Posting's resident size: 3×int32 (padded to
-// 16) + pointer.
+// PathStat is one path's row of the per-path postings report (the CLI's
+// index -stats mode).
+type PathStat struct {
+	Path          string
+	Postings      int
+	ResidentBytes int // actual bytes (compressed blocks or flat slices)
+	FlatBytes     int // the same list in the flat-[]Posting layout
+}
+
+// PathStats reports per-path postings counts and compressed-vs-flat
+// footprints, sorted by path. Diagnostic; materializes overlay chains.
+func (ix *Index) PathStats() []PathStat {
+	paths, _, _ := ix.materialize()
+	out := make([]PathStat, 0, len(paths))
+	for p, pl := range paths {
+		out = append(out, PathStat{
+			Path:          p,
+			Postings:      pl.Len(),
+			ResidentBytes: pl.residentBytes(),
+			FlatBytes:     pl.flatBytes(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// postingBytes is one Posting's flat resident size: 3×int32 (padded to
+// 16) + pointer — the uncompressed baseline of the compression ratio.
 const postingBytes = 24
 
+// valueKeyBytes approximates a texts-layer entry's per-key bookkeeping:
+// two string headers.
+const valueKeyBytes = 32
+
 func (ix *Index) computeStats() Stats {
-	st := Stats{DistinctPaths: len(ix.paths), ValueKeys: len(ix.values)}
-	for p, ps := range ix.paths {
-		st.Postings += len(ps)
-		st.ResidentBytes += len(p) + len(ps)*postingBytes
+	st := Stats{DistinctPaths: len(ix.paths), ValueKeys: len(ix.values), TextKeys: len(ix.texts)}
+	for p, pl := range ix.paths {
+		st.Postings += pl.Len()
+		st.PostingsBytes += pl.residentBytes()
+		st.PostingsFlatBytes += pl.flatBytes()
+		st.ResidentBytes += len(p)
+		st.FlatBytes += len(p)
 	}
-	for k, ps := range ix.values {
-		st.ResidentBytes += len(k.path) + len(k.text) + len(ps)*postingBytes
+	for k, pl := range ix.values {
+		st.PostingsBytes += pl.residentBytes()
+		st.PostingsFlatBytes += pl.flatBytes()
+		st.ResidentBytes += len(k.path) + len(k.text)
+		st.FlatBytes += len(k.path) + len(k.text)
 	}
+	for lt, e := range ix.texts {
+		b := len(lt) + len(e.keys)*valueKeyBytes + len(e.nodes)*8
+		st.ResidentBytes += b
+		st.FlatBytes += b
+	}
+	st.ResidentBytes += st.PostingsBytes
+	st.FlatBytes += st.PostingsFlatBytes
 	return st
 }

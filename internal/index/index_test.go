@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"xmatch/internal/index"
@@ -267,4 +268,134 @@ func sortedKeys(ms []twig.Match) []string {
 	out := keys(ms)
 	sort.Strings(out)
 	return out
+}
+
+// TestBuildFlatMatchesCompressed pins the two postings layouts against
+// each other: identical decoded postings, identical snapshots, identical
+// stats modulo representation (flat resident == flat baseline).
+func TestBuildFlatMatchesCompressed(t *testing.T) {
+	doc := buildDoc()
+	cx, fx := index.Build(doc), index.BuildFlat(doc)
+	if !reflect.DeepEqual(cx.Snapshot(), fx.Snapshot()) {
+		t.Fatal("compressed and flat snapshots disagree")
+	}
+	for _, p := range cx.Paths() {
+		if !reflect.DeepEqual(cx.Postings(p), fx.Postings(p)) {
+			t.Fatalf("postings of %q disagree across layouts", p)
+		}
+	}
+	cs, fs := cx.Stats(), fx.Stats()
+	if cs.PostingsFlatBytes != fs.PostingsFlatBytes {
+		t.Errorf("flat baselines disagree: %d vs %d", cs.PostingsFlatBytes, fs.PostingsFlatBytes)
+	}
+	if fs.PostingsBytes != fs.PostingsFlatBytes {
+		t.Errorf("flat layout resident %d != its own baseline %d", fs.PostingsBytes, fs.PostingsFlatBytes)
+	}
+	if cs.PostingsBytes >= fs.PostingsBytes {
+		t.Errorf("compressed resident %d not below flat %d", cs.PostingsBytes, fs.PostingsBytes)
+	}
+}
+
+// TestBuildLargeDocument drives the parallel build path (the document
+// exceeds the parallel threshold) and verifies every postings list
+// against a direct preorder grouping of the document's nodes — order,
+// regions, and coverage.
+func TestBuildLargeDocument(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	root := xmltree.NewRoot("R")
+	labels := []string{"A", "B", "C", "D"}
+	nodes := []*xmltree.Node{root}
+	for i := 0; i < 5000; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := p.AddChild(labels[rng.Intn(len(labels))])
+		if rng.Intn(3) == 0 {
+			c.AddText([]string{"x", "y", "Zed", "7"}[rng.Intn(4)])
+		}
+		nodes = append(nodes, c)
+	}
+	doc := xmltree.New(root)
+	ix := index.Build(doc)
+
+	want := map[string][]*xmltree.Node{}
+	for _, n := range doc.Nodes() {
+		want[n.Path] = append(want[n.Path], n)
+	}
+	if got := ix.Stats().Postings; got != doc.Len() {
+		t.Fatalf("postings = %d, want %d", got, doc.Len())
+	}
+	if got := ix.Stats().DistinctPaths; got != len(want) {
+		t.Fatalf("distinct paths = %d, want %d", got, len(want))
+	}
+	for p, ns := range want {
+		ps := ix.Postings(p)
+		if len(ps) != len(ns) {
+			t.Fatalf("path %q: %d postings, want %d", p, len(ps), len(ns))
+		}
+		for i := range ps {
+			if ps[i].Node != ns[i] || int(ps[i].Start) != ns[i].Start || int(ps[i].End) != ns[i].End {
+				t.Fatalf("path %q: posting %d disagrees with preorder node", p, i)
+			}
+		}
+	}
+	// The compressed layout must beat the flat baseline on a document
+	// with long same-path lists.
+	if r := ix.Stats().CompressionRatio(); r > 0.6 {
+		t.Errorf("compression ratio %.3f above the 0.6 budget", r)
+	}
+}
+
+// TestCompactSnapshotRoundTrip pins the v4 wire codec: Compact then
+// Expand reproduces the snapshot exactly, deterministically.
+func TestCompactSnapshotRoundTrip(t *testing.T) {
+	doc := buildDoc()
+	snap := index.Build(doc).Snapshot()
+	got, err := snap.Compact().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("compact round trip diverged:\ngot  %+v\nwant %+v", got, snap)
+	}
+}
+
+// TestNodesWithTextContaining pins the token posting layer against the
+// document scan it replaces — case folding, substrings spanning spaces
+// inside one text, absent terms — including after mutations re-splice the
+// layer (covered further by the core keyword differential).
+func TestNodesWithTextContaining(t *testing.T) {
+	root := xmltree.NewRoot("R")
+	root.AddChild("A").AddText("Red Car")
+	root.AddChild("B").AddText("red car")
+	root.AddChild("C").AddText("CARPET")
+	root.AddChild("D").AddText("boat")
+	root.AddChild("E") // no text
+	doc := xmltree.New(root)
+	ix := index.Build(doc)
+	for _, term := range []string{"car", "d c", "red car", "pet", "zzz", "a"} {
+		var want []string
+		for _, n := range doc.Nodes() {
+			if n.Text != "" && containsLower(n.Text, term) {
+				want = append(want, n.Path+"="+n.Text)
+			}
+		}
+		var got []string
+		for _, n := range ix.NodesWithTextContaining(term) {
+			got = append(got, n.Path+"="+n.Text)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("term %q: got %v, want %v", term, got, want)
+		}
+	}
+}
+
+func containsLower(text, term string) bool {
+	lower := make([]byte, len(text))
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		lower[i] = c
+	}
+	return strings.Contains(string(lower), term)
 }

@@ -1,6 +1,9 @@
 package index
 
 import (
+	"hash/maphash"
+	"sync"
+
 	"xmatch/internal/twig"
 	"xmatch/internal/xmltree"
 )
@@ -15,8 +18,8 @@ import (
 // every candidate list holds nodes of one dotted path, and two nodes with
 // the same path can never nest (a descendant's path strictly extends its
 // ancestor's), each list is a disjoint, start-sorted interval sequence —
-// so every structural check is a linear two-pointer merge over region
-// encodings, no stacks or binary searches needed:
+// so every structural check is a merge over region encodings, no stacks
+// needed:
 //
 //  1. postings lookup: per pattern node, the path's postings — or, for a
 //     value predicate, the (path, text) value-index postings, making the
@@ -26,6 +29,19 @@ import (
 //     its interval;
 //  3. top-down reachability: a candidate survives only if it lies strictly
 //     inside some surviving parent candidate.
+//
+// The merges adapt to list skew. Balanced lists run as linear two-pointer
+// merges over decoded postings; when one pattern node's list is orders of
+// magnitude longer than the other's, the pass iterates the short side and
+// gallops over the long side's block-level skip pointers, so the long
+// compressed list is neither fully decoded nor fully scanned. Lists a
+// pass must scan linearly are decoded at most once per pooled evaluation
+// state (the state's decode cache keys by list identity), so steady-state
+// evaluation over a hot index reads flat postings at flat-layout speed
+// while the resident index stays compressed. Survivor lists materialize
+// into pooled buffers only when a pass actually drops candidates; the
+// common no-waste case (every candidate completes a match) shares the
+// cached decode without copying.
 //
 // After the two passes, every remaining candidate participates in at least
 // one complete match (usefulness gives a complete match below it,
@@ -40,31 +56,78 @@ func (ix *Index) MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.Path
 		// Defensive: an index answers only for its own document.
 		return twig.MatchByPaths(doc, qn, paths)
 	}
-	// Fast path: a single-node pattern is a pure postings lookup.
-	if len(qn.Children) == 0 {
-		return emitSingles(qn, ix.candidates(qn, paths))
+	st := getTwigState()
+	defer putTwigState(st)
+	// Result memo: evaluation is a pure function of (index, pattern,
+	// binding), and PTQ workloads rewrite heavily overlapping mappings to
+	// a handful of distinct bindings — most evaluations over a hot index
+	// are exact repeats. The memo returns the previous result, shared;
+	// the Matcher contract already forbids callers from mutating matcher
+	// output (core's evalCache shares match slices across mappings the
+	// same way). The memo lives on the index itself, so every engine
+	// worker shares its warmth and it is collected with its epoch — a
+	// superseded snapshot is never pinned by cached results.
+	kb, hv := st.memoKey(qn, paths)
+	shard := &ix.memo.shards[hv%memoShards]
+	shard.mu.RLock()
+	byKey := shard.m[qn]
+	res, hit := byKey[string(kb)]
+	shard.mu.RUnlock()
+	if hit {
+		return res
 	}
+	res = ix.matchTwig(st, qn, paths)
+	shard.mu.Lock()
+	if shard.m == nil {
+		shard.m = make(map[*twig.Node]map[string][]twig.Match)
+	}
+	byKey = shard.m[qn]
+	if byKey == nil {
+		if len(shard.m) >= memoShardCap {
+			// A runaway population of distinct patterns: reset rather
+			// than grow without bound.
+			shard.m = make(map[*twig.Node]map[string][]twig.Match)
+		}
+		byKey = make(map[string][]twig.Match)
+		shard.m[qn] = byKey
+	} else if len(byKey) >= memoShardCap {
+		// Likewise for distinct bindings of one pattern.
+		byKey = make(map[string][]twig.Match)
+		shard.m[qn] = byKey
+	}
+	byKey[string(kb)] = res
+	shard.mu.Unlock()
+	return res
+}
 
-	st := &twigState{}
+// matchTwig is the uncached evaluation behind the result memo.
+func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding) []twig.Match {
+	// Fast path: a single-node pattern without an empty-string predicate
+	// is a pure postings lookup emitted straight off the node array — no
+	// pruning passes, no decode.
+	if len(qn.Children) == 0 && !(qn.HasValue && qn.Value == "") {
+		var pl *PostingList
+		if qn.HasValue {
+			pl = ix.valueList(valueKey{paths[qn], qn.Value})
+		} else {
+			pl = ix.list(paths[qn])
+		}
+		return emitList(qn, pl)
+	}
 	st.collect(qn)
-	st.cand = make([][]Posting, len(st.nodes))
 	for i, n := range st.nodes {
-		ps := ix.candidates(n, paths)
-		if len(ps) == 0 {
+		if !ix.loadCandidates(st, i, n, paths) {
 			return nil
 		}
-		// Shared, read-only: the pruning passes copy on first drop, so the
-		// common no-waste case (every candidate completes a match) touches
-		// the index's postings without allocating.
-		st.cand[i] = ps
+	}
+	if len(st.nodes) == 1 {
+		return st.emitSingles(qn, 0)
 	}
 
 	// Bottom-up usefulness: reverse preorder visits children first.
 	for i := len(st.nodes) - 1; i >= 0; i-- {
-		n := st.nodes[i]
-		for _, c := range n.Children {
-			st.cand[i] = keepWithDescendant(st.cand[i], st.cand[st.ord(c)])
-			if len(st.cand[i]) == 0 {
+		for _, c := range st.nodes[i].Children {
+			if !st.filterParentsByChild(i, st.ord(c)) {
 				return nil
 			}
 		}
@@ -72,41 +135,201 @@ func (ix *Index) MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.Path
 	// Top-down reachability: preorder visits parents first.
 	for i, n := range st.nodes {
 		for _, c := range n.Children {
-			ci := st.ord(c)
-			st.cand[ci] = keepInsideParent(st.cand[ci], st.cand[i])
+			st.filterChildrenByParents(st.ord(c), i)
 		}
 	}
 	return st.enumerate(qn)
 }
 
-// candidates returns the postings list for one pattern node: the value
+// memoSeed keys the memo's shard hash; per-process, shared by all states.
+var memoSeed = maphash.MakeSeed()
+
+// memoKey derives the binding's memo key — the bound paths in pattern
+// preorder, NUL-separated — and a shard hash. Dotted paths never contain
+// NUL, so the key is unambiguous.
+func (st *twigState) memoKey(qn *twig.Node, paths twig.PathBinding) ([]byte, uint64) {
+	kb := st.keyBuf[:0]
+	var walk func(n *twig.Node)
+	walk = func(n *twig.Node) {
+		kb = append(kb, paths[n]...)
+		kb = append(kb, 0)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(qn)
+	st.keyBuf = kb
+	return kb, maphash.Bytes(memoSeed, kb)
+}
+
+// loadCandidates resolves pattern node i's candidate list: the value
 // index for value predicates, the path postings otherwise. The value index
 // holds only non-empty texts (Build skips text-less nodes), so an
 // empty-string predicate — which the joined evaluator satisfies with
-// text-less nodes — filters the path postings directly.
-func (ix *Index) candidates(n *twig.Node, paths twig.PathBinding) []Posting {
-	if n.HasValue {
-		if n.Value == "" {
-			return filterCOW(ix.Postings(paths[n]), func(p Posting) bool { return p.Node.Text == "" })
+// text-less nodes — filters the path postings into a pooled buffer.
+// It reports false when the list is empty (the pattern cannot match).
+func (ix *Index) loadCandidates(st *twigState, i int, n *twig.Node, paths twig.PathBinding) bool {
+	if n.HasValue && n.Value == "" {
+		pl := ix.list(paths[n])
+		if pl.Len() == 0 {
+			return false
 		}
-		return ix.ValuePostings(paths[n], n.Value)
+		buf := st.bufs[i][:0]
+		for _, p := range st.materialize(pl) {
+			if p.Node.Text == "" {
+				buf = append(buf, p)
+			}
+		}
+		st.lists[i], st.bufs[i] = pl, buf
+		st.cand[i], st.owned[i] = buf, true
+		return len(buf) > 0
 	}
-	return ix.Postings(paths[n])
+	var pl *PostingList
+	if n.HasValue {
+		pl = ix.valueList(valueKey{paths[n], n.Value})
+	} else {
+		pl = ix.list(paths[n])
+	}
+	st.lists[i], st.cand[i], st.owned[i] = pl, nil, false
+	return pl.Len() > 0
+}
+
+// gallopSkew is the length ratio from which a pass stops scanning the
+// longer list linearly and instead iterates the shorter one, galloping
+// over the longer list's skip pointers.
+const gallopSkew = 16
+
+// deckSize is the per-state decode-cache table size. Lists hash into it
+// by their build-time id; a collision just evicts. It comfortably exceeds
+// the 64-node pattern cap, so a single evaluation can rarely cycle a hot
+// entry, and the pointer check keeps any collision correct.
+const deckSize = 256
+
+// decoded is one decode-cache entry: the identity of a compressed list
+// and its decoded postings.
+type decoded struct {
+	pl *PostingList
+	ps []Posting
+}
+
+// memoShards spreads the per-index result memo across locks so parallel
+// engine workers rarely contend; memoShardCap bounds each shard's pattern
+// and per-pattern binding population (reset on overflow — the memo is a
+// cache, not a ledger).
+const (
+	memoShards   = 8
+	memoShardCap = 256
+)
+
+// resultMemo is one index's evaluation cache: pattern -> binding key ->
+// result, sharded under read-write locks. It lives on the Index, so its
+// entries — and the epoch's document they reference — are collected
+// exactly when the epoch itself is, and every goroutine querying the
+// epoch shares one warm cache.
+type resultMemo struct {
+	shards [memoShards]struct {
+		mu sync.RWMutex
+		m  map[*twig.Node]map[string][]twig.Match
+	}
 }
 
 // twigState is the per-evaluation working set: the pattern subtree in
-// preorder and one candidate list per pattern node. Patterns are tiny
-// (Parse caps them at 64 nodes, the paper's workload peaks at 7), so
-// ordinals are found by pointer scan rather than a map.
+// preorder, one candidate list per pattern node, the decode cache, and
+// the pooled survivor buffers. States are recycled through a sync.Pool,
+// so steady-state evaluation allocates only the emitted matches, and the
+// decode cache survives across evaluations — the second query over the
+// same postings lists pays no decode at all. Patterns are tiny (Parse
+// caps them at 64 nodes, the paper's workload peaks at 7), so ordinals
+// are found by pointer scan rather than a map.
 type twigState struct {
 	nodes []*twig.Node
-	cand  [][]Posting
+	lists []*PostingList // initial candidate lists (shared with the index)
+	cand  [][]Posting    // current survivors; nil means all of lists[i]
+	owned []bool         // cand[i] is backed by bufs[i] (mutable in place)
+	bufs  [][]Posting    // pooled survivor buffers
+
+	deck [deckSize]decoded // decoded-list cache, slotted by list id
+
+	keyBuf []byte // reusable memo-key scratch
+
+	prc, enc cursor // probe / enumerate cursors for galloped access
+
+	// enumerate scratch, per pattern node ordinal.
+	subs  [][][]twig.Match
+	curss [][]int
+	runss [][][]twig.Match
+}
+
+var twigStatePool = sync.Pool{New: func() any { return &twigState{} }}
+
+func getTwigState() *twigState { return twigStatePool.Get().(*twigState) }
+
+func putTwigState(st *twigState) {
+	// No clearing: every per-node entry is overwritten before its next
+	// read (collect resets the node list, loadCandidates the candidate
+	// sets, enumerate its scratch). Stale references pin at most one
+	// evaluation's intermediates until the pool entry is reused or
+	// GC-dropped — the same lifetime the decode cache already has.
+	st.nodes = st.nodes[:0]
+	twigStatePool.Put(st)
+}
+
+// materialize returns the fully decoded form of pl through the state's
+// decode cache: each distinct list decodes at most once per state
+// lifetime. Flat lists are returned as-is. The returned slice is shared
+// and must not be written.
+func (st *twigState) materialize(pl *PostingList) []Posting {
+	if pl == nil {
+		return nil
+	}
+	if pl.flat != nil {
+		return pl.flat
+	}
+	slot := &st.deck[pl.id&(deckSize-1)]
+	if slot.pl == pl {
+		return slot.ps
+	}
+	if slot.pl != nil {
+		// The evictee's buffer may still back a candidate slice shared
+		// earlier in this evaluation, so abandon it rather than reuse it.
+		slot.ps = nil
+	}
+	slot.pl = pl
+	slot.ps = pl.appendAll(slot.ps[:0])
+	return slot.ps
+}
+
+// cachedSlice returns pl's decoded form only if it is already flat or
+// cached — the galloped paths use it to prefer slice access without
+// forcing a decode.
+func (st *twigState) cachedSlice(pl *PostingList) []Posting {
+	if pl.flat != nil {
+		return pl.flat
+	}
+	if slot := &st.deck[pl.id&(deckSize-1)]; slot.pl == pl {
+		return slot.ps
+	}
+	return nil
 }
 
 func (st *twigState) collect(n *twig.Node) {
+	st.nodes = st.nodes[:0]
+	st.push(n)
+	for len(st.lists) < len(st.nodes) {
+		st.lists = append(st.lists, nil)
+		st.cand = append(st.cand, nil)
+		st.owned = append(st.owned, false)
+		st.bufs = append(st.bufs, nil)
+		st.subs = append(st.subs, nil)
+		st.curss = append(st.curss, nil)
+		st.runss = append(st.runss, nil)
+	}
+}
+
+func (st *twigState) push(n *twig.Node) {
 	st.nodes = append(st.nodes, n)
 	for _, c := range n.Children {
-		st.collect(c)
+		st.push(c)
 	}
 }
 
@@ -119,63 +342,340 @@ func (st *twigState) ord(n *twig.Node) int {
 	return -1
 }
 
-// filterCOW retains the elements satisfying keep, which is called exactly
-// once per element in list order. It returns list itself when nothing is
-// dropped — the common case on productive workloads — and a fresh slice
-// otherwise, so shared index postings are never mutated.
-func filterCOW(list []Posting, keep func(Posting) bool) []Posting {
-	for i := range list {
-		if keep(list[i]) {
+func (st *twigState) clen(i int) int {
+	if st.cand[i] != nil {
+		return len(st.cand[i])
+	}
+	return st.lists[i].Len()
+}
+
+// slice returns the current candidate set of node i as a slice,
+// materializing the full list through the decode cache when the set is
+// still unfiltered — the scan passes' accessor.
+func (st *twigState) slice(i int) []Posting {
+	if st.cand[i] != nil {
+		return st.cand[i]
+	}
+	return st.materialize(st.lists[i])
+}
+
+// probe is read-only random access into one candidate set: a slice when
+// one is available without decoding, a galloping block cursor otherwise.
+type probe struct {
+	ps  []Posting
+	cur *cursor
+	n   int
+}
+
+func (st *twigState) probeOf(i int, cur *cursor) probe {
+	if st.cand[i] != nil {
+		return probe{ps: st.cand[i], n: len(st.cand[i])}
+	}
+	if ps := st.cachedSlice(st.lists[i]); ps != nil {
+		return probe{ps: ps, n: len(ps)}
+	}
+	cur.reset(st.lists[i])
+	return probe{cur: cur, n: st.lists[i].Len()}
+}
+
+func (p *probe) at(k int) Posting {
+	if p.ps != nil {
+		return p.ps[k]
+	}
+	return p.cur.at(k)
+}
+
+func (p *probe) startAt(k int) int32 {
+	if p.ps != nil {
+		return p.ps[k].Start
+	}
+	return p.cur.startAt(k)
+}
+
+func (p *probe) endAt(k int) int32 {
+	if p.ps != nil {
+		return p.ps[k].End
+	}
+	return p.cur.endAt(k)
+}
+
+func (p *probe) nodeAt(k int) *xmltree.Node {
+	if p.ps != nil {
+		return p.ps[k].Node
+	}
+	return p.cur.nodeAt(k)
+}
+
+// seekStartGT returns the smallest index ≥ from with Start > v.
+func (p *probe) seekStartGT(v int32, from int) int {
+	if p.ps == nil {
+		return p.cur.seekStartGT(v, from)
+	}
+	return from + gallopSlice(p.ps[from:], func(q *Posting) bool { return q.Start > v })
+}
+
+// gallopSlice is gallop over a materialized slice.
+func gallopSlice(ps []Posting, ok func(*Posting) bool) int {
+	n := len(ps)
+	if n == 0 || ok(&ps[0]) {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < n && !ok(&ps[hi]) {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ok(&ps[mid]) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// filterParentsByChild retains the parents of set pi with at least one
+// child posting of set ci strictly inside their interval — the bottom-up
+// usefulness step. It reports whether any parent survived.
+func (st *twigState) filterParentsByChild(pi, ci int) bool {
+	plen, cl := st.clen(pi), st.clen(ci)
+	if cl*gallopSkew < plen {
+		st.filterParentsGallop(pi, ci)
+	} else {
+		st.filterParentsScan(pi, ci)
+	}
+	return st.clen(pi) > 0
+}
+
+// filterParentsScan runs the balanced two-pointer merge: iterate the
+// parents, advance a child pointer. Survivors are written copy-on-write —
+// in place when the parent set is already an owned buffer, into the
+// pooled buffer from the first dropped parent otherwise.
+func (st *twigState) filterParentsScan(pi, ci int) {
+	cs := st.slice(ci)
+	j := 0
+	if st.owned[pi] {
+		ps := st.cand[pi]
+		m := 0
+		for k := range ps {
+			for j < len(cs) && cs[j].Start <= ps[k].Start {
+				j++
+			}
+			if j < len(cs) && cs[j].Start < ps[k].End {
+				ps[m] = ps[k]
+				m++
+			}
+		}
+		st.cand[pi] = ps[:m]
+		return
+	}
+	ps := st.slice(pi)
+	for k := range ps {
+		for j < len(cs) && cs[j].Start <= ps[k].Start {
+			j++
+		}
+		if j < len(cs) && cs[j].Start < ps[k].End {
 			continue
 		}
-		out := append(make([]Posting, 0, len(list)-1), list[:i]...)
-		for _, p := range list[i+1:] {
-			if keep(p) {
-				out = append(out, p)
+		// First drop: materialize the kept prefix, then keep filtering.
+		out := append(st.bufs[pi][:0], ps[:k]...)
+		for k++; k < len(ps); k++ {
+			for j < len(cs) && cs[j].Start <= ps[k].Start {
+				j++
 			}
+			if j < len(cs) && cs[j].Start < ps[k].End {
+				out = append(out, ps[k])
+			}
+		}
+		st.bufs[pi] = out
+		st.cand[pi], st.owned[pi] = out, true
+		return
+	}
+	// Nothing dropped: share the scanned slice.
+	st.cand[pi] = ps
+}
+
+// filterParentsGallop iterates the (much shorter) child set and gallops
+// over the parents' skip pointers: each child start is contained by at
+// most one parent (parents are disjoint), found by galloping to the last
+// parent starting before it. The parents' list is decoded only where
+// probes land.
+func (st *twigState) filterParentsGallop(pi, ci int) {
+	par := st.probeOf(pi, &st.prc)
+	child := st.probeOf(ci, &st.enc)
+	out := st.bufs[pi][:0]
+	f, last := 0, -1
+	for k := 0; k < child.n; k++ {
+		qs := child.startAt(k)
+		f = par.seekStartGT(qs-1, f)
+		cand := f - 1
+		if cand <= last {
+			continue
+		}
+		last = cand
+		if qs < par.endAt(cand) {
+			out = append(out, par.at(cand))
+		}
+	}
+	st.bufs[pi] = out
+	st.cand[pi], st.owned[pi] = out, true
+}
+
+// filterChildrenByParents retains the children of set ci strictly inside
+// some parent posting of set pi — the top-down reachability step.
+func (st *twigState) filterChildrenByParents(ci, pi int) {
+	plen, cl := st.clen(pi), st.clen(ci)
+	if plen*gallopSkew < cl {
+		st.filterChildrenGallop(ci, pi)
+	} else {
+		st.filterChildrenScan(ci, pi)
+	}
+}
+
+// filterChildrenScan runs the balanced merge: iterate the children,
+// advance a parent pointer. A child whose start falls inside a parent's
+// interval is a descendant of it, so the start alone decides.
+func (st *twigState) filterChildrenScan(ci, pi int) {
+	ps := st.slice(pi)
+	j := 0
+	if st.owned[ci] {
+		cs := st.cand[ci]
+		m := 0
+		for k := range cs {
+			for j < len(ps) && ps[j].End < cs[k].Start {
+				j++
+			}
+			if j < len(ps) && ps[j].Start < cs[k].Start {
+				cs[m] = cs[k]
+				m++
+			}
+		}
+		st.cand[ci] = cs[:m]
+		return
+	}
+	cs := st.slice(ci)
+	for k := range cs {
+		for j < len(ps) && ps[j].End < cs[k].Start {
+			j++
+		}
+		if j < len(ps) && ps[j].Start < cs[k].Start {
+			continue
+		}
+		out := append(st.bufs[ci][:0], cs[:k]...)
+		for k++; k < len(cs); k++ {
+			for j < len(ps) && ps[j].End < cs[k].Start {
+				j++
+			}
+			if j < len(ps) && ps[j].Start < cs[k].Start {
+				out = append(out, cs[k])
+			}
+		}
+		st.bufs[ci] = out
+		st.cand[ci], st.owned[ci] = out, true
+		return
+	}
+	st.cand[ci] = cs
+}
+
+// filterChildrenGallop iterates the (much shorter) parent set and emits
+// each parent's contained children by a galloped range scan, decoding
+// only the child blocks the ranges touch. Parent intervals are disjoint
+// and sorted, so the emitted runs preserve child order with no overlap.
+func (st *twigState) filterChildrenGallop(ci, pi int) {
+	par := st.probeOf(pi, &st.enc)
+	child := st.probeOf(ci, &st.prc)
+	if par.n == 1 {
+		// Single parent — the root-anchored common case. If it contains
+		// the whole child set (first and last child decide: the set is
+		// start-sorted), every child survives and the set is shared
+		// without a copy; otherwise the survivors are one contiguous
+		// galloped range.
+		s, e := par.startAt(0), par.endAt(0)
+		if child.startAt(0) > s && child.startAt(child.n-1) < e {
+			return
+		}
+		lo := child.seekStartGT(s, 0)
+		hi := child.seekStartGT(e-1, lo)
+		if ps := child.ps; ps != nil {
+			st.cand[ci], st.owned[ci] = ps[lo:hi], false
+			return
+		}
+		out := st.lists[ci].appendRange(st.bufs[ci][:0], lo, hi)
+		st.bufs[ci] = out
+		st.cand[ci], st.owned[ci] = out, true
+		return
+	}
+	out := st.bufs[ci][:0]
+	j := 0
+	for k := 0; k < par.n; k++ {
+		pStart, pEnd := par.startAt(k), par.endAt(k)
+		j = child.seekStartGT(pStart, j)
+		for j < child.n {
+			if child.startAt(j) >= pEnd {
+				break
+			}
+			out = append(out, child.at(j))
+			j++
+		}
+	}
+	st.bufs[ci] = out
+	st.cand[ci], st.owned[ci] = out, true
+}
+
+// emitList materializes single-binding matches for a whole postings list
+// straight off its node array — the state-free single-node fast path.
+func emitList(qn *twig.Node, pl *PostingList) []twig.Match {
+	n := pl.Len()
+	if n == 0 {
+		return nil
+	}
+	slab := make([]twig.Binding, n)
+	out := make([]twig.Match, n)
+	if pl.flat != nil {
+		for k, p := range pl.flat {
+			slab[k] = twig.Binding{Q: qn, D: p.Node}
+			out[k] = slab[k : k+1 : k+1]
 		}
 		return out
 	}
-	return list
-}
-
-// keepWithDescendant retains the parents with at least one child posting
-// strictly inside their interval. Both lists are start-sorted sequences of
-// pairwise-disjoint intervals, so one forward merge suffices: the first
-// child past a parent's start decides.
-func keepWithDescendant(parents, children []Posting) []Posting {
-	j := 0
-	return filterCOW(parents, func(p Posting) bool {
-		for j < len(children) && children[j].Start <= p.Start {
-			j++
-		}
-		return j < len(children) && children[j].Start < p.End
-	})
-}
-
-// keepInsideParent retains the children strictly inside some parent
-// posting. A child whose start falls inside a parent's interval is a
-// descendant of it, so the start alone decides.
-func keepInsideParent(children, parents []Posting) []Posting {
-	j := 0
-	return filterCOW(children, func(c Posting) bool {
-		for j < len(parents) && parents[j].End < c.Start {
-			j++
-		}
-		return j < len(parents) && parents[j].Start < c.Start
-	})
-}
-
-// emitSingles materializes single-binding matches in postings order.
-func emitSingles(qn *twig.Node, ps []Posting) []twig.Match {
-	if len(ps) == 0 {
-		return nil
-	}
-	out := make([]twig.Match, len(ps))
-	for i, p := range ps {
-		out[i] = twig.Match{{Q: qn, D: p.Node}}
+	for k, nd := range pl.nodes {
+		slab[k] = twig.Binding{Q: qn, D: nd}
+		out[k] = slab[k : k+1 : k+1]
 	}
 	return out
+}
+
+// emitSingles materializes single-binding matches of pattern node ord in
+// postings order. The bindings live in one slab, so the whole result is
+// two allocations regardless of size.
+func (st *twigState) emitSingles(qn *twig.Node, ord int) []twig.Match {
+	n := st.clen(ord)
+	if n == 0 {
+		return nil
+	}
+	slab := make([]twig.Binding, n)
+	out := make([]twig.Match, n)
+	cands := st.probeOf(ord, &st.enc)
+	for k := 0; k < n; k++ {
+		slab[k] = twig.Binding{Q: qn, D: cands.nodeAt(k)}
+		out[k] = slab[k : k+1 : k+1]
+	}
+	return out
+}
+
+// enumScratch returns pooled per-node scratch slices for enumerate.
+func (st *twigState) enumScratch(ord, k int) ([][]twig.Match, []int, [][]twig.Match) {
+	if cap(st.subs[ord]) < k {
+		st.subs[ord] = make([][]twig.Match, k)
+		st.curss[ord] = make([]int, k)
+		st.runss[ord] = make([][]twig.Match, k)
+	}
+	return st.subs[ord][:k], st.curss[ord][:k], st.runss[ord][:k]
 }
 
 // enumerate materializes matches bottom-up from the pruned candidate
@@ -186,18 +686,19 @@ func emitSingles(qn *twig.Node, ps []Posting) []twig.Match {
 // monotonically with the parent candidates — per-child cursors replace the
 // joined evaluator's binary searches.
 func (st *twigState) enumerate(n *twig.Node) []twig.Match {
-	cands := st.cand[st.ord(n)]
+	ord := st.ord(n)
 	if len(n.Children) == 0 {
-		return emitSingles(n, cands)
+		return st.emitSingles(n, ord)
 	}
-	sub := make([][]twig.Match, len(n.Children))
+	sub, cursors, runs := st.enumScratch(ord, len(n.Children))
 	for i, c := range n.Children {
 		sub[i] = st.enumerate(c)
+		cursors[i] = 0
 	}
-	cursors := make([]int, len(n.Children))
-	runs := make([][]twig.Match, len(n.Children))
 	var out []twig.Match
-	for _, d := range cands {
+	cands := st.probeOf(ord, &st.enc)
+	for ci := 0; ci < cands.n; ci++ {
+		d := cands.at(ci)
 		ok := true
 		for i := range n.Children {
 			lo := cursors[i]

@@ -505,6 +505,13 @@ type DatasetStats struct {
 	IndexBytes    int     `json:"indexBytes"`
 	IndexPostings int     `json:"indexPostings"`
 	IndexPaths    int     `json:"indexPaths"`
+	// The compressed-postings accounting (store format v4 layout):
+	// resident compressed postings bytes, the same postings in the flat
+	// int32 layout, their ratio, and the keyword-term vocabulary size.
+	IndexPostingsBytes     int     `json:"indexPostingsBytes"`
+	IndexPostingsFlatBytes int     `json:"indexPostingsFlatBytes"`
+	IndexCompression       float64 `json:"indexCompression"`
+	IndexTextKeys          int     `json:"indexTextKeys"`
 
 	Epoch         uint64 `json:"epoch"`
 	EditBatches   uint64 `json:"editBatches"`
@@ -559,10 +566,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			CacheMisses:    cs.Misses,
 			CacheEvictions: cs.Evictions,
 			CacheEntries:   cs.Entries,
-			IndexBuildMs:   float64(xs.BuildTime.Microseconds()) / 1e3,
-			IndexBytes:     xs.ResidentBytes,
-			IndexPostings:  xs.Postings,
-			IndexPaths:     xs.DistinctPaths,
+			IndexBuildMs:           float64(xs.BuildTime.Microseconds()) / 1e3,
+			IndexBytes:             xs.ResidentBytes,
+			IndexPostings:          xs.Postings,
+			IndexPaths:             xs.DistinctPaths,
+			IndexPostingsBytes:     xs.PostingsBytes,
+			IndexPostingsFlatBytes: xs.PostingsFlatBytes,
+			IndexCompression:       xs.CompressionRatio(),
+			IndexTextKeys:          xs.TextKeys,
 			Epoch:          snap.Epoch,
 			EditBatches:    ls.Batches,
 			EditsApplied:   ls.Edits,

@@ -8,38 +8,71 @@ import (
 	"xmatch/internal/xmltree"
 )
 
-// Index blobs (format version 2) persist the positional document index of
-// internal/index: the per-path region postings and value keys, without
-// node pointers. Loading re-binds the snapshot to a live document and
-// verifies every posting against it, so a corrupted blob — or a stale one
-// whose document has since changed — surfaces as a *FormatError instead of
-// silently mis-answering queries. Catalog manifests reference index blobs
-// through CatalogEntry.IndexPath.
+// Index blobs persist the positional document index of internal/index:
+// the per-path region postings and value keys, without node pointers.
+// Format version 4 writes the delta-compressed payload
+// (index.CompactSnapshot): per-path uvarint (startDelta, extent) blocks
+// with persisted block-level skip pointers, one level per path, and
+// start-delta streams for value keys — typically a fraction of the flat
+// v2/v3 arrays, and the same layout the resident index keeps. Versions 2
+// and 3 (flat gob arrays) still load.
+//
+// Loading re-binds the snapshot to a live document and verifies every
+// posting against it, so a corrupted blob — or a stale one whose document
+// has since changed — surfaces as a *FormatError instead of silently
+// mis-answering queries; for v4 the compressed structure itself (skip
+// pointers, varint framing, counts) is validated before the document
+// check. Catalog manifests reference index blobs through
+// CatalogEntry.IndexPath.
 
-// SaveIndex writes a positional index blob. Two saves of the same index
-// produce identical bytes (snapshot entries are sorted), so blobs can be
+// SaveIndex writes a positional index blob in the current format. Two
+// saves of the same index produce identical bytes (snapshot entries are
+// sorted and the compression is deterministic), so blobs can be
 // content-addressed or diffed.
 func SaveIndex(w io.Writer, ix *index.Index) error {
 	if err := writeHeader(w, "index"); err != nil {
 		return err
 	}
+	return gob.NewEncoder(w).Encode(ix.Snapshot().Compact())
+}
+
+// saveIndexLegacy writes the pre-v4 flat payload under an explicit
+// envelope version — the writer old builds shipped; kept so migration
+// tests exercise genuine old-format blobs.
+func saveIndexLegacy(w io.Writer, ix *index.Index, v int) error {
+	if err := writeHeaderVersion(w, "index", v); err != nil {
+		return err
+	}
 	return gob.NewEncoder(w).Encode(ix.Snapshot())
 }
 
-// LoadIndex reads an index blob written by SaveIndex and re-binds it to
-// doc. Envelope violations, undecodable payloads, and snapshots that
-// disagree with the document are *FormatError; genuine read failures stay
-// unclassified.
+// LoadIndex reads an index blob written by SaveIndex (any supported
+// version) and re-binds it to doc. Envelope violations, undecodable
+// payloads, invalid compressed structure (truncated blocks, bad varints,
+// skip pointers out of range), and snapshots that disagree with the
+// document are *FormatError; genuine read failures stay unclassified.
 func LoadIndex(r io.Reader, doc *xmltree.Document) (*index.Index, error) {
 	dec, err := readHeader(r, "index")
 	if err != nil {
 		return nil, err
 	}
-	var snap index.Snapshot
-	if err := dec.Decode(&snap); err != nil {
-		return nil, dec.classify(err, "decoding index")
+	var snap *index.Snapshot
+	if dec.version >= 4 {
+		var cs index.CompactSnapshot
+		if err := dec.Decode(&cs); err != nil {
+			return nil, dec.classify(err, "decoding index")
+		}
+		snap, err = cs.Expand()
+		if err != nil {
+			return nil, &FormatError{Msg: "index blob: " + err.Error(), Err: err}
+		}
+	} else {
+		snap = new(index.Snapshot)
+		if err := dec.Decode(snap); err != nil {
+			return nil, dec.classify(err, "decoding index")
+		}
 	}
-	ix, err := index.FromSnapshot(doc, &snap)
+	ix, err := index.FromSnapshot(doc, snap)
 	if err != nil {
 		return nil, &FormatError{Msg: "index blob disagrees with document: " + err.Error(), Err: err}
 	}

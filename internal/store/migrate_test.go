@@ -10,6 +10,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -49,7 +51,7 @@ func reversion(t *testing.T, blob []byte, kind string, v int) []byte {
 	return out.Bytes()
 }
 
-func TestBlobMigrationAcrossVersions(t *testing.T) {
+func TestStoreMigrateAcrossVersions(t *testing.T) {
 	d := dataset.MustLoad("D5")
 	set, err := mapgen.TopH(d.Matching, 10, mapgen.Partition)
 	if err != nil {
@@ -97,7 +99,18 @@ func TestBlobMigrationAcrossVersions(t *testing.T) {
 			t.Fatalf("%s: save: %v", kind, err)
 		}
 		for v := minVersion; v <= version; v++ {
-			if err := k.load(reversion(t, buf.Bytes(), kind, v)); err != nil {
+			blob := reversion(t, buf.Bytes(), kind, v)
+			if kind == "index" && v < 4 {
+				// Index payloads changed layout in v4; an old-version
+				// index blob carries the legacy flat payload, written by
+				// the legacy writer rather than by envelope rewriting.
+				var legacy bytes.Buffer
+				if err := saveIndexLegacy(&legacy, ix, v); err != nil {
+					t.Fatalf("index: legacy v%d save: %v", v, err)
+				}
+				blob = legacy.Bytes()
+			}
+			if err := k.load(blob); err != nil {
 				t.Errorf("%s: v%d envelope rejected: %v", kind, v, err)
 			}
 		}
@@ -110,9 +123,48 @@ func TestBlobMigrationAcrossVersions(t *testing.T) {
 	}
 }
 
-// TestCatalogV1ToV2Fields: the two fields that arrived after v1 decode as
-// empty from a v1 manifest and round-trip under v3.
-func TestCatalogV1ToV2Fields(t *testing.T) {
+// TestStoreMigrateIndexV2V3 proves old flat-payload index blobs (the
+// v2/v3 on-disk format) load under the v4 reader and reconstruct exactly
+// the index a current save/load round trip produces.
+func TestStoreMigrateIndexV2V3(t *testing.T) {
+	d := dataset.MustLoad("D7")
+	doc := d.OrderDocument(600, 42)
+	ix := index.Build(doc)
+
+	var current bytes.Buffer
+	if err := SaveIndex(&current, ix); err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoadIndex(bytes.NewReader(current.Bytes()), doc)
+	if err != nil {
+		t.Fatalf("current blob: %v", err)
+	}
+	for _, v := range []int{2, 3} {
+		var legacy bytes.Buffer
+		if err := saveIndexLegacy(&legacy, ix, v); err != nil {
+			t.Fatalf("v%d: save: %v", v, err)
+		}
+		if legacy.Len() <= current.Len() {
+			t.Errorf("v%d legacy blob (%dB) not larger than compressed v4 blob (%dB)", v, legacy.Len(), current.Len())
+		}
+		got, err := LoadIndex(bytes.NewReader(legacy.Bytes()), doc)
+		if err != nil {
+			t.Fatalf("v%d: load: %v", v, err)
+		}
+		if !reflect.DeepEqual(got.Snapshot(), want.Snapshot()) {
+			t.Errorf("v%d: migrated index disagrees with v4 round trip", v)
+		}
+		for _, p := range got.Paths() {
+			if !reflect.DeepEqual(got.Postings(p), want.Postings(p)) {
+				t.Errorf("v%d: postings of %q diverged after migration", v, p)
+			}
+		}
+	}
+}
+
+// TestStoreMigrateCatalogFields: the fields that arrived after v1 decode
+// as empty from a v1 manifest and round-trip under the current version.
+func TestStoreMigrateCatalogFields(t *testing.T) {
 	man := &Catalog{Entries: []CatalogEntry{
 		{Name: "frozen", SetPath: "blobs/frozen.set", IndexPath: "blobs/frozen.idx", EditLogPath: "blobs/frozen.editlog"},
 	}}
@@ -132,19 +184,125 @@ func TestCatalogV1ToV2Fields(t *testing.T) {
 	}
 }
 
-// indexBlobWithSnapshot encodes an arbitrary snapshot payload under a
-// valid current envelope, so each verification branch of LoadIndex can be
-// driven directly.
+// indexBlobWithSnapshot encodes an arbitrary flat snapshot payload under
+// a v3 envelope (the last flat-payload version), so each document
+// verification branch of LoadIndex can be driven directly.
 func indexBlobWithSnapshot(t *testing.T, snap *index.Snapshot) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := writeHeader(&buf, "index"); err != nil {
+	if err := writeHeaderVersion(&buf, "index", 3); err != nil {
 		t.Fatal(err)
 	}
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// indexBlobWithCompact encodes an arbitrary compact payload under the
+// current (v4) envelope, for driving the compressed-structure validation
+// branches.
+func indexBlobWithCompact(t *testing.T, cs *index.CompactSnapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, "index"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&buf).Encode(cs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadIndexV4CorruptionBranches drives the v4 payload validation: a
+// truncated delta block, a malformed varint, and a skip pointer outside
+// the data must each surface as *FormatError — never a panic, never a
+// silent misload.
+func TestLoadIndexV4CorruptionBranches(t *testing.T) {
+	// A document with one long same-path list, so the compact payload has
+	// real multi-block structure (skip pointers) to corrupt.
+	root := xmltree.NewRoot("PO")
+	for i := 0; i < 200; i++ {
+		root.AddChild("Line").AddText(fmt.Sprintf("v%d", i%9))
+	}
+	doc := xmltree.New(root)
+	good := index.Build(doc).Snapshot().Compact()
+
+	perturb := func(f func(*index.CompactSnapshot)) []byte {
+		c := *good
+		c.Paths = append([]index.CompactPath(nil), good.Paths...)
+		for i := range c.Paths {
+			c.Paths[i].BlockOffs = append([]uint32(nil), good.Paths[i].BlockOffs...)
+			c.Paths[i].Data = append([]byte(nil), good.Paths[i].Data...)
+		}
+		c.Values = append([]index.CompactValue(nil), good.Values...)
+		for i := range c.Values {
+			c.Values[i].Deltas = append([]byte(nil), good.Values[i].Deltas...)
+		}
+		f(&c)
+		return indexBlobWithCompact(t, &c)
+	}
+	// The multi-block path (the 200 Line postings).
+	pi := -1
+	for i, p := range good.Paths {
+		if len(p.BlockOffs) > 0 {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		t.Fatal("fixture has no multi-block path")
+	}
+
+	cases := map[string][]byte{
+		"truncated block": perturb(func(c *index.CompactSnapshot) {
+			c.Paths[pi].Data = c.Paths[pi].Data[:len(c.Paths[pi].Data)-1]
+		}),
+		"bad varint": perturb(func(c *index.CompactSnapshot) {
+			// An unterminated continuation run overflows int32 range.
+			d := c.Paths[pi].Data
+			for i := range d {
+				d[i] = 0xff
+			}
+		}),
+		"skip pointer out of range": perturb(func(c *index.CompactSnapshot) {
+			c.Paths[pi].BlockOffs[0] = uint32(len(c.Paths[pi].Data)) + 17
+		}),
+		"skip pointer misaligned": perturb(func(c *index.CompactSnapshot) {
+			c.Paths[pi].BlockOffs[0]++
+		}),
+		"skip pointer count mismatch": perturb(func(c *index.CompactSnapshot) {
+			c.Paths[pi].BlockOffs = c.Paths[pi].BlockOffs[:0]
+		}),
+		"trailing bytes": perturb(func(c *index.CompactSnapshot) {
+			c.Paths[pi].Data = append(c.Paths[pi].Data, 0x01, 0x01)
+		}),
+		"negative count": perturb(func(c *index.CompactSnapshot) {
+			c.Paths[pi].Count = -4
+		}),
+		"value bad varint": perturb(func(c *index.CompactSnapshot) {
+			c.Values[0].Deltas = []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+		}),
+		"value truncated": perturb(func(c *index.CompactSnapshot) {
+			c.Values[0].Deltas = c.Values[0].Deltas[:0]
+		}),
+	}
+	for name, blob := range cases {
+		_, err := LoadIndex(bytes.NewReader(blob), doc)
+		if err == nil {
+			t.Errorf("%s: load succeeded", name)
+			continue
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v (%T) is not *FormatError", name, err, err)
+		}
+	}
+
+	// Sanity: the unperturbed compact payload still loads and answers.
+	if _, err := LoadIndex(bytes.NewReader(indexBlobWithCompact(t, good)), doc); err != nil {
+		t.Fatalf("good v4 blob rejected: %v", err)
+	}
 }
 
 func TestLoadIndexFormatErrorBranches(t *testing.T) {

@@ -22,10 +22,13 @@ const (
 	// version is the blob format written by this build. Version 2 added
 	// index blobs and the optional index-blob reference on catalog
 	// entries; version 3 added edit-log blobs and the optional edit-log
-	// reference. Readers accept every version back to minVersion (gob
-	// ignores fields a payload lacks, so v1/v2 blobs decode with the new
-	// fields zero-valued).
-	version    = 3
+	// reference; version 4 switched index blobs to the delta-compressed
+	// postings payload (varint blocks with persisted skip pointers —
+	// index.CompactSnapshot). Readers accept every version back to
+	// minVersion: v2/v3 index blobs still decode through the legacy
+	// snapshot payload, and gob ignores fields a payload lacks, so older
+	// blobs of the other kinds decode with the new fields zero-valued.
+	version    = 4
 	minVersion = 1
 )
 
@@ -153,10 +156,12 @@ func (t *trackingReader) ReadByte() (byte, error) {
 }
 
 // blobReader decodes a store blob's payload after readHeader validated the
-// envelope.
+// envelope. version is the envelope's format version, for kinds whose
+// payload layout changed across versions (index blobs).
 type blobReader struct {
 	*gob.Decoder
-	tr *trackingReader
+	tr      *trackingReader
+	version int
 }
 
 // classify wraps a payload decode error: *FormatError (corruption or
@@ -198,6 +203,7 @@ func readHeader(r io.Reader, wantKind string) (*blobReader, error) {
 	if h.Kind != wantKind {
 		return nil, formatErrorf("file contains a %s, want a %s", h.Kind, wantKind)
 	}
+	b.version = h.Version
 	return b, nil
 }
 

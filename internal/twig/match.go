@@ -30,9 +30,16 @@ func (m Match) Get(qn *Node) *xmltree.Node {
 }
 
 // Merge combines two matches over disjoint pattern-node sets into one,
-// preserving the preorder-index ordering.
+// preserving the preorder-index ordering. Join-shaped callers merge a
+// low-index prefix with a child subtree's higher-index bindings, so the
+// merge is almost always a plain concatenation — detected by one index
+// comparison before falling back to the element merge.
 func (m Match) Merge(o Match) Match {
 	out := make(Match, 0, len(m)+len(o))
+	if len(m) == 0 || len(o) == 0 || m[len(m)-1].Q.Index <= o[0].Q.Index {
+		out = append(out, m...)
+		return append(out, o...)
+	}
 	i, j := 0, 0
 	for i < len(m) && j < len(o) {
 		if m[i].Q.Index <= o[j].Q.Index {
@@ -99,9 +106,14 @@ func MatchByPaths(doc *xmltree.Document, qn *Node, paths PathBinding) []Match {
 		return nil
 	}
 	if len(qn.Children) == 0 {
+		// One slab of bindings backs every single-binding match, so the
+		// whole list costs two allocations; capacities are clipped so a
+		// later append can never clobber a neighbour.
+		slab := make([]Binding, len(cands))
 		out := make([]Match, len(cands))
 		for i, d := range cands {
-			out[i] = Match{{Q: qn, D: d}}
+			slab[i] = Binding{Q: qn, D: d}
+			out[i] = slab[i : i+1 : i+1]
 		}
 		return out
 	}
@@ -154,12 +166,32 @@ func within(matches []Match, root *Node, d *xmltree.Node) []Match {
 // merged in pattern-preorder. This enumeration order is part of the
 // matcher output contract — the holistic matcher of internal/index shares
 // it so its results stay byte-identical to MatchByPaths'.
+//
+// In PTQ evaluation base binds a parent node and the runs its children's
+// subtrees in pattern order, so the merged preorder is almost always a
+// plain concatenation; each combination is then built in a single
+// exact-size allocation (the per-step Merge chain this replaces dominated
+// the evaluation allocation profile), with a generic merge fallback for
+// interleaved index ranges.
 func AppendProduct(out []Match, base Match, runs [][]Match) []Match {
-	combo := make([]int, len(runs))
+	total := len(base)
+	for _, r := range runs {
+		// Every match of one run binds the same pattern subtree, hence the
+		// same number of nodes.
+		total += len(r[0])
+	}
+	var comboBuf [8]int
+	var combo []int
+	if len(runs) <= len(comboBuf) {
+		combo = comboBuf[:len(runs)]
+	} else {
+		combo = make([]int, len(runs))
+	}
 	for {
-		m := base
+		m := make(Match, 0, total)
+		m = appendOrdered(m, base)
 		for i, r := range runs {
-			m = m.Merge(r[combo[i]])
+			m = appendOrdered(m, r[combo[i]])
 		}
 		out = append(out, m)
 		// Advance the mixed-radix counter.
@@ -176,6 +208,29 @@ func AppendProduct(out []Match, base Match, runs [][]Match) []Match {
 			return out
 		}
 	}
+}
+
+// appendOrdered extends m with o, preserving the preorder-index sorting:
+// a direct append when o starts past m's last index (the common case —
+// child subtrees occupy increasing contiguous index ranges), a linear
+// merge insertion otherwise.
+func appendOrdered(m, o Match) Match {
+	if len(o) == 0 {
+		return m
+	}
+	if len(m) == 0 || m[len(m)-1].Q.Index <= o[0].Q.Index {
+		return append(m, o...)
+	}
+	for _, b := range o {
+		i := len(m)
+		for i > 0 && m[i-1].Q.Index > b.Q.Index {
+			i--
+		}
+		m = append(m, Binding{})
+		copy(m[i+1:], m[i:])
+		m[i] = b
+	}
+	return m
 }
 
 // StructuralJoin joins outer and inner match lists: for every outer match,
