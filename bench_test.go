@@ -580,6 +580,74 @@ func BenchmarkPTQBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkPTQCollection* sweep shard counts over the ~1M-node generated
+// Order corpus: the same total corpus partitioned into 1, 2, 4, and 8
+// member documents, evaluated through the engine's scatter-gather path
+// (the exact evaluators behind the server's /v1/query). The gathered
+// wire output stays byte-identical across the sweep (the cross-shard
+// differential suite proves it), so the sub-benchmarks read directly as
+// query throughput versus shard count. The plain variant runs the basic
+// evaluator over unindexed members — every op pays the full per-mapping
+// matcher, so the sweep tracks how the per-shard sub-engines convert
+// shard count into wall-clock parallelism (on a single-core host it
+// reads as the scatter's cost-neutrality instead: partitioning the
+// heavy evaluation must not lose throughput). The Indexed variant
+// attaches the positional index to every member and measures the
+// steady-state serving path (block tree + per-shard result memo +
+// the merger's stream-identity reuse), where per-op work is small and
+// the sweep prices the per-shard gather overhead.
+
+const collectionBenchNodes = 1_000_000
+
+var collectionBenchShardCounts = []int{1, 2, 4, 8}
+
+func BenchmarkPTQCollection(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range collectionBenchShardCounts {
+		sh := engine.Shards{Docs: fixD7.OrderCorpus(shards, collectionBenchNodes, 42)}
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		runtime.GC() // clear corpus-generation garbage out of the timed region
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = eng.EvaluateBasicAcross(q, set, sh)
+			}
+		})
+	}
+}
+
+func BenchmarkPTQCollectionIndexed(b *testing.B) {
+	setup(b)
+	set := fixSets[100]
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.PrepareQuery(dataset.Queries()[9].Text, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range collectionBenchShardCounts {
+		docs := fixD7.OrderCorpus(shards, collectionBenchNodes, 42)
+		for _, doc := range docs {
+			index.Attach(doc)
+		}
+		sh := engine.Shards{Docs: docs}
+		eng := engine.New(engine.Options{Workers: runtime.GOMAXPROCS(0)})
+		_ = eng.EvaluateAcross(q, set, sh, bt) // warm the per-shard memos
+		runtime.GC()
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = eng.EvaluateAcross(q, set, sh, bt)
+			}
+		})
+	}
+}
+
 // BenchmarkKeywordQuery measures probabilistic keyword query evaluation
 // (the future-work extension) on the D7 workload.
 func BenchmarkKeywordQuery(b *testing.B) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -45,6 +46,25 @@ func TestParseBenchStripsProcSuffix(t *testing.T) {
 	}
 }
 
+// TestParseBenchKeepsMinOfCounts: with `go test -count N` the same
+// benchmark line repeats; the fastest sample must win regardless of
+// order, and its B/op and allocs/op must come from that same sample.
+func TestParseBenchKeepsMinOfCounts(t *testing.T) {
+	m := feed(t, `goos: linux
+BenchmarkPTQBasic/seq-8      	     100	   1200000 ns/op	  4096 B/op	      20 allocs/op
+BenchmarkPTQBasic/seq-8      	     100	   1000000 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkPTQBasic/seq-8      	     100	   1100000 ns/op	  3072 B/op	      16 allocs/op
+BenchmarkDeltaApply-8        	     300	    120000 ns/op
+`)
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(m), m)
+	}
+	b := m["BenchmarkPTQBasic/seq"]
+	if b.NsPerOp != 1e6 || b.BytesPerOp != 2048 || b.AllocsPerOp != 12 {
+		t.Fatalf("repeated samples did not keep the fastest: %+v", b)
+	}
+}
+
 func writePrev(t *testing.T, m map[string]Metrics) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "prev.json")
@@ -66,9 +86,8 @@ func TestGateAgainst(t *testing.T) {
 	okPrev := writePrev(t, map[string]Metrics{
 		"BenchmarkPTQBasic/seq": {NsPerOp: 950000},
 		"BenchmarkDeltaApply":   {NsPerOp: 120000},
-		"BenchmarkRenamedAway":  {NsPerOp: 1}, // only in prev: skipped
 	})
-	if err := gateAgainst(cur, okPrev, "BenchmarkPTQ|BenchmarkDelta|BenchmarkRenamed", 0.25); err != nil {
+	if err := gateAgainst(cur, okPrev, "BenchmarkPTQ|BenchmarkDelta", 0.25, false); err != nil {
 		t.Fatalf("tolerable drift failed the gate: %v", err)
 	}
 
@@ -77,17 +96,69 @@ func TestGateAgainst(t *testing.T) {
 		"BenchmarkPTQBasic/seq": {NsPerOp: 700000}, // current 1e6 = +43%
 		"BenchmarkDeltaApply":   {NsPerOp: 120000},
 	})
-	if err := gateAgainst(cur, badPrev, "BenchmarkPTQ", 0.25); err == nil {
+	if err := gateAgainst(cur, badPrev, "BenchmarkPTQ", 0.25, false); err == nil {
 		t.Fatal("43% regression passed the gate")
 	}
 
 	// The same slowdown outside the gate pattern is ignored.
-	if err := gateAgainst(cur, badPrev, "BenchmarkDelta", 0.25); err != nil {
+	if err := gateAgainst(cur, badPrev, "BenchmarkDelta", 0.25, false); err != nil {
 		t.Fatalf("ungated regression failed the gate: %v", err)
 	}
 
 	// A gate that matches nothing shared is an error (misconfigured CI).
-	if err := gateAgainst(cur, okPrev, "BenchmarkNothing", 0.25); err == nil {
+	if err := gateAgainst(cur, okPrev, "BenchmarkNothing", 0.25, false); err == nil {
 		t.Fatal("empty gate intersection passed")
+	}
+}
+
+// TestGateMissingBenchmark: a gated benchmark present in -prev but gone
+// from the current run is a hard error — the escape hatch for a watched
+// benchmark is -allow-missing, not a silent skip.
+func TestGateMissingBenchmark(t *testing.T) {
+	cur := feed(t, benchOut)
+	prev := writePrev(t, map[string]Metrics{
+		"BenchmarkPTQBasic/seq": {NsPerOp: 1000000},
+		"BenchmarkRenamedAway":  {NsPerOp: 500000},
+	})
+
+	err := gateAgainst(cur, prev, "BenchmarkPTQ|BenchmarkRenamed", 0.25, false)
+	if err == nil {
+		t.Fatal("vanished gated benchmark passed the gate")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "BenchmarkRenamedAway") || !strings.Contains(msg, "allow-missing") {
+		t.Fatalf("missing-benchmark error does not name the benchmark and the escape hatch: %v", msg)
+	}
+
+	// With -allow-missing the removal is tolerated and the rest compares.
+	if err := gateAgainst(cur, prev, "BenchmarkPTQ|BenchmarkRenamed", 0.25, true); err != nil {
+		t.Fatalf("-allow-missing did not tolerate the removal: %v", err)
+	}
+
+	// An ungated vanished benchmark never fails, with or without the flag.
+	if err := gateAgainst(cur, prev, "BenchmarkPTQ", 0.25, false); err != nil {
+		t.Fatalf("ungated removal failed the gate: %v", err)
+	}
+}
+
+// TestGateZeroBaseline: a non-positive prev ns/op cannot be compared; it
+// must be skipped (not divided by), and a gate whose only baselines are
+// unusable still errors via the compared==0 guard rather than passing
+// vacuously.
+func TestGateZeroBaseline(t *testing.T) {
+	cur := feed(t, benchOut)
+	prev := writePrev(t, map[string]Metrics{
+		"BenchmarkPTQBasic/seq": {NsPerOp: 0},
+		"BenchmarkPTQBasic/par": {NsPerOp: -5},
+		"BenchmarkDeltaApply":   {NsPerOp: 120000},
+	})
+
+	// The zero baselines skip; DeltaApply still anchors the comparison.
+	if err := gateAgainst(cur, prev, "BenchmarkPTQ|BenchmarkDelta", 0.25, false); err != nil {
+		t.Fatalf("usable baseline alongside zero baselines failed: %v", err)
+	}
+
+	// Only unusable baselines in the gate: vacuous pass is refused.
+	if err := gateAgainst(cur, prev, "BenchmarkPTQBasic", 0.25, false); err == nil {
+		t.Fatal("gate with only zero baselines passed vacuously")
 	}
 }

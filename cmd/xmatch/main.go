@@ -384,19 +384,20 @@ func runIndex(args []string) error {
 	xmlPath := fs.String("xml", "", "index an XML document file instead of a generated dataset document")
 	manifestPath := fs.String("manifest", "", "index the document of a catalog manifest entry (requires -name)")
 	entryName := fs.String("name", "", "catalog entry name within -manifest")
-	docNodes := fs.Int("doc", 3473, "generated document size")
+	docNodes := fs.Int("doc", 3473, "generated document size (total across -shards members)")
 	seed := fs.Int64("seed", 42, "document generator seed")
+	shards := fs.Int("shards", 1, "member documents for a generated collection (-d mode); manifest entries carry their own shard count")
 	out := fs.String("o", "", "write the index as a store blob to this path")
 	check := fs.Bool("check", false, "verify a save/load round trip of the blob")
 	stats := fs.Bool("stats", false, "print the per-path postings table: counts, compressed vs flat bytes, ratio")
 	fs.Parse(args)
 
-	var doc *xmltree.Document
+	var docs []*xmltree.Document
 	var source string
 	switch {
 	case *manifestPath != "":
 		var err error
-		doc, source, err = manifestDocument(*manifestPath, *entryName)
+		docs, source, err = manifestDocuments(*manifestPath, *entryName)
 		if err != nil {
 			return err
 		}
@@ -405,21 +406,31 @@ func runIndex(args []string) error {
 		if err != nil {
 			return err
 		}
-		doc, err = xmltree.Parse(f)
+		doc, err := xmltree.Parse(f)
 		f.Close()
 		if err != nil {
 			return err
 		}
+		docs = []*xmltree.Document{doc}
 		source = *xmlPath
 	default:
 		d, err := dataset.Load(*id)
 		if err != nil {
 			return err
 		}
-		doc = d.OrderDocument(*docNodes, *seed)
-		source = fmt.Sprintf("%s (doc=%d seed=%d)", *id, *docNodes, *seed)
+		if *shards > 1 {
+			docs = d.OrderCorpus(*shards, *docNodes, *seed)
+			source = fmt.Sprintf("%s (doc=%d seed=%d shards=%d)", *id, *docNodes, *seed, *shards)
+		} else {
+			docs = []*xmltree.Document{d.OrderDocument(*docNodes, *seed)}
+			source = fmt.Sprintf("%s (doc=%d seed=%d)", *id, *docNodes, *seed)
+		}
 	}
 
+	if len(docs) > 1 {
+		return indexCollection(docs, source, *stats, *out, *check)
+	}
+	doc := docs[0]
 	ix := index.Build(doc)
 	st := ix.Stats()
 	fmt.Printf("index %s: %d nodes\n", source, doc.Len())
@@ -455,6 +466,48 @@ func runIndex(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// indexCollection indexes every member of a sharded collection and prints
+// a per-shard stats table plus aggregates — the offline view of the
+// per-shard rows /statsz serves. Blob output is per-document, so -o and
+// -check are single-document operations and are refused here.
+func indexCollection(docs []*xmltree.Document, source string, stats bool, out string, check bool) error {
+	if out != "" || check {
+		return fmt.Errorf("index: -o and -check operate on a single document; index a member's blob individually")
+	}
+	fmt.Printf("index %s: %d member shards\n", source, len(docs))
+	fmt.Printf("%5s %9s %9s %8s %12s %12s  %s\n", "shard", "nodes", "postings", "paths", "resident", "built", "range")
+	var nodes, postings, resident int
+	var build time.Duration
+	ixs := make([]*index.Index, len(docs))
+	for i, doc := range docs {
+		ix := index.Build(doc)
+		ixs[i] = ix
+		st := ix.Stats()
+		fmt.Printf("%5d %9d %9d %8d %11dB %12v  [%d,%d]\n",
+			i, doc.Len(), st.Postings, st.DistinctPaths, st.ResidentBytes,
+			st.BuildTime.Round(time.Microsecond), doc.NumBase(), doc.MaxEnd())
+		nodes += doc.Len()
+		postings += st.Postings
+		resident += st.ResidentBytes
+		build += st.BuildTime
+	}
+	fmt.Printf("total %9d %9d %8s %11dB %12v\n", nodes, postings, "", resident, build.Round(time.Microsecond))
+	if stats {
+		for i, ix := range ixs {
+			fmt.Printf("shard %d per-path postings:\n", i)
+			fmt.Printf("%9s %12s %10s %7s  %s\n", "postings", "compressed", "flat", "ratio", "path")
+			for _, ps := range ix.PathStats() {
+				ratio := 1.0
+				if ps.FlatBytes > 0 {
+					ratio = float64(ps.ResidentBytes) / float64(ps.FlatBytes)
+				}
+				fmt.Printf("%9d %11dB %9dB %7.2f  %s\n", ps.Postings, ps.ResidentBytes, ps.FlatBytes, ratio, ps.Path)
+			}
+		}
 	}
 	return nil
 }
@@ -535,14 +588,15 @@ func loadSpec(path string) (*schema.Schema, error) {
 	return schema.ParseSpec(strings.TrimSuffix(name, ".spec"), string(data))
 }
 
-// manifestDocument resolves the document of one catalog manifest entry:
-// built-in entries regenerate theirs deterministically, blob-backed
-// entries must name a concrete XML file. An entry without a document —
-// a blob-backed entry whose DocPath is empty, meaning the daemon
-// instantiates a synthetic single-instance document at serve time — is a
-// hard error: indexing a document that only exists inside a running
-// daemon would produce a blob nothing can verify against.
-func manifestDocument(manifestPath, name string) (*xmltree.Document, string, error) {
+// manifestDocuments resolves the member documents of one catalog manifest
+// entry: built-in entries regenerate theirs deterministically (Shards > 1
+// regenerates the whole collection), blob-backed entries must name a
+// concrete XML file. An entry without a document — a blob-backed entry
+// whose DocPath is empty, meaning the daemon instantiates a synthetic
+// single-instance document at serve time — is a hard error: indexing a
+// document that only exists inside a running daemon would produce a blob
+// nothing can verify against.
+func manifestDocuments(manifestPath, name string) ([]*xmltree.Document, string, error) {
 	if name == "" {
 		return nil, "", fmt.Errorf("index: -manifest requires -name (which catalog entry to index)")
 	}
@@ -568,8 +622,12 @@ func manifestDocument(manifestPath, name string) (*xmltree.Document, string, err
 			if nodes == 0 {
 				nodes = server.DefaultDocNodes
 			}
+			if e.Shards > 1 {
+				docs := d.OrderCorpus(e.Shards, nodes, e.DocSeed)
+				return docs, fmt.Sprintf("%s[%s] (doc=%d seed=%d shards=%d)", manifestPath, name, nodes, e.DocSeed, e.Shards), nil
+			}
 			doc := d.OrderDocument(nodes, e.DocSeed)
-			return doc, fmt.Sprintf("%s[%s] (doc=%d seed=%d)", manifestPath, name, nodes, e.DocSeed), nil
+			return []*xmltree.Document{doc}, fmt.Sprintf("%s[%s] (doc=%d seed=%d)", manifestPath, name, nodes, e.DocSeed), nil
 		}
 		if e.DocPath == "" {
 			return nil, "", fmt.Errorf("index: catalog entry %q in %s has no document (DocPath is empty; the daemon generates one at serve time) — point the entry at a concrete XML file, or index that file directly with -xml", name, manifestPath)
@@ -584,7 +642,7 @@ func manifestDocument(manifestPath, name string) (*xmltree.Document, string, err
 		if err != nil {
 			return nil, "", err
 		}
-		return doc, fmt.Sprintf("%s[%s] (%s)", manifestPath, name, docFile), nil
+		return []*xmltree.Document{doc}, fmt.Sprintf("%s[%s] (%s)", manifestPath, name, docFile), nil
 	}
 	return nil, "", fmt.Errorf("index: manifest %s has no entry named %q", manifestPath, name)
 }

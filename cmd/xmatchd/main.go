@@ -44,6 +44,7 @@ func main() {
 	m := flag.Int("m", server.DefaultMappings, "possible mappings per built-in dataset")
 	docNodes := flag.Int("doc", server.DefaultDocNodes, "document size per built-in dataset")
 	docSeed := flag.Int64("seed", 42, "document generator seed")
+	shards := flag.Int("shards", 1, "member documents per built-in dataset (-doc nodes total across them); >1 serves a scatter-gather collection")
 	tau := flag.Float64("tau", 0.2, "block-tree confidence threshold")
 	workers := flag.Int("workers", 0, "worker-pool size per dataset engine (0 = all cores)")
 	reqWorkers := flag.Int("request-workers", 0, "per-request worker budget (0 = half the pool, <0 = sequential)")
@@ -52,7 +53,7 @@ func main() {
 	writeManifest := flag.String("write-manifest", "", "write the built-in -datasets selection as a manifest file and exit")
 	flag.Parse()
 
-	if err := run(*addr, *manifest, *datasets, *m, *docNodes, *docSeed, *tau,
+	if err := run(*addr, *manifest, *datasets, *m, *docNodes, *docSeed, *shards, *tau,
 		*workers, *reqWorkers, *cache, *editlogDir, *writeManifest); err != nil {
 		fmt.Fprintln(os.Stderr, "xmatchd:", err)
 		os.Exit(1)
@@ -62,7 +63,7 @@ func main() {
 // builtinManifest assembles a manifest from a comma-separated ID list.
 // With editlog set, each entry persists its mutations to <name>.editlog
 // (resolved against the loader's base directory).
-func builtinManifest(datasets string, m, docNodes int, docSeed int64, tau float64, editlog bool) (*store.Catalog, error) {
+func builtinManifest(datasets string, m, docNodes int, docSeed int64, shards int, tau float64, editlog bool) (*store.Catalog, error) {
 	var man store.Catalog
 	for _, id := range strings.Split(datasets, ",") {
 		id = strings.TrimSpace(id)
@@ -71,7 +72,7 @@ func builtinManifest(datasets string, m, docNodes int, docSeed int64, tau float6
 		}
 		e := store.CatalogEntry{
 			Name: id, Dataset: id, Mappings: m,
-			DocNodes: docNodes, DocSeed: docSeed, Tau: tau,
+			DocNodes: docNodes, DocSeed: docSeed, Shards: shards, Tau: tau,
 		}
 		if editlog {
 			e.EditLogPath = id + ".editlog"
@@ -84,7 +85,7 @@ func builtinManifest(datasets string, m, docNodes int, docSeed int64, tau float6
 	return &man, nil
 }
 
-func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau float64,
+func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards int, tau float64,
 	workers, reqWorkers, cache int, editlogDir, writeManifest string) error {
 
 	eopts := engine.Options{Workers: workers, CacheCapacity: cache}
@@ -102,7 +103,7 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau fl
 	// after editing the manifest file picks up the changes.
 	loadManifest := func() (*store.Catalog, string, error) {
 		if manifest == "" {
-			man, err := builtinManifest(datasets, m, docNodes, docSeed, tau, editlogDir != "")
+			man, err := builtinManifest(datasets, m, docNodes, docSeed, shards, tau, editlogDir != "")
 			baseDir := "."
 			if editlogDir != "" {
 				baseDir = editlogDir
@@ -122,7 +123,7 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau fl
 	}
 
 	if writeManifest != "" {
-		man, err := builtinManifest(datasets, m, docNodes, docSeed, tau, editlogDir != "")
+		man, err := builtinManifest(datasets, m, docNodes, docSeed, shards, tau, editlogDir != "")
 		if err != nil {
 			return err
 		}
@@ -156,11 +157,22 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, tau fl
 	}
 	var names []string
 	for _, d := range srv.Catalog().Datasets() {
-		snap := d.Snapshot()
-		xs := snap.Index.Stats()
-		names = append(names, fmt.Sprintf("%s(|M|=%d doc=%d epoch=%d blocks=%d idx=%dB/%v)",
-			d.Name, d.Set.Len(), snap.Doc.Len(), snap.Epoch, d.Tree.Stats().NumBlocks,
-			xs.ResidentBytes, xs.BuildTime.Round(time.Millisecond)))
+		var nodes, idxBytes int
+		var epoch uint64
+		var build time.Duration
+		for _, sh := range d.Shards() {
+			snap := sh.Live.Snapshot()
+			xs := snap.Index.Stats()
+			nodes += snap.Doc.Len()
+			idxBytes += xs.ResidentBytes
+			build += xs.BuildTime
+			if snap.Epoch > epoch {
+				epoch = snap.Epoch
+			}
+		}
+		names = append(names, fmt.Sprintf("%s(|M|=%d shards=%d doc=%d epoch=%d blocks=%d idx=%dB/%v)",
+			d.Name, d.Set.Len(), d.NumShards(), nodes, epoch, d.Tree.Stats().NumBlocks,
+			idxBytes, build.Round(time.Millisecond)))
 	}
 	log.Printf("xmatchd: catalog ready in %v: %s", time.Since(start).Round(time.Millisecond), strings.Join(names, " "))
 	log.Printf("xmatchd: listening on %s", addr)

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xmatch/internal/mapgen"
+	"xmatch/internal/mapping"
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+// mergerSet builds a small real mapping set so Finish can resolve
+// probabilities.
+func mergerSet(t *testing.T) *mapping.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	src := randomSchema(rng, "S", 12)
+	tgt := randomSchema(rng, "T", 10)
+	set, err := mapgen.TopH(randomMatching(rng, src, tgt, 0.9), 6, mapgen.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// mk builds a single-binding match of qn against a node with the given
+// start number — enough structure for Match.Key to order and compare.
+func mk(qn *twig.Node, start int) twig.Match {
+	return twig.Match{{Q: qn, D: &xmltree.Node{Start: start}}}
+}
+
+func starts(ms []twig.Match, qn *twig.Node) []int {
+	out := make([]int, len(ms))
+	for i, m := range ms {
+		out[i] = m.Get(qn).Start
+	}
+	return out
+}
+
+// TestAddStreamsEmptyShards: a gather where every shard came back empty
+// must still register the mapping — a relevant mapping with no matches is
+// part of the answer (Definition 4) — and empty shards interspersed with a
+// single productive one must hand that shard's slice through untouched.
+func TestAddStreamsEmptyShards(t *testing.T) {
+	set := mergerSet(t)
+	qn := &twig.Node{Label: "a"}
+
+	r := NewResultMerger(set)
+	r.AddStreams(1, [][]twig.Match{nil, {}, nil})
+	res := r.Finish()
+	if len(res) != 1 || res[0].MappingIndex != 1 || len(res[0].Matches) != 0 {
+		t.Fatalf("all-empty gather: %+v", res)
+	}
+
+	r = NewResultMerger(set)
+	stream := []twig.Match{mk(qn, 16), mk(qn, 48)}
+	r.AddStreams(2, [][]twig.Match{nil, stream, nil})
+	res = r.Finish()
+	if len(res) != 1 || &res[0].Matches[0] != &stream[0] {
+		t.Fatal("single productive shard not passed through as-is")
+	}
+	// Like a first Add, the single-stream path must not build the dedup
+	// set — single-embedding queries never key a match.
+	if len(r.seen) != 0 {
+		t.Fatal("single-stream gather built the dedup set")
+	}
+}
+
+// TestAddStreamsDisjointConcat: shard streams with disjoint ascending key
+// ranges — the collection layout — merge to their plain concatenation.
+func TestAddStreamsDisjointConcat(t *testing.T) {
+	set := mergerSet(t)
+	qn := &twig.Node{Label: "a"}
+	r := NewResultMerger(set)
+	r.AddStreams(0, [][]twig.Match{
+		{mk(qn, 16), mk(qn, 32)},
+		{mk(qn, 160), mk(qn, 176)},
+		{mk(qn, 320)},
+	})
+	got := starts(r.Finish()[0].Matches, qn)
+	if !reflect.DeepEqual(got, []int{16, 32, 160, 176, 320}) {
+		t.Fatalf("concat order: %v", got)
+	}
+}
+
+// TestAddStreamsInterleaveDedup: overlapping streams interleave into key
+// order, and a key appearing in two streams survives exactly once — the
+// earliest stream's copy.
+func TestAddStreamsInterleaveDedup(t *testing.T) {
+	set := mergerSet(t)
+	qn := &twig.Node{Label: "a"}
+	dup0, dup1 := mk(qn, 48), mk(qn, 48)
+	r := NewResultMerger(set)
+	r.AddStreams(0, [][]twig.Match{
+		{mk(qn, 16), dup0, mk(qn, 80)},
+		{mk(qn, 32), dup1, mk(qn, 64)},
+	})
+	ms := r.Finish()[0].Matches
+	got := starts(ms, qn)
+	if !reflect.DeepEqual(got, []int{16, 32, 48, 64, 80}) {
+		t.Fatalf("interleave order: %v", got)
+	}
+	if ms[2].Get(qn) != dup0.Get(qn) {
+		t.Fatal("duplicate key kept the later stream's copy")
+	}
+}
+
+// TestAddStreamsLazyDedupInteraction: a second Add (or AddStreams) for the
+// same mapping engages the lazy dedup against the gathered stream without
+// mutating the shared first slice — the interaction a multi-embedding
+// query over shards exercises.
+func TestAddStreamsLazyDedupInteraction(t *testing.T) {
+	set := mergerSet(t)
+	qn := &twig.Node{Label: "a"}
+	shard0 := []twig.Match{mk(qn, 16)}
+	shard1 := []twig.Match{mk(qn, 160)}
+	r := NewResultMerger(set)
+	r.AddStreams(0, [][]twig.Match{shard0, shard1})
+
+	// Second embedding gathers an overlapping result set.
+	r.AddStreams(0, [][]twig.Match{{mk(qn, 16), mk(qn, 96)}, {mk(qn, 160)}})
+	got := starts(r.Finish()[0].Matches, qn)
+	if !reflect.DeepEqual(got, []int{16, 160, 96}) {
+		t.Fatalf("dedup across gathers: %v", got)
+	}
+	// The first gather's shard slices are never written through.
+	if len(shard0) != 1 || shard0[0].Get(qn).Start != 16 || len(shard1) != 1 {
+		t.Fatal("shared shard stream mutated by later Add")
+	}
+}
+
+// TestAddStreamsIdentityReuse: heavily overlapping mappings hand the
+// merger the same memo-shared shard streams; a pointer-identical stream
+// tuple must reuse the previous merged slice (one concat for the run, not
+// one per mapping), and any pointer or length difference must re-merge.
+func TestAddStreamsIdentityReuse(t *testing.T) {
+	set := mergerSet(t)
+	qn := &twig.Node{Label: "a"}
+	shard0 := []twig.Match{mk(qn, 16), mk(qn, 32)}
+	shard1 := []twig.Match{mk(qn, 160)}
+
+	r := NewResultMerger(set)
+	streams := make([][]twig.Match, 2) // caller-reused buffer, like gatherSubset's
+	streams[0], streams[1] = shard0, shard1
+	r.AddStreams(0, streams)
+	streams[0], streams[1] = shard0, shard1
+	r.AddStreams(1, streams)
+	res := r.Finish()
+	if len(res) != 2 || len(res[0].Matches) != 3 || len(res[1].Matches) != 3 {
+		t.Fatalf("reused gather results: %+v", res)
+	}
+	if &res[0].Matches[0] != &res[1].Matches[0] {
+		t.Fatal("identical stream tuples did not share the merged slice")
+	}
+
+	// A different slice with equal contents must not be mistaken for the
+	// cached tuple; a shorter window of the same backing array either.
+	other := []twig.Match{mk(qn, 16), mk(qn, 32)}
+	r.AddStreams(2, [][]twig.Match{other, shard1})
+	r.AddStreams(3, [][]twig.Match{shard0[:1], shard1})
+	res = r.Finish()
+	if &res[2].Matches[0] == &res[0].Matches[0] {
+		t.Fatal("content-equal but distinct streams falsely reused the cache")
+	}
+	if got := starts(res[3].Matches, qn); !reflect.DeepEqual(got, []int{16, 160}) {
+		t.Fatalf("shorter window re-merged wrong: %v", got)
+	}
+}

@@ -501,6 +501,16 @@ type ResultMerger struct {
 	set     *mapping.Set
 	matches map[int][]twig.Match
 	seen    map[int]map[string]bool // built on the second Add for a mapping
+
+	// AddStreams identity cache: heavily overlapping mappings hand the
+	// merger the same memo-shared shard streams over and over, and the
+	// merge is a pure function of the streams, so an AddStreams whose
+	// stream tuple is pointer-identical to the previous call's reuses the
+	// previous merged slice instead of re-concatenating — the multi-shard
+	// analogue of the matcher memo handing one slice to many mappings.
+	lastStreams [][]twig.Match
+	lastMerged  []twig.Match
+	lastValid   bool
 }
 
 // NewResultMerger returns an empty merger for the mapping set.
@@ -544,6 +554,135 @@ func (r *ResultMerger) Add(mi int, matches []twig.Match) {
 		existing = append(existing, m)
 	}
 	r.matches[mi] = existing
+}
+
+// AddStreams records one mapping's matches gathered from several
+// key-ordered result streams — in sharded evaluation, one stream per
+// member document — interleaving them deterministically before the usual
+// Add. Each stream must be ordered by Match.Key(), which is the matcher
+// output order (bindings in pattern preorder, keyed by start number); the
+// interleave is the unique key-sorted merge, with a match whose key
+// already appeared earlier in the merge dropped. Shards carry disjoint
+// ascending interval ranges, so for them the merge degenerates to plain
+// concatenation in stream order — exactly the match order evaluating the
+// concatenated corpus as one document produces, which is what keeps
+// sharded wire output byte-identical (see internal/engine's Across
+// evaluators and the cross-shard differential suites). Calling it with
+// every stream empty still registers the mapping, like Add(mi, nil).
+func (r *ResultMerger) AddStreams(mi int, streams [][]twig.Match) {
+	nonEmpty, last := 0, -1
+	for i, s := range streams {
+		if len(s) > 0 {
+			nonEmpty, last = nonEmpty+1, i
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		r.Add(mi, nil)
+		return
+	case 1:
+		r.Add(mi, streams[last])
+		return
+	}
+	if r.sameStreams(streams) {
+		r.Add(mi, r.lastMerged)
+		return
+	}
+	total := 0
+	ordered := true
+	prevLast := ""
+	for _, s := range streams {
+		if len(s) == 0 {
+			continue
+		}
+		total += len(s)
+		if ordered {
+			if prevLast != "" && s[0].Key() <= prevLast {
+				ordered = false
+			} else {
+				prevLast = s[len(s)-1].Key()
+			}
+		}
+	}
+	if ordered {
+		// Disjoint ascending key ranges — the shard case: concatenate.
+		merged := make([]twig.Match, 0, total)
+		for _, s := range streams {
+			merged = append(merged, s...)
+		}
+		r.rememberStreams(streams, merged)
+		r.Add(mi, merged)
+		return
+	}
+	// General interleave: repeated head selection over the streams (their
+	// count is the shard count, small), deduplicating adjacent equal keys
+	// — the merge emits in key order, so duplicates are always adjacent.
+	idx := make([]int, len(streams))
+	keys := make([]string, len(streams))
+	for i, s := range streams {
+		if len(s) > 0 {
+			keys[i] = s[0].Key()
+		}
+	}
+	merged := make([]twig.Match, 0, total)
+	lastKey, first := "", true
+	for {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best < 0 || keys[i] < keys[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		m, k := streams[best][idx[best]], keys[best]
+		idx[best]++
+		if idx[best] < len(streams[best]) {
+			keys[best] = streams[best][idx[best]].Key()
+		}
+		if first || k != lastKey {
+			merged = append(merged, m)
+			lastKey, first = k, false
+		}
+	}
+	r.rememberStreams(streams, merged)
+	r.Add(mi, merged)
+}
+
+// sameStreams reports whether streams is pointer-identical — same count,
+// and each stream the same (base, length) window — to the tuple of the
+// previous merging AddStreams call.
+func (r *ResultMerger) sameStreams(streams [][]twig.Match) bool {
+	if !r.lastValid || len(streams) != len(r.lastStreams) {
+		return false
+	}
+	for i, s := range streams {
+		prev := r.lastStreams[i]
+		if len(s) != len(prev) {
+			return false
+		}
+		if len(s) > 0 && &s[0] != &prev[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// rememberStreams snapshots the stream tuple (the caller typically reuses
+// the streams slice itself across mappings, so the headers are copied) and
+// its merged output for sameStreams reuse.
+func (r *ResultMerger) rememberStreams(streams [][]twig.Match, merged []twig.Match) {
+	if cap(r.lastStreams) < len(streams) {
+		r.lastStreams = make([][]twig.Match, len(streams))
+	}
+	r.lastStreams = r.lastStreams[:len(streams)]
+	copy(r.lastStreams, streams)
+	r.lastMerged = merged
+	r.lastValid = true
 }
 
 // Finish returns the accumulated results ordered by mapping index.

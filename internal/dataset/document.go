@@ -22,6 +22,40 @@ var cities = []string{"Hong Kong", "Leipzig", "Paris", "Osaka", "Toronto", "Lago
 // are filled deterministically from the seed so value predicates have
 // matches.
 func (d *Dataset) OrderDocument(targetNodes int, seed int64) *xmltree.Document {
+	return xmltree.New(d.orderTree(targetNodes, seed))
+}
+
+// OrderCorpus generates the members of a sharded Order-family collection:
+// shards documents built like OrderDocument, totalling approximately
+// totalNodes element nodes, each member numbered at a disjoint ascending
+// interval base with 4x headroom over its own span. The layout makes the
+// members concatenable (xmltree.Corpus) and leaves each member room to
+// grow about fourfold under mutation before its whole-document renumber
+// could reach the next member's range. Per-member seeds derive
+// deterministically from seed, so the corpus is reproducible node for node
+// — the determinism test in this package regenerates and compares.
+func (d *Dataset) OrderCorpus(shards, totalNodes int, seed int64) []*xmltree.Document {
+	if shards < 1 {
+		shards = 1
+	}
+	per := totalNodes / shards
+	members := make([]*xmltree.Document, shards)
+	base := 0
+	for i := 0; i < shards; i++ {
+		target := per
+		if i == 0 {
+			target += totalNodes % shards
+		}
+		m := xmltree.NewAt(d.orderTree(target, seed+int64(i)*1000003), base)
+		members[i] = m
+		span := m.MaxEnd() - base
+		base += 4 * span
+	}
+	return members
+}
+
+// orderTree builds the node tree of one OrderDocument instance.
+func (d *Dataset) orderTree(targetNodes int, seed int64) *xmltree.Node {
 	rng := rand.New(rand.NewSource(seed))
 	lineElem := d.src.primaries["line"]
 
@@ -98,7 +132,7 @@ func (d *Dataset) OrderDocument(targetNodes int, seed int64) *xmltree.Document {
 		}
 		return n
 	}
-	return xmltree.New(instantiate(d.Source.Root, 1))
+	return instantiate(d.Source.Root, 1)
 }
 
 // Query is one row of Table III.

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"time"
+
+	"xmatch/internal/core"
+	"xmatch/internal/mapping"
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+// Shards is an ordered list of member documents evaluated as one logical
+// corpus by the Across evaluators, plus an optional per-shard timing
+// observer. The members must carry disjoint ascending interval ranges
+// (xmltree.NewAt / dataset.OrderCorpus), which is what makes the gathered
+// output byte-identical to evaluating their concatenation
+// (xmltree.Corpus) as a single document: per (embedding, mapping), each
+// member's matches are key-ordered and the members' key ranges are
+// disjoint and ascending, so core.ResultMerger.AddStreams interleaves
+// them into exactly the concatenated corpus's match order.
+type Shards struct {
+	// Docs are the member documents in collection order. Each may carry
+	// its own attached index; an evaluation uses whatever accelerator the
+	// snapshot it was handed carries, per member.
+	Docs []*xmltree.Document
+	// Observe, when non-nil, is called once per per-shard evaluation unit
+	// — one (embedding, shard) scatter for single queries, one (request,
+	// embedding, shard) for batches — with that unit's wall time. It must
+	// be safe for concurrent use; shards evaluate in parallel.
+	Observe func(shard int, took time.Duration)
+}
+
+func (sh Shards) observe(shard int, took time.Duration) {
+	if sh.Observe != nil {
+		sh.Observe(shard, took)
+	}
+}
+
+// shardSubs derives one sub-engine per shard: each holds roughly an equal
+// share of the engine's worker budget for its own nested parallelism, and
+// every slot it takes still counts against the engine's budget (Sub chains
+// admission gates), so scattering over many shards cannot exceed the
+// engine's — and hence the request's — total.
+func (e *Engine) shardSubs(n int) []*Engine {
+	per := e.workers / n
+	if per < 1 {
+		per = 1
+	}
+	subs := make([]*Engine, n)
+	for i := range subs {
+		subs[i] = e.Sub(per)
+	}
+	return subs
+}
+
+// EvaluateBasicAcross answers the basic PTQ (Algorithm 3) over a sharded
+// collection: per embedding, every (shard, mapping) pair is evaluated
+// independently under the per-shard sub-budgets and the shard streams are
+// gathered per mapping in collection order. A single-shard collection
+// delegates to EvaluateBasic, so the output — and the evaluation path — is
+// exactly the single-document engine's.
+func (e *Engine) EvaluateBasicAcross(q *core.Query, set *mapping.Set, sh Shards) []core.Result {
+	if len(sh.Docs) == 0 {
+		return core.NewResultMerger(set).Finish()
+	}
+	if len(sh.Docs) == 1 {
+		start := time.Now()
+		res := e.EvaluateBasic(q, set, sh.Docs[0])
+		sh.observe(0, time.Since(start))
+		return res
+	}
+	subs := e.shardSubs(len(sh.Docs))
+	results := core.NewResultMerger(set)
+	for _, emb := range q.Embeddings {
+		relevant := core.FilterMappings(set, emb)
+		perShard := make([][][]twig.Match, len(sh.Docs))
+		e.parallelRanges(len(sh.Docs), len(sh.Docs), func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				start := time.Now()
+				perShard[s] = subs[s].basicMatches(q, emb, relevant, set, sh.Docs[s])
+				sh.observe(s, time.Since(start))
+			}
+		})
+		streams := make([][]twig.Match, len(sh.Docs))
+		for i, mi := range relevant {
+			for s := range perShard {
+				streams[s] = perShard[s][i]
+			}
+			results.AddStreams(mi, streams)
+		}
+	}
+	return results.Finish()
+}
+
+// basicMatches evaluates one embedding's relevant mappings over one shard,
+// chunked across the (sub-)engine's workers like EvaluateBasic.
+func (e *Engine) basicMatches(q *core.Query, emb twig.Embedding, relevant []int, set *mapping.Set, doc *xmltree.Document) [][]twig.Match {
+	matches := make([][]twig.Match, len(relevant))
+	e.parallelRanges(len(relevant), 4*e.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			matches[i] = core.EvaluateBasicMapping(q, emb, relevant[i], set, doc)
+		}
+	})
+	return matches
+}
+
+// EvaluateAcross answers the block-tree PTQ (Algorithm 4) over a sharded
+// collection; see EvaluateBasicAcross for the scatter-gather contract.
+func (e *Engine) EvaluateAcross(q *core.Query, set *mapping.Set, sh Shards, bt *core.BlockTree) []core.Result {
+	if len(sh.Docs) == 0 {
+		return core.NewResultMerger(set).Finish()
+	}
+	if len(sh.Docs) == 1 {
+		start := time.Now()
+		res := e.Evaluate(q, set, sh.Docs[0], bt)
+		sh.observe(0, time.Since(start))
+		return res
+	}
+	subs := e.shardSubs(len(sh.Docs))
+	results := core.NewResultMerger(set)
+	for _, emb := range q.Embeddings {
+		relevant := core.FilterMappings(set, emb)
+		if len(relevant) == 0 {
+			continue
+		}
+		e.gatherSubset(q, emb, set, sh, bt, relevant, subs, results)
+	}
+	return results.Finish()
+}
+
+// EvaluateTopKAcross answers the top-k PTQ over a sharded collection. The
+// mapping selection (TopKMappings) depends only on the query and the set —
+// never on a document — so it is computed once and shared by every shard.
+func (e *Engine) EvaluateTopKAcross(q *core.Query, set *mapping.Set, sh Shards, bt *core.BlockTree, k int) []core.Result {
+	if len(sh.Docs) == 0 {
+		return core.NewResultMerger(set).Finish()
+	}
+	if len(sh.Docs) == 1 {
+		start := time.Now()
+		res := e.EvaluateTopK(q, set, sh.Docs[0], bt, k)
+		sh.observe(0, time.Since(start))
+		return res
+	}
+	if k <= 0 {
+		return nil
+	}
+	keepSet, all := core.TopKMappings(q, set, k)
+	if all {
+		return e.EvaluateAcross(q, set, sh, bt)
+	}
+	subs := e.shardSubs(len(sh.Docs))
+	results := core.NewResultMerger(set)
+	for _, emb := range q.Embeddings {
+		var relevant []int
+		for _, mi := range core.FilterMappings(set, emb) {
+			if keepSet[mi] {
+				relevant = append(relevant, mi)
+			}
+		}
+		if len(relevant) == 0 {
+			continue
+		}
+		e.gatherSubset(q, emb, set, sh, bt, relevant, subs, results)
+	}
+	return results.Finish()
+}
+
+// gatherSubset scatters one embedding's relevant mappings across the
+// shards (each shard running the chunked Algorithm 4 under its own
+// sub-budget) and gathers the per-mapping shard streams in collection
+// order.
+func (e *Engine) gatherSubset(q *core.Query, emb twig.Embedding, set *mapping.Set, sh Shards,
+	bt *core.BlockTree, relevant []int, subs []*Engine, results *core.ResultMerger) {
+
+	perShard := make([]map[int][]twig.Match, len(sh.Docs))
+	e.parallelRanges(len(sh.Docs), len(sh.Docs), func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			start := time.Now()
+			perShard[s] = subs[s].subsetMap(q, emb, set, sh.Docs[s], bt, relevant)
+			sh.observe(s, time.Since(start))
+		}
+	})
+	streams := make([][]twig.Match, len(sh.Docs))
+	for _, mi := range relevant {
+		for s := range perShard {
+			streams[s] = perShard[s][mi]
+		}
+		results.AddStreams(mi, streams)
+	}
+}
+
+// subsetMap evaluates one embedding's relevant mappings over one document
+// with core.EvaluateSubset, chunked across the (sub-)engine's workers like
+// evalSubsetChunked but returning the merged per-mapping map instead of
+// feeding a merger — chunk outputs key disjoint mapping indices, so the
+// merge is a plain map union.
+func (e *Engine) subsetMap(q *core.Query, emb twig.Embedding, set *mapping.Set,
+	doc *xmltree.Document, bt *core.BlockTree, relevant []int) map[int][]twig.Match {
+
+	if e.workers <= 1 || len(relevant) <= 1 {
+		return core.EvaluateSubset(q, emb, set, doc, bt, relevant)
+	}
+	chunks := make([]map[int][]twig.Match, min(e.workers, len(relevant)))
+	e.parallelRanges(len(relevant), len(chunks), func(part, lo, hi int) {
+		chunks[part] = core.EvaluateSubset(q, emb, set, doc, bt, relevant[lo:hi])
+	})
+	out := chunks[0]
+	for _, pm := range chunks[1:] {
+		for mi, m := range pm {
+			out[mi] = m
+		}
+	}
+	return out
+}
+
+// EvaluateBatchAcross answers many queries over one sharded collection,
+// fanning the requests across the engine's worker budget like
+// EvaluateBatch; each request then scatters across the shards under the
+// same budget (nested admission, inline fallback — no deadlock, no
+// overcommit).
+func (e *Engine) EvaluateBatchAcross(set *mapping.Set, sh Shards, bt *core.BlockTree, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	e.parallelRanges(len(reqs), len(reqs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = e.answerAcross(set, sh, bt, reqs[i])
+		}
+	})
+	return out
+}
+
+func (e *Engine) answerAcross(set *mapping.Set, sh Shards, bt *core.BlockTree, req Request) Response {
+	q, err := e.Prepare(req.Pattern, set)
+	if err != nil {
+		return Response{Request: req, Err: err}
+	}
+	var results []core.Result
+	switch {
+	case bt == nil:
+		results = e.EvaluateBasicAcross(q, set, sh)
+	case req.K > 0:
+		results = e.EvaluateTopKAcross(q, set, sh, bt, req.K)
+	default:
+		results = e.EvaluateAcross(q, set, sh, bt)
+	}
+	return Response{Request: req, Query: q, Results: results}
+}

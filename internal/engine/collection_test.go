@@ -1,0 +1,206 @@
+package engine_test
+
+// Cross-shard differential tests: evaluating a collection's members with
+// the Across evaluators must return byte-identical results to evaluating
+// their concatenation (xmltree.Corpus) as one document with the
+// sequential core evaluators — same mappings, same match order, same
+// probabilities — for every shard count, worker count, and query mode.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/engine"
+	"xmatch/internal/mapgen"
+	"xmatch/internal/mapping"
+	"xmatch/internal/xmltree"
+)
+
+// collFixture holds one corpus layout: the sharded members and the
+// single-document oracle assembled from them.
+type collFixture struct {
+	members []*xmltree.Document
+	corpus  *xmltree.Document
+	base    *mapping.Set
+}
+
+func newCollFixture(t *testing.T, shards, totalNodes int) *collFixture {
+	t.Helper()
+	d, err := dataset.Load("D7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mapgen.TopH(d.Matching, 80, mapgen.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := d.OrderCorpus(shards, totalNodes, 7)
+	corpus, err := xmltree.Corpus(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &collFixture{members: members, corpus: corpus, base: base}
+}
+
+func collShardCounts() []int { return []int{1, 2, 4} }
+
+func collWorkerCounts() []int { return []int{1, 4} }
+
+func TestCollectionDifferentialBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, shards := range collShardCounts() {
+		fix := newCollFixture(t, shards, 4800)
+		set := randomSubSet(t, fix.base, rng)
+		for _, spec := range dataset.Queries() {
+			q, err := core.PrepareQuery(spec.Text, set)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			want := core.EvaluateBasic(q, set, fix.corpus)
+			for _, w := range collWorkerCounts() {
+				e := engine.New(engine.Options{Workers: w})
+				got := e.EvaluateBasicAcross(q, set, engine.Shards{Docs: fix.members})
+				assertSameResults(t, fmt.Sprintf("shards=%d %s workers=%d", shards, spec.ID, w), want, got)
+			}
+		}
+	}
+}
+
+func TestCollectionDifferentialCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, shards := range collShardCounts() {
+		fix := newCollFixture(t, shards, 4800)
+		set := randomSubSet(t, fix.base, rng)
+		bt, err := core.Build(set, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range dataset.Queries() {
+			q, err := core.PrepareQuery(spec.Text, set)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			want := core.Evaluate(q, set, fix.corpus, bt)
+			for _, w := range collWorkerCounts() {
+				e := engine.New(engine.Options{Workers: w})
+				got := e.EvaluateAcross(q, set, engine.Shards{Docs: fix.members}, bt)
+				assertSameResults(t, fmt.Sprintf("shards=%d %s workers=%d", shards, spec.ID, w), want, got)
+			}
+		}
+	}
+}
+
+func TestCollectionDifferentialTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, shards := range collShardCounts() {
+		fix := newCollFixture(t, shards, 4800)
+		set := randomSubSet(t, fix.base, rng)
+		bt, err := core.Build(set, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := []int{1, set.Len() / 2, set.Len() + 5}
+		for _, spec := range dataset.Queries()[:5] {
+			q, err := core.PrepareQuery(spec.Text, set)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			for _, k := range ks {
+				want := core.EvaluateTopK(q, set, fix.corpus, bt, k)
+				for _, w := range collWorkerCounts() {
+					e := engine.New(engine.Options{Workers: w})
+					got := e.EvaluateTopKAcross(q, set, engine.Shards{Docs: fix.members}, bt, k)
+					assertSameResults(t, fmt.Sprintf("shards=%d %s k=%d workers=%d", shards, spec.ID, k, w), want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectionDifferentialBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	specs := dataset.Queries()
+	for _, shards := range collShardCounts() {
+		fix := newCollFixture(t, shards, 4800)
+		set := randomSubSet(t, fix.base, rng)
+		bt, err := core.Build(set, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := make([]engine.Request, 9)
+		for i := range reqs {
+			spec := specs[rng.Intn(len(specs))]
+			reqs[i] = engine.Request{Pattern: spec.Text, K: rng.Intn(3) * 4} // K in {0, 4, 8}
+		}
+		for _, w := range collWorkerCounts() {
+			e := engine.New(engine.Options{Workers: w})
+			resps := e.EvaluateBatchAcross(set, engine.Shards{Docs: fix.members}, bt, reqs)
+			if len(resps) != len(reqs) {
+				t.Fatalf("shards=%d workers=%d: %d responses", shards, w, len(resps))
+			}
+			for i, resp := range resps {
+				if resp.Err != nil {
+					t.Fatalf("shards=%d workers=%d req %d: %v", shards, w, i, resp.Err)
+				}
+				q, err := core.PrepareQuery(reqs[i].Pattern, set)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []core.Result
+				if reqs[i].K > 0 {
+					want = core.EvaluateTopK(q, set, fix.corpus, bt, reqs[i].K)
+				} else {
+					want = core.Evaluate(q, set, fix.corpus, bt)
+				}
+				assertSameResults(t, fmt.Sprintf("shards=%d workers=%d req %d", shards, w, i), want, resp.Results)
+			}
+		}
+	}
+}
+
+// TestCollectionObserver: the per-shard observer fires for every shard —
+// including under the single-shard delegation — with non-negative timings,
+// and must tolerate concurrent invocation (run under -race).
+func TestCollectionObserver(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, shards := range []int{1, 3} {
+		fix := newCollFixture(t, shards, 2400)
+		set := randomSubSet(t, fix.base, rng)
+		bt, err := core.Build(set, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := core.PrepareQuery(dataset.Queries()[0].Text, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		perShard := make([]int64, shards)
+		var calls atomic.Int64
+		obs := func(s int, took time.Duration) {
+			if took < 0 {
+				t.Errorf("negative duration on shard %d", s)
+			}
+			calls.Add(1)
+			mu.Lock()
+			perShard[s]++
+			mu.Unlock()
+		}
+		e := engine.New(engine.Options{Workers: 4})
+		e.EvaluateAcross(q, set, engine.Shards{Docs: fix.members, Observe: obs}, bt)
+		if calls.Load() == 0 {
+			t.Fatalf("shards=%d: observer never fired", shards)
+		}
+		for s, n := range perShard {
+			if n == 0 {
+				t.Fatalf("shards=%d: shard %d never observed", shards, s)
+			}
+		}
+	}
+}

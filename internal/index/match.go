@@ -233,6 +233,24 @@ type resultMemo struct {
 	}
 }
 
+// PurgeMemo drops the cached evaluation results of this index and every
+// base index below it in the overlay chain. The server calls it on the
+// outgoing catalog after an admin reload so a retired epoch's memo — which
+// pins match slices over the old document — is released even while
+// in-flight queries still hold the old snapshot. It is safe to call
+// concurrently with MatchTwig: readers see a nil map as a miss and the
+// write path recreates the map before inserting.
+func (ix *Index) PurgeMemo() {
+	for x := ix; x != nil; x = x.base {
+		for i := range x.memo.shards {
+			shard := &x.memo.shards[i]
+			shard.mu.Lock()
+			shard.m = nil
+			shard.mu.Unlock()
+		}
+	}
+}
+
 // twigState is the per-evaluation working set: the pattern subtree in
 // preorder, one candidate list per pattern node, the decode cache, and
 // the pooled survivor buffers. States are recycled through a sync.Pool,

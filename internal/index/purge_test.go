@@ -1,0 +1,112 @@
+package index_test
+
+// PurgeMemo lifecycle tests: purging drops the cached evaluations across
+// the whole overlay chain, later queries still answer correctly (and
+// repopulate the cache), and purging races cleanly against concurrent
+// MatchTwig callers — the reload path the server exercises. Run under
+// -race in CI.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"xmatch/internal/index"
+	"xmatch/internal/twig"
+	"xmatch/internal/xmltree"
+)
+
+func TestPurgeMemoAnswersSurvive(t *testing.T) {
+	doc := buildDoc()
+	ix := index.Build(doc)
+	p := twig.MustParse(`Order/POLine[./LineNo="2"]/Quantity`)
+	n := p.Nodes()
+	paths := twig.PathBinding{n[0]: "PO", n[1]: "PO.Line", n[2]: "PO.Line.Num", n[3]: "PO.Line.Qty"}
+
+	want := ix.MatchTwig(doc, p.Root, paths)
+	if len(want) != 1 {
+		t.Fatalf("matches = %d, want 1", len(want))
+	}
+	// Warm hit before the purge, cold recompute after it: both identical.
+	if got := ix.MatchTwig(doc, p.Root, paths); !reflect.DeepEqual(got, want) {
+		t.Fatal("warm memo hit diverged")
+	}
+	ix.PurgeMemo()
+	if got := ix.MatchTwig(doc, p.Root, paths); !reflect.DeepEqual(got, want) {
+		t.Fatal("post-purge evaluation diverged")
+	}
+	ix.PurgeMemo()
+}
+
+// TestPurgeMemoConcurrentMatch: purge storms while other goroutines
+// evaluate the same patterns. The race detector proves readers never see
+// a mid-purge map; the assertions prove answers stay right.
+func TestPurgeMemoConcurrentMatch(t *testing.T) {
+	doc := buildDoc()
+	ix := index.Build(doc)
+	p := twig.MustParse(`Order/POLine/Quantity`)
+	n := p.Nodes()
+	paths := twig.PathBinding{n[0]: "PO", n[1]: "PO.Line", n[2]: "PO.Line.Qty"}
+	want := twig.MatchByPaths(doc, p.Root, paths)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := ix.MatchTwig(doc, p.Root, paths); !reflect.DeepEqual(got, want) {
+					t.Error("concurrent evaluation diverged during purge")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		ix.PurgeMemo()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPurgeMemoOverlayChain: purging the tip of an overlay chain reaches
+// the base indexes too — the server purges whatever index the retired
+// snapshot holds, which after mutations is an overlay over older epochs.
+func TestPurgeMemoOverlayChain(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a><b>x</b></a><a><b>y</b></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	p := twig.MustParse(`r/a/b`)
+	n := p.Nodes()
+	paths := twig.PathBinding{n[0]: "r", n[1]: "r.a", n[2]: "r.a.b"}
+	if ms := ix.MatchTwig(doc, p.Root, paths); len(ms) != 2 {
+		t.Fatalf("base matches = %d, want 2", len(ms))
+	}
+
+	rev := doc.BeginRevision()
+	target := rev.LocateByPath("r.a.b", 0)
+	if target == nil {
+		t.Fatal("r.a.b not found")
+	}
+	if err := rev.SetText(target.Start, "z"); err != nil {
+		t.Fatal(err)
+	}
+	newDoc, cs := rev.Commit()
+	tip := ix.ApplyChanges(newDoc, cs)
+	if tip.Epoch() == 0 || tip.Stats().Overlays == 0 {
+		t.Fatalf("expected an overlay tip, got epoch %d overlays %d", tip.Epoch(), tip.Stats().Overlays)
+	}
+	wantTip := tip.MatchTwig(newDoc, p.Root, paths)
+	tip.PurgeMemo() // must walk down to the base without panicking
+	if got := tip.MatchTwig(newDoc, p.Root, paths); !reflect.DeepEqual(got, wantTip) {
+		t.Fatal("overlay evaluation diverged after chain purge")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"xmatch/internal/core"
 	"xmatch/internal/dataset"
@@ -19,35 +20,73 @@ import (
 	"xmatch/internal/xmltree"
 )
 
-// Dataset is one prepared serving tenant: a mapping set, the live document
-// it is queried over, the block tree, and a per-dataset engine (own worker
-// pool and prepared-query cache). The mapping set, block tree, and engine
-// are immutable; the document and its positional index live behind a
-// delta.Handle, which serializes writers and publishes immutable
-// (document, index) snapshot pairs — a request pins one snapshot up front
-// and every engine worker shares it read-only with zero synchronization.
-type Dataset struct {
+// Shard is one member document of a serving collection: its mutable
+// identity behind a delta.Handle (own positional index, own snapshot
+// pins, own edit log) plus a per-shard query-latency histogram fed by the
+// engine's scatter observer.
+type Shard struct {
+	// Live owns the member document's mutable identity: Live.Snapshot()
+	// is the current (document, index) pair, /v1/admin/mutate applies
+	// batches through it.
+	Live *delta.Handle
+
+	// editLog is the resolved edit-log file path; empty means mutations
+	// to this shard are in-memory only (lost on reload).
+	editLog string
+
+	// lat accumulates per-shard evaluation wall time, one observation per
+	// (embedding, shard) scatter unit.
+	lat histogram
+}
+
+// EditLogPath returns the shard's resolved edit-log file path ("" when
+// mutations are not persisted).
+func (s *Shard) EditLogPath() string { return s.editLog }
+
+// Collection is one prepared serving tenant: a mapping set, the block
+// tree, a per-collection engine (own worker pool and prepared-query
+// cache), and one or more member document shards queried together.
+// The mapping set, block tree, and engine are immutable and shared by
+// every shard; each shard's document and positional index live behind its
+// own delta.Handle, which serializes writers and publishes immutable
+// (document, index) snapshot pairs — a request pins one snapshot per
+// shard up front and every engine worker shares them read-only with zero
+// synchronization. Shard documents carry disjoint ascending interval
+// ranges (dataset.OrderCorpus), so a scatter-gather query returns
+// byte-identical answers to evaluating the concatenated corpus as one
+// document.
+type Collection struct {
 	Name   string
 	Set    *mapping.Set
 	Tree   *core.BlockTree
 	Engine *engine.Engine
-	// Live owns the document's mutable identity: Live.Snapshot() is the
-	// current (document, index) pair, /v1/admin/mutate applies batches
-	// through it.
+	// Live is shard 0's handle, kept as a field so the overwhelmingly
+	// common single-shard collection reads like the dataset it used to be.
 	Live *delta.Handle
 
-	// editLog is the resolved edit-log file path; empty means mutations
-	// are in-memory only (lost on reload).
-	editLog string
+	shards []*Shard
 }
 
-// NewDataset builds a serving dataset: block tree (tau 0 = default 0.2),
-// positional index (built here unless one — typically loaded from a store
-// blob — is already attached to the document), plus a dedicated engine.
-// The document must not be mutated afterwards except through Live.
+// Dataset is the historical name for a single-shard collection; the two
+// are the same type and every Dataset method works on any collection.
+type Dataset = Collection
+
+// NewDataset builds a single-shard serving collection; see NewCollection.
 func NewDataset(name string, set *mapping.Set, doc *xmltree.Document, tau float64, eopts engine.Options) (*Dataset, error) {
+	return NewCollection(name, set, []*xmltree.Document{doc}, tau, eopts)
+}
+
+// NewCollection builds a serving collection over the member documents:
+// block tree (tau 0 = default 0.2), one positional index per member
+// (built by delta.Open unless one — typically loaded from a store blob —
+// is already attached), plus a dedicated engine. The documents must not
+// be mutated afterwards except through the shards' handles.
+func NewCollection(name string, set *mapping.Set, docs []*xmltree.Document, tau float64, eopts engine.Options) (*Collection, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: dataset has no name")
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("server: dataset %s has no documents", name)
 	}
 	bt, err := core.Build(set, core.Options{Tau: tau})
 	if err != nil {
@@ -56,50 +95,89 @@ func NewDataset(name string, set *mapping.Set, doc *xmltree.Document, tau float6
 	if eopts.Workers == 0 {
 		eopts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Dataset{Name: name, Set: set, Tree: bt, Engine: engine.New(eopts), Live: delta.Open(doc)}, nil
+	c := &Collection{Name: name, Set: set, Tree: bt, Engine: engine.New(eopts)}
+	for _, doc := range docs {
+		c.shards = append(c.shards, &Shard{Live: delta.Open(doc)})
+	}
+	c.Live = c.shards[0].Live
+	return c, nil
 }
 
-// Snapshot pins the dataset's current (document, index) snapshot. Request
-// handlers call it exactly once and evaluate everything against the pinned
-// pair, so a concurrent mutation never changes a request mid-flight.
-func (d *Dataset) Snapshot() *delta.Snapshot { return d.Live.Snapshot() }
+// NumShards returns the number of member documents.
+func (d *Collection) NumShards() int { return len(d.shards) }
 
-// Doc returns the current snapshot's document. Prefer Snapshot when more
+// Shards returns the member shards in collection order. The slice is the
+// collection's own; callers must not mutate it.
+func (d *Collection) Shards() []*Shard { return d.shards }
+
+// Snapshot pins shard 0's current (document, index) snapshot — the whole
+// collection for the single-shard case.
+func (d *Collection) Snapshot() *delta.Snapshot { return d.shards[0].Live.Snapshot() }
+
+// Snapshots pins every shard's current snapshot, in collection order.
+// Request handlers call it exactly once and evaluate everything against
+// the pinned pairs, so a concurrent mutation never changes a request
+// mid-flight (per shard; cross-shard cuts are not atomic — each member
+// document is an independent consistency domain).
+func (d *Collection) Snapshots() []*delta.Snapshot {
+	out := make([]*delta.Snapshot, len(d.shards))
+	for i, s := range d.shards {
+		out[i] = s.Live.Snapshot()
+	}
+	return out
+}
+
+// Doc returns shard 0's current document. Prefer Snapshot when more
 // than one field of the pair is needed.
-func (d *Dataset) Doc() *xmltree.Document { return d.Live.Snapshot().Doc }
+func (d *Collection) Doc() *xmltree.Document { return d.shards[0].Live.Snapshot().Doc }
 
-// Index returns the current snapshot's positional index.
-func (d *Dataset) Index() *index.Index { return d.Live.Snapshot().Index }
+// Index returns shard 0's current positional index.
+func (d *Collection) Index() *index.Index { return d.shards[0].Live.Snapshot().Index }
 
-// EditLogPath returns the dataset's resolved edit-log file path ("" when
+// EditLogPath returns shard 0's resolved edit-log file path ("" when
 // mutations are not persisted).
-func (d *Dataset) EditLogPath() string { return d.editLog }
+func (d *Collection) EditLogPath() string { return d.shards[0].editLog }
 
-// WithEditLog configures edit-log persistence: applied batches are
-// appended to the file at path, and ReplayEditLog restores them. Must be
-// called before the dataset is published.
-func (d *Dataset) WithEditLog(path string) *Dataset {
-	d.editLog = path
+// WithEditLog configures edit-log persistence: batches applied to shard 0
+// append to the file at path, shard i > 0 to path+".s<i>", and
+// ReplayEditLog restores all of them. Must be called before the
+// collection is published.
+func (d *Collection) WithEditLog(path string) *Dataset {
+	for i, s := range d.shards {
+		if i == 0 {
+			s.editLog = path
+		} else {
+			s.editLog = fmt.Sprintf("%s.s%d", path, i)
+		}
+	}
 	return d
 }
 
-// ReplayEditLog replays the dataset's persisted edit log (if any) over
-// the pristine document, restoring its edited state. Called once at
-// catalog-prepare time, before the dataset is published.
-func (d *Dataset) ReplayEditLog() error {
-	if d.editLog == "" {
-		return nil
-	}
-	batches, err := store.LoadEditLogFile(d.editLog)
-	if err != nil {
-		return fmt.Errorf("server: dataset %s: edit log %s: %w", d.Name, d.editLog, err)
-	}
-	for i, b := range batches {
-		if _, err := d.Live.Apply(b); err != nil {
-			return fmt.Errorf("server: dataset %s: edit log %s: replaying batch %d: %w", d.Name, d.editLog, i, err)
+// ReplayEditLog replays every shard's persisted edit log (if any) over
+// its pristine document, restoring the collection's edited state. Called
+// once at catalog-prepare time, before the collection is published.
+func (d *Collection) ReplayEditLog() error {
+	for si, s := range d.shards {
+		if s.editLog == "" {
+			continue
+		}
+		batches, err := store.LoadEditLogFile(s.editLog)
+		if err != nil {
+			return fmt.Errorf("server: dataset %s shard %d: edit log %s: %w", d.Name, si, s.editLog, err)
+		}
+		for i, b := range batches {
+			if _, err := s.Live.Apply(b); err != nil {
+				return fmt.Errorf("server: dataset %s shard %d: edit log %s: replaying batch %d: %w", d.Name, si, s.editLog, i, err)
+			}
 		}
 	}
 	return nil
+}
+
+// observeShard records one per-shard evaluation timing; handed to
+// engine.Shards.Observe by the query handlers. Safe for concurrent use.
+func (d *Collection) observeShard(shard int, took time.Duration) {
+	d.shards[shard].lat.observe(took)
 }
 
 // Catalog is an immutable snapshot of the serving datasets, looked up by
@@ -164,7 +242,7 @@ func BuildCatalog(man *store.Catalog, baseDir string, eopts engine.Options) (*Ca
 
 func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*Dataset, error) {
 	var set *mapping.Set
-	var doc *xmltree.Document
+	var docs []*xmltree.Document
 	if e.Dataset != "" {
 		d, err := dataset.Load(e.Dataset)
 		if err != nil {
@@ -182,7 +260,13 @@ func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*
 		if nodes == 0 {
 			nodes = DefaultDocNodes
 		}
-		doc = d.OrderDocument(nodes, e.DocSeed)
+		if e.Shards > 1 {
+			// DocNodes is the total budget across members; OrderCorpus
+			// assigns each member its own disjoint interval range.
+			docs = d.OrderCorpus(e.Shards, nodes, e.DocSeed)
+		} else {
+			docs = []*xmltree.Document{d.OrderDocument(nodes, e.DocSeed)}
+		}
 	} else {
 		f, err := os.Open(filepath.Join(baseDir, e.SetPath))
 		if err != nil {
@@ -193,6 +277,7 @@ func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*
 		if err != nil {
 			return nil, fmt.Errorf("server: dataset %s: %w", e.Name, err)
 		}
+		var doc *xmltree.Document
 		if e.DocPath != "" {
 			df, err := os.Open(filepath.Join(baseDir, e.DocPath))
 			if err != nil {
@@ -221,15 +306,16 @@ func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*
 			}
 			ix.Install()
 		}
+		docs = []*xmltree.Document{doc}
 	}
-	d, err := NewDataset(e.Name, set, doc, e.Tau, eopts)
+	d, err := NewCollection(e.Name, set, docs, e.Tau, eopts)
 	if err != nil {
 		return nil, err
 	}
 	if e.EditLogPath != "" {
 		// Replay restores the entry's edited state over the pristine
-		// document (blob-backed or regenerated alike) without re-parsing
-		// mutated XML; later mutations append to the same log.
+		// documents (blob-backed or regenerated alike) without re-parsing
+		// mutated XML; later mutations append to the same logs.
 		d.WithEditLog(filepath.Join(baseDir, e.EditLogPath))
 		if err := d.ReplayEditLog(); err != nil {
 			return nil, err

@@ -1,0 +1,157 @@
+package server_test
+
+// Hardening pass over the HTTP surface: uniform method enforcement (405 +
+// Allow header on every endpoint), uniform body-size enforcement (413 on
+// every body-decoding endpoint), and the reload lifecycle under
+// concurrent queries — an in-flight query on a reloaded dataset keeps its
+// pinned snapshot and never misbehaves while the retired catalog's result
+// memos are dropped. Run under -race in CI.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmatch/internal/dataset"
+	"xmatch/internal/server"
+)
+
+func doMethod(t *testing.T, method, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestMethodEnforcement: every endpoint answers 405 with an Allow header
+// for every method it does not serve — uniformly, read and admin paths
+// alike.
+func TestMethodEnforcement(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	endpoints := []struct {
+		path  string
+		allow string
+	}{
+		{"/v1/query", http.MethodPost},
+		{"/v1/batch", http.MethodPost},
+		{"/v1/admin/mutate", http.MethodPost},
+		{"/v1/admin/reload", http.MethodPost},
+		{"/v1/datasets", http.MethodGet},
+		{"/healthz", http.MethodGet},
+		{"/statsz", http.MethodGet},
+	}
+	for _, ep := range endpoints {
+		for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+			resp := doMethod(t, m, env.ts.URL+ep.path)
+			if m == ep.allow {
+				if resp.StatusCode == http.StatusMethodNotAllowed {
+					t.Errorf("%s %s: unexpectedly 405", m, ep.path)
+				}
+				continue
+			}
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", m, ep.path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("Allow"); got != ep.allow {
+				t.Errorf("%s %s: Allow %q, want %q", m, ep.path, got, ep.allow)
+			}
+		}
+	}
+}
+
+// TestBodySizeLimit: every body-decoding endpoint rejects an oversized
+// body with 413 — not the generic 400 — so clients can tell "shrink the
+// request" apart from "fix the request".
+func TestBodySizeLimit(t *testing.T) {
+	env := newTestEnv(t, server.Options{MaxBodyBytes: 256})
+	huge := strings.Repeat("x", 1024)
+	for _, path := range []string{"/v1/query", "/v1/batch", "/v1/admin/mutate"} {
+		body, err := json.Marshal(map[string]string{"dataset": "orders", "pattern": huge})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(env.ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", path, resp.StatusCode)
+		}
+		// A body within the cap still decodes (and fails for its own
+		// reasons, not the size).
+		resp2, _ := postJSON(t, env.ts.URL+path, map[string]string{"dataset": "orders"})
+		if resp2.StatusCode == http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: small body rejected as oversized", path)
+		}
+	}
+}
+
+// TestReloadUnderConcurrentQueries is the reload lifecycle audit: clients
+// hammer /v1/query (all modes, both datasets) while reloads swap the
+// catalog — and purge the retired indexes' result memos — underneath
+// them. Every query must answer 200 with a well-formed body; an in-flight
+// request's pinned snapshot outlives the reload that retired it. The -race
+// run is the point: it proves queries never observe a freed or mid-purge
+// memo.
+func TestReloadUnderConcurrentQueries(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	patterns := []string{dataset.Queries()[0].Text, dataset.Queries()[3].Text}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			modes := []string{"basic", "compact", "topk"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mode := modes[i%len(modes)]
+				k := 0
+				if mode == "topk" {
+					k = 2
+				}
+				resp, body := postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{
+					Dataset: "orders", Pattern: patterns[i%len(patterns)], Mode: mode, K: k,
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status %d: %s", w, resp.StatusCode, body)
+					return
+				}
+				var qr rawQueryResp
+				if err := json.Unmarshal(body, &qr); err != nil || len(qr.Results) == 0 {
+					t.Errorf("worker %d: malformed body: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	before := *env.loads
+	for i := 0; i < 6; i++ {
+		resp, body := postJSON(t, env.ts.URL+"/v1/admin/reload", struct{}{})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("reload %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if *env.loads != before+6 {
+		t.Fatalf("loader ran %d times during the test, want 6", *env.loads-before)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"xmatch/internal/delta"
 	"xmatch/internal/engine"
 	"xmatch/internal/store"
+	"xmatch/internal/xmltree"
 )
 
 // Options configure the HTTP layer. The zero value is serviceable.
@@ -126,7 +127,19 @@ func (s *Server) Reload() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.cat.Store(cat)
+	if old := s.cat.Swap(cat); old != nil {
+		// The retired catalog's indexes may be pinned by in-flight requests
+		// for a while yet, but their result memos — whole cached evaluations
+		// over the old epochs — would otherwise keep entire superseded
+		// documents reachable for as long as the memo maps live. Purging is
+		// safe under concurrent queries: an in-flight evaluation just sees a
+		// cold cache and recomputes against its pinned snapshot.
+		for _, d := range old.Datasets() {
+			for _, sh := range d.Shards() {
+				sh.Live.Snapshot().Index.PurgeMemo()
+			}
+		}
+	}
 	s.stats.reloads.Add(1)
 	names := make([]string, 0, len(cat.names))
 	names = append(names, cat.names...)
@@ -208,9 +221,13 @@ type DatasetInfo struct {
 	Target   string `json:"target"`
 	Mappings int    `json:"mappings"`
 	DocNodes int    `json:"docNodes"`
-	// Epoch is the document's current mutation epoch (0 = pristine).
-	Epoch  uint64 `json:"epoch"`
-	Blocks int    `json:"blocks"`
+	// Epoch is the collection's highest per-shard mutation epoch
+	// (0 = every shard pristine).
+	Epoch uint64 `json:"epoch"`
+	// Shards is the number of member documents (1 = classic single
+	// document); DocNodes totals across them.
+	Shards int `json:"shards"`
+	Blocks int `json:"blocks"`
 }
 
 // errorResponse is the body of every non-2xx reply.
@@ -243,12 +260,37 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
+// failBody maps a decodeBody error onto the right status: an oversized
+// body is 413 (the request was well-formed, just too big — retrying it
+// unchanged cannot help), anything else is 400. Every body-decoding
+// handler routes through here so the two cases stay uniform across
+// endpoints.
+func (s *Server) failBody(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+}
+
+// method enforces a handler's single allowed HTTP method, answering 405
+// with an Allow header otherwise. Returns true when the request may
+// proceed.
+func (s *Server) method(w http.ResponseWriter, r *http.Request, want string) bool {
+	if r.Method != want {
+		w.Header().Set("Allow", want)
+		s.fail(w, http.StatusMethodNotAllowed, "use %s", want)
+		return false
+	}
+	return true
+}
+
 // timed wraps a handler with method enforcement, the in-flight gauge, the
 // request counter, and the latency histogram.
 func (s *Server) timed(h *histogram, counter *atomic.Uint64, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		if !s.method(w, r, http.MethodPost) {
 			return
 		}
 		counter.Add(1)
@@ -262,10 +304,20 @@ func (s *Server) timed(h *histogram, counter *atomic.Uint64, fn http.HandlerFunc
 	}
 }
 
+// shardDocs projects pinned snapshots onto the documents the engine's
+// Across evaluators scatter over.
+func shardDocs(snaps []*delta.Snapshot) []*xmltree.Document {
+	docs := make([]*xmltree.Document, len(snaps))
+	for i, sn := range snaps {
+		docs[i] = sn.Doc
+	}
+	return docs
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failBody(w, err)
 		return
 	}
 	ds := s.Catalog().Get(req.Dataset)
@@ -290,23 +342,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "unknown mode %q (want basic, compact, or topk)", mode)
 		return
 	}
-	// Pin the document snapshot once: every evaluation below sees this
-	// exact (document, index) pair even if a mutation lands mid-request.
-	snap := ds.Snapshot()
+	// Pin every shard's snapshot once: each evaluation below sees these
+	// exact (document, index) pairs even if a mutation lands mid-request.
+	// The scatter runs under one Sub budget, so a sharded collection holds
+	// no more pool slots than a single-document dataset would.
+	snaps := ds.Snapshots()
 	eng := ds.Engine.Sub(s.budget(ds))
 	q, err := eng.Prepare(req.Pattern, ds.Set)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sh := engine.Shards{Docs: shardDocs(snaps), Observe: ds.observeShard}
 	var results []core.Result
 	switch mode {
 	case "basic":
-		results = eng.EvaluateBasic(q, ds.Set, snap.Doc)
+		results = eng.EvaluateBasicAcross(q, ds.Set, sh)
 	case "compact":
-		results = eng.Evaluate(q, ds.Set, snap.Doc, ds.Tree)
+		results = eng.EvaluateAcross(q, ds.Set, sh, ds.Tree)
 	default: // topk
-		results = eng.EvaluateTopK(q, ds.Set, snap.Doc, ds.Tree, req.K)
+		results = eng.EvaluateTopKAcross(q, ds.Set, sh, ds.Tree, req.K)
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Dataset: req.Dataset,
@@ -321,7 +376,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failBody(w, err)
 		return
 	}
 	ds := s.Catalog().Get(req.Dataset)
@@ -337,16 +392,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "batch has %d queries, limit %d", len(req.Queries), s.opts.MaxBatchQueries)
 		return
 	}
-	// One snapshot pin for the whole batch: its queries are answered over
-	// a single consistent document state.
-	snap := ds.Snapshot()
+	// One snapshot pin per shard for the whole batch: its queries are
+	// answered over a single consistent per-shard document state.
+	snaps := ds.Snapshots()
 	eng := ds.Engine.Sub(s.budget(ds))
+	sh := engine.Shards{Docs: shardDocs(snaps), Observe: ds.observeShard}
 	engReqs := make([]engine.Request, len(req.Queries))
 	for i, bq := range req.Queries {
 		engReqs[i] = engine.Request{Pattern: bq.Pattern, K: bq.K}
 	}
 	resp := BatchResponse{Dataset: req.Dataset, Responses: make([]BatchAnswer, len(engReqs))}
-	for i, er := range eng.EvaluateBatch(ds.Set, snap.Doc, ds.Tree, engReqs) {
+	for i, er := range eng.EvaluateBatchAcross(ds.Set, sh, ds.Tree, engReqs) {
 		ba := BatchAnswer{Pattern: er.Pattern, K: er.K}
 		if er.Err != nil {
 			ba.Error = er.Err.Error()
@@ -360,21 +416,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+	if !s.method(w, r, http.MethodGet) {
 		return
 	}
 	cat := s.Catalog()
 	infos := make([]DatasetInfo, 0, len(cat.names))
 	for _, d := range cat.Datasets() {
-		snap := d.Snapshot()
+		var nodes int
+		var epoch uint64
+		for _, snap := range d.Snapshots() {
+			nodes += snap.Doc.Len()
+			if snap.Epoch > epoch {
+				epoch = snap.Epoch
+			}
+		}
 		infos = append(infos, DatasetInfo{
 			Name:     d.Name,
 			Source:   d.Set.Source.Name,
 			Target:   d.Set.Target.Name,
 			Mappings: d.Set.Len(),
-			DocNodes: snap.Doc.Len(),
-			Epoch:    snap.Epoch,
+			DocNodes: nodes,
+			Epoch:    epoch,
+			Shards:   d.NumShards(),
 			Blocks:   d.Tree.Stats().NumBlocks,
 		})
 	}
@@ -384,15 +447,21 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 // MutateRequest is the body of POST /v1/admin/mutate: one edit batch for
 // one dataset, applied atomically in order.
 type MutateRequest struct {
-	Dataset string       `json:"dataset"`
-	Edits   []delta.Edit `json:"edits"`
+	Dataset string `json:"dataset"`
+	// Shard selects the member document of a sharded collection the batch
+	// applies to; 0 (the default) is the single document of a classic
+	// dataset.
+	Shard int          `json:"shard,omitempty"`
+	Edits []delta.Edit `json:"edits"`
 }
 
 // MutateResponse is the body of a successful POST /v1/admin/mutate.
 type MutateResponse struct {
 	Dataset string `json:"dataset"`
-	// Epoch is the document epoch the batch produced; queries arriving
-	// after this response see it.
+	// Shard echoes the member document the batch landed on.
+	Shard int `json:"shard,omitempty"`
+	// Epoch is the shard's document epoch the batch produced; queries
+	// arriving after this response see it.
 	Epoch    uint64 `json:"epoch"`
 	Applied  int    `json:"applied"`
 	DocNodes int    `json:"docNodes"`
@@ -405,7 +474,11 @@ type MutateResponse struct {
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	var req MutateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.failBody(w, err)
+		return
+	}
+	if req.Shard < 0 {
+		s.fail(w, http.StatusBadRequest, "negative shard %d", req.Shard)
 		return
 	}
 	if len(req.Edits) == 0 {
@@ -435,11 +508,17 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
 		return
 	}
+	if req.Shard >= ds.NumShards() {
+		s.reloadMu.RUnlock()
+		s.fail(w, http.StatusBadRequest, "dataset %q has %d shards, no shard %d", req.Dataset, ds.NumShards(), req.Shard)
+		return
+	}
+	shard := ds.Shards()[req.Shard]
 	var log func([]delta.Edit) error
-	if p := ds.EditLogPath(); p != "" {
+	if p := shard.EditLogPath(); p != "" {
 		log = func(es []delta.Edit) error { return store.AppendEditBatchFile(p, es) }
 	}
-	snap, err := ds.Live.ApplyLogged(req.Edits, log)
+	snap, err := shard.Live.ApplyLogged(req.Edits, log)
 	s.reloadMu.RUnlock()
 	if err != nil {
 		var ee *delta.EditError
@@ -453,6 +532,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	s.stats.edits.Add(uint64(len(req.Edits)))
 	writeJSON(w, http.StatusOK, MutateResponse{
 		Dataset:   req.Dataset,
+		Shard:     req.Shard,
 		Epoch:     snap.Epoch,
 		Applied:   len(req.Edits),
 		DocNodes:  snap.Doc.Len(),
@@ -461,8 +541,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+	if !s.method(w, r, http.MethodPost) {
 		return
 	}
 	names, err := s.Reload()
@@ -474,8 +553,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+	if !s.method(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -519,6 +597,30 @@ type DatasetStats struct {
 	IndexOverlays int    `json:"indexOverlays"`
 	DocNodes      int    `json:"docNodes"`
 	EditLog       bool   `json:"editLog"`
+
+	// Shards breaks the collection down per member document. For a
+	// single-shard dataset the one row repeats the aggregate index/epoch
+	// fields above (which are sums across shards, Epoch and overlay depth
+	// excepted — those are maxima).
+	Shards []ShardStats `json:"shards"`
+}
+
+// ShardStats is one member document's row within a DatasetStats entry:
+// its own index footprint, mutation history, and the scatter-gather
+// latency histogram fed by the engine's per-shard observer (one
+// observation per (embedding, shard) evaluation unit, so a shard that
+// drags the gather down is visible directly).
+type ShardStats struct {
+	Shard         int            `json:"shard"`
+	DocNodes      int            `json:"docNodes"`
+	Epoch         uint64         `json:"epoch"`
+	IndexPostings int            `json:"indexPostings"`
+	IndexBytes    int            `json:"indexBytes"`
+	IndexOverlays int            `json:"indexOverlays"`
+	EditBatches   uint64         `json:"editBatches"`
+	EditsApplied  uint64         `json:"editsApplied"`
+	EditLog       bool           `json:"editLog"`
+	Latency       HistogramStats `json:"latency"`
 }
 
 // Stats is the /statsz payload.
@@ -536,8 +638,7 @@ type Stats struct {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+	if !s.method(w, r, http.MethodGet) {
 		return
 	}
 	st := Stats{
@@ -557,30 +658,54 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, d := range s.Catalog().Datasets() {
 		cs := d.Engine.CacheStats()
-		snap := d.Snapshot()
-		xs := snap.Index.Stats()
-		ls := d.Live.Stats()
-		st.Datasets = append(st.Datasets, DatasetStats{
+		row := DatasetStats{
 			Name:           d.Name,
 			CacheHits:      cs.Hits,
 			CacheMisses:    cs.Misses,
 			CacheEvictions: cs.Evictions,
 			CacheEntries:   cs.Entries,
-			IndexBuildMs:           float64(xs.BuildTime.Microseconds()) / 1e3,
-			IndexBytes:             xs.ResidentBytes,
-			IndexPostings:          xs.Postings,
-			IndexPaths:             xs.DistinctPaths,
-			IndexPostingsBytes:     xs.PostingsBytes,
-			IndexPostingsFlatBytes: xs.PostingsFlatBytes,
-			IndexCompression:       xs.CompressionRatio(),
-			IndexTextKeys:          xs.TextKeys,
-			Epoch:          snap.Epoch,
-			EditBatches:    ls.Batches,
-			EditsApplied:   ls.Edits,
-			IndexOverlays:  xs.Overlays,
-			DocNodes:       snap.Doc.Len(),
 			EditLog:        d.EditLogPath() != "",
-		})
+		}
+		for i, sh := range d.Shards() {
+			snap := sh.Live.Snapshot()
+			xs := snap.Index.Stats()
+			ls := sh.Live.Stats()
+			row.Shards = append(row.Shards, ShardStats{
+				Shard:         i,
+				DocNodes:      snap.Doc.Len(),
+				Epoch:         snap.Epoch,
+				IndexPostings: xs.Postings,
+				IndexBytes:    xs.ResidentBytes,
+				IndexOverlays: xs.Overlays,
+				EditBatches:   ls.Batches,
+				EditsApplied:  ls.Edits,
+				EditLog:       sh.EditLogPath() != "",
+				Latency:       sh.lat.snapshot(),
+			})
+			// Dataset-level index and mutation fields aggregate across
+			// shards: capacity-style numbers (bytes, postings, nodes,
+			// batches) sum; Epoch and overlay depth are per-shard maxima;
+			// DistinctPaths and TextKeys are schema-shaped — near-identical
+			// across members — so the maximum reads as "the" value.
+			row.IndexBuildMs += float64(xs.BuildTime.Microseconds()) / 1e3
+			row.IndexBytes += xs.ResidentBytes
+			row.IndexPostings += xs.Postings
+			row.IndexPostingsBytes += xs.PostingsBytes
+			row.IndexPostingsFlatBytes += xs.PostingsFlatBytes
+			row.DocNodes += snap.Doc.Len()
+			row.EditBatches += ls.Batches
+			row.EditsApplied += ls.Edits
+			row.IndexPaths = max(row.IndexPaths, xs.DistinctPaths)
+			row.IndexTextKeys = max(row.IndexTextKeys, xs.TextKeys)
+			row.Epoch = max(row.Epoch, snap.Epoch)
+			row.IndexOverlays = max(row.IndexOverlays, xs.Overlays)
+		}
+		if row.IndexPostingsFlatBytes == 0 {
+			row.IndexCompression = 1
+		} else {
+			row.IndexCompression = float64(row.IndexPostingsBytes) / float64(row.IndexPostingsFlatBytes)
+		}
+		st.Datasets = append(st.Datasets, row)
 	}
 	writeJSON(w, http.StatusOK, st)
 }

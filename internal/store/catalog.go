@@ -47,6 +47,14 @@ type CatalogEntry struct {
 	// Manifest format v3; older manifests decode with it empty.
 	EditLogPath string
 
+	// Shards is the number of member documents the entry's collection is
+	// sharded into. 0 and 1 both mean a single document. Values above 1
+	// require a built-in entry: the corpus members are regenerated
+	// deterministically (dataset.OrderCorpus) with DocNodes as the total
+	// node budget across members. Manifest format v5; older manifests
+	// decode with it 0.
+	Shards int
+
 	// DocNodes is the synthetic document size (built-in entries);
 	// 0 means 3473, the paper's Order.xml.
 	DocNodes int
@@ -82,6 +90,14 @@ func (c *Catalog) Validate() error {
 			// A built-in entry regenerates its document at load time, so a
 			// persisted index could only ever match by accident.
 			return formatErrorf("catalog entry %q: IndexPath requires a blob-backed entry", e.Name)
+		}
+		if e.Shards < 0 {
+			return formatErrorf("catalog entry %q: negative shard count", e.Name)
+		}
+		if e.Shards > 1 && e.Dataset == "" {
+			// Sharded collections regenerate their members; a blob-backed
+			// entry ships exactly one document (or one generated instance).
+			return formatErrorf("catalog entry %q: Shards > 1 requires a built-in entry", e.Name)
 		}
 	}
 	return nil

@@ -184,6 +184,57 @@ func TestStoreMigrateCatalogFields(t *testing.T) {
 	}
 }
 
+// TestStoreMigrateCatalogV4Shards: the shard count arrived with manifest
+// v5. A sharded entry round-trips under the current version; a v4 manifest
+// — written before the field existed — decodes with Shards 0 (a
+// single-document collection); and the new validation rules reject
+// malformed shard counts as *FormatError.
+func TestStoreMigrateCatalogV4Shards(t *testing.T) {
+	man := &Catalog{Entries: []CatalogEntry{
+		{Name: "corpus", Dataset: "D7", Shards: 4, DocNodes: 20000},
+		{Name: "single", Dataset: "D1"},
+	}}
+	var buf bytes.Buffer
+	if err := SaveCatalog(&buf, man); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCatalog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v%d round trip: %v", version, err)
+	}
+	if got.Entries[0].Shards != 4 || got.Entries[1].Shards != 0 {
+		t.Fatalf("shard counts lost in round trip: %+v", got.Entries)
+	}
+
+	// A genuine v4 manifest carries no Shards field in its payload (gob
+	// omits zero fields, and old writers had no field at all), so the
+	// pre-shards manifest re-enveloped at v4 is byte-equivalent to one an
+	// old build wrote. It must load with Shards 0 on every entry.
+	old := &Catalog{Entries: []CatalogEntry{{Name: "corpus", Dataset: "D7", DocNodes: 20000}}}
+	var obuf bytes.Buffer
+	if err := SaveCatalog(&obuf, old); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCatalog(bytes.NewReader(reversion(t, obuf.Bytes(), "catalog", 4)))
+	if err != nil {
+		t.Fatalf("v4 manifest under v5 reader: %v", err)
+	}
+	if got.Entries[0].Shards != 0 {
+		t.Fatalf("v4 manifest decoded with Shards %d, want 0", got.Entries[0].Shards)
+	}
+
+	for name, bad := range map[string]*Catalog{
+		"negative shards":    {Entries: []CatalogEntry{{Name: "x", Dataset: "D1", Shards: -1}}},
+		"blob-backed shards": {Entries: []CatalogEntry{{Name: "x", SetPath: "b.set", Shards: 2}}},
+	} {
+		err := bad.Validate()
+		var fe *FormatError
+		if err == nil || !errors.As(err, &fe) {
+			t.Errorf("%s: accepted or misclassified: %v", name, err)
+		}
+	}
+}
+
 // indexBlobWithSnapshot encodes an arbitrary flat snapshot payload under
 // a v3 envelope (the last flat-payload version), so each document
 // verification branch of LoadIndex can be driven directly.

@@ -24,11 +24,14 @@ const (
 	// entries; version 3 added edit-log blobs and the optional edit-log
 	// reference; version 4 switched index blobs to the delta-compressed
 	// postings payload (varint blocks with persisted skip pointers —
-	// index.CompactSnapshot). Readers accept every version back to
-	// minVersion: v2/v3 index blobs still decode through the legacy
-	// snapshot payload, and gob ignores fields a payload lacks, so older
-	// blobs of the other kinds decode with the new fields zero-valued.
-	version    = 4
+	// index.CompactSnapshot); version 5 added the per-entry shard count on
+	// catalog manifests (CatalogEntry.Shards). Readers accept every
+	// version back to minVersion: v2/v3 index blobs still decode through
+	// the legacy snapshot payload, and gob ignores fields a payload lacks,
+	// so older blobs of the other kinds decode with the new fields
+	// zero-valued — a v4 manifest loads with Shards 0, meaning a
+	// single-document collection.
+	version    = 5
 	minVersion = 1
 )
 

@@ -1,0 +1,162 @@
+package xmltree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// smallDoc builds a tiny Order-shaped document at the given numbering base.
+func smallDoc(t *testing.T, base, lines int) *Document {
+	t.Helper()
+	root := NewRoot("Order")
+	for i := 0; i < lines; i++ {
+		l := root.AddChild("POLine")
+		l.AddChild("Quantity").AddText(fmt.Sprintf("q%d", i))
+	}
+	return NewAt(root, base)
+}
+
+func TestNewAtShiftsNumbering(t *testing.T) {
+	plain := smallDoc(t, 0, 3)
+	const base = 4096
+	off := smallDoc(t, base, 3)
+	if off.NumBase() != base {
+		t.Fatalf("NumBase = %d, want %d", off.NumBase(), base)
+	}
+	if plain.Len() != off.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", plain.Len(), off.Len())
+	}
+	for i, n := range plain.Nodes() {
+		o := off.Nodes()[i]
+		if o.Start != n.Start+base || o.End != n.End+base {
+			t.Fatalf("node %d: got [%d,%d], want [%d,%d]", i, o.Start, o.End, n.Start+base, n.End+base)
+		}
+		if o.Level != n.Level || o.Path != n.Path {
+			t.Fatalf("node %d: level/path drift", i)
+		}
+	}
+	if off.Nodes()[0].Start <= base {
+		t.Fatalf("first boundary %d not above base %d", off.Nodes()[0].Start, base)
+	}
+	if off.MaxEnd() != off.Root.End {
+		t.Fatalf("MaxEnd = %d, want root end %d", off.MaxEnd(), off.Root.End)
+	}
+}
+
+func TestCorpusConcatenatesMembers(t *testing.T) {
+	var members []*Document
+	base := 0
+	for i := 0; i < 3; i++ {
+		m := smallDoc(t, base, i+1)
+		members = append(members, m)
+		base = m.MaxEnd() + Gap
+	}
+	c, err := Corpus(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 1
+	for _, m := range members {
+		wantLen += m.Len()
+	}
+	if c.Len() != wantLen {
+		t.Fatalf("corpus Len = %d, want %d", c.Len(), wantLen)
+	}
+	if c.Root.Label != CorpusRootLabel || len(c.NodesByPath(CorpusRootLabel)) != 1 {
+		t.Fatalf("super-root not addressable under %q", CorpusRootLabel)
+	}
+	// Per-path lists are the in-order concatenation of member lists, and
+	// every list is strictly ordered by Start.
+	for _, p := range []string{"Order", "Order.POLine", "Order.POLine.Quantity"} {
+		var want []*Node
+		for _, m := range members {
+			want = append(want, m.NodesByPath(p)...)
+		}
+		got := c.NodesByPath(p)
+		if len(got) != len(want) {
+			t.Fatalf("path %s: %d nodes, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("path %s: node %d differs from member concatenation", p, i)
+			}
+			if i > 0 && got[i].Start <= got[i-1].Start {
+				t.Fatalf("path %s: starts not strictly ascending at %d", p, i)
+			}
+		}
+	}
+	// The super-root spans every member; members never span each other.
+	for i, m := range members {
+		if !c.Root.IsAncestorOf(m.Root) {
+			t.Fatalf("super-root does not span member %d", i)
+		}
+		for j, o := range members {
+			if i != j && m.Root.IsAncestorOf(o.Root) {
+				t.Fatalf("member %d spans member %d", i, j)
+			}
+		}
+	}
+	// Members were not mutated: their own path lookups still work and
+	// their parents were left alone.
+	for i, m := range members {
+		if m.Root.Parent != nil {
+			t.Fatalf("member %d root grew a parent", i)
+		}
+		if len(m.NodesByPath("Order.POLine")) != i+1 {
+			t.Fatalf("member %d path index changed", i)
+		}
+	}
+}
+
+func TestCorpusRejectsBadMembers(t *testing.T) {
+	if _, err := Corpus(); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	a := smallDoc(t, 0, 2)
+	b := smallDoc(t, 0, 2) // overlaps a
+	if _, err := Corpus(a, b); err == nil {
+		t.Fatal("overlapping members accepted")
+	}
+	c := smallDoc(t, a.MaxEnd(), 1) // touching is still overlap (start <= end)
+	if c.Root.Start > a.Root.End {
+		t.Skip("generator left a gap; adjust test")
+	}
+	if _, err := Corpus(a, c); err == nil {
+		t.Fatal("touching members accepted")
+	}
+}
+
+// TestRevisionPreservesNumBase drives a member document through edits that
+// force both the localized and the whole-document renumbering paths and
+// checks the numbering never escapes below the base.
+func TestRevisionPreservesNumBase(t *testing.T) {
+	const base = 1 << 20
+	doc := smallDoc(t, base, 2)
+	for round := 0; round < 8; round++ {
+		rev := doc.BeginRevision()
+		// Insert a bushy subtree under the first POLine; repeated rounds
+		// exhaust local gaps and eventually demand a full renumber.
+		sub := NewRoot("Annex")
+		for i := 0; i < 40; i++ {
+			sub.AddChild("Note").AddText(fmt.Sprintf("r%d-%d", round, i))
+		}
+		line := doc.NodesByPath("Order.POLine")[0]
+		if err := rev.InsertSubtree(line.Start, 0, sub); err != nil {
+			t.Fatalf("round %d: insert: %v", round, err)
+		}
+		doc, _ = rev.Commit()
+		if doc.NumBase() != base {
+			t.Fatalf("round %d: NumBase = %d, want %d", round, doc.NumBase(), base)
+		}
+		prev := base
+		for _, n := range doc.Nodes() {
+			if n.Start <= base {
+				t.Fatalf("round %d: node %q start %d at or below base %d", round, n.Path, n.Start, base)
+			}
+			if n.Start <= prev {
+				t.Fatalf("round %d: preorder starts not strictly ascending", round)
+			}
+			prev = n.Start
+		}
+	}
+}

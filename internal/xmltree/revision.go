@@ -384,10 +384,11 @@ func (r *Revision) renumberNear(chain []*Node) {
 		renumberChildren(a)
 		return
 	}
-	// Renumber the whole document with fresh gaps.
+	// Renumber the whole document with fresh gaps, preserving the
+	// numbering base so a collection member stays inside its offset range.
 	root := chain[0]
 	r.ownSubtree(root)
-	counter := 0
+	counter := r.base.numBase
 	var assign func(n *Node)
 	assign = func(n *Node) {
 		counter += Gap
@@ -446,7 +447,7 @@ func (r *Revision) Commit() (*Document, *ChangeSet) {
 	droppedSorted := append([]*Node(nil), r.dropped...)
 	sort.Slice(droppedSorted, func(i, j int) bool { return droppedSorted[i].Start < droppedSorted[j].Start })
 
-	nd := &Document{Root: r.root}
+	nd := &Document{Root: r.root, numBase: r.base.numBase}
 	nd.nodes = make([]*Node, 0, len(r.base.nodes)+len(cs.Added)-len(cs.Dropped))
 	ai, di := 0, 0
 	for _, n := range r.base.nodes {

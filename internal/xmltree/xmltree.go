@@ -95,6 +95,15 @@ type Document struct {
 	// positional index of internal/index); consumers type-assert against
 	// their own interfaces. The document never inspects it. See SetAccel.
 	accel any
+
+	// numBase offsets the interval numbering: every Start/End the document
+	// assigns is strictly greater than numBase. A plain document has
+	// numBase 0; members of a sharded collection are numbered at disjoint
+	// ascending offsets (see NewAt and Corpus) so their node intervals
+	// interleave like one concatenated document. Renumbering — including
+	// the whole-document fallback of the revision layer — preserves the
+	// base, so a member never drifts into a neighbour's range.
+	numBase int
 }
 
 // maxPathDepth bounds the byPath overlay chain of revision snapshots.
@@ -112,9 +121,31 @@ func (d *Document) Accel() any { return d.accel }
 // New builds a Document around root, assigning interval numbers, levels and
 // paths to every node and building the path index.
 func New(root *Node) *Document {
-	d := &Document{Root: root}
+	return NewAt(root, 0)
+}
+
+// NewAt builds a Document like New but numbers every interval boundary
+// strictly above base (the first boundary is base+Gap). Collections number
+// their member documents at disjoint ascending bases, so the members'
+// node intervals — and hence their match keys — order exactly as if the
+// members were concatenated into one document. base must be >= 0.
+func NewAt(root *Node, base int) *Document {
+	d := &Document{Root: root, numBase: base}
 	d.renumber()
 	return d
+}
+
+// NumBase returns the document's numbering base (0 for a plain document).
+func (d *Document) NumBase() int { return d.numBase }
+
+// MaxEnd returns the largest interval boundary the document has assigned
+// (the root's End), or the numbering base for an empty document. A
+// collection places the next member's base at or above this.
+func (d *Document) MaxEnd() int {
+	if d.Root == nil {
+		return d.numBase
+	}
+	return d.Root.End
 }
 
 // NewRoot creates a fresh root node with the given label. Attach children
@@ -127,7 +158,7 @@ func (d *Document) renumber() {
 	d.nodes = d.nodes[:0]
 	d.byPath = make(map[string][]*Node)
 	d.base, d.pathDepth = nil, 0
-	counter := 0
+	counter := d.numBase
 	var walk func(n *Node, level int, prefix string)
 	walk = func(n *Node, level int, prefix string) {
 		counter += Gap
