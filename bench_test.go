@@ -5,6 +5,7 @@
 package xmatch_test
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
+	"xmatch/internal/store"
 	"xmatch/internal/twig"
 	"xmatch/internal/xmltree"
 )
@@ -933,4 +935,95 @@ func BenchmarkIndexRebuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = index.Build(doc)
 	}
+}
+
+// BenchmarkReplicaReplay is the follower's per-record steady-state cost:
+// decode one shipped edit-log response (envelope + frame, the wire format
+// of /v1/replicate/stream) and apply its record through the same delta
+// path the primary took. This is the floor on replication throughput — a
+// follower that can't replay faster than the primary mutates falls behind
+// without bound.
+func BenchmarkReplicaReplay(b *testing.B) {
+	setup(b)
+	doc := fixD7.OrderDocument(3473, 43)
+	var starts []int
+	for _, p := range doc.Paths() {
+		if strings.HasSuffix(p, ".Quantity") {
+			for _, n := range doc.NodesByPath(p) {
+				starts = append(starts, n.Start)
+			}
+			break
+		}
+	}
+	// Pre-encode a cycle of single-record stream responses, exactly as the
+	// primary frames them: an edit log based one epoch below the record.
+	const cycle = 128
+	blobs := make([][]byte, cycle)
+	for i := 0; i < cycle; i++ {
+		var buf bytes.Buffer
+		if err := store.CreateEditLogAt(&buf, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		frame, err := store.EncodeEditRecord(store.EditRecord{
+			Epoch: uint64(i) + 1,
+			Edits: []delta.Edit{{Op: delta.OpSetText, Start: starts[i%len(starts)], Text: fmt.Sprintf("%d", i%50)}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Write(frame)
+		blobs[i] = buf.Bytes()
+	}
+	replica := delta.Open(fixD7.OrderDocument(3473, 43))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg, err := store.LoadEditLog(bytes.NewReader(blobs[i%cycle]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := replica.Apply(lg.Records[0].Edits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint prices both halves of compaction on the large Order
+// document: save is what the primary pays to truncate a shard's log (and
+// bounds how often checkpointing is worth triggering); load is what a
+// lagging follower pays to bootstrap — reassembling the document with its
+// exact numbering and rebuilding the verified index from the compact
+// snapshot.
+func BenchmarkCheckpoint(b *testing.B) {
+	setup(b)
+	doc := fixD7.OrderDocument(3473, 43)
+	h := delta.Open(doc)
+	snap := h.Snapshot()
+	var ref bytes.Buffer
+	if err := store.SaveCheckpoint(&ref, snap.Doc, snap.Index, snap.Epoch); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("save", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.SetBytes(int64(ref.Len()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := store.SaveCheckpoint(&buf, snap.Doc, snap.Index, snap.Epoch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		blob := ref.Bytes()
+		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := store.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

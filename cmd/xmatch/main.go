@@ -67,6 +67,8 @@ func main() {
 		err = runIndex(os.Args[2:])
 	case "mutate":
 		err = runMutate(os.Args[2:])
+	case "checkpoint":
+		err = runCheckpoint(os.Args[2:])
 	case "match":
 		err = runMatch(os.Args[2:])
 	case "keywords":
@@ -82,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|index|mutate|match> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|index|mutate|checkpoint|match> [flags]
   stats    -d <D1..D10>                     matching and block-tree statistics
   mappings -d <D1..D10> [-n 10] [-m 100]    most probable mappings
   query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k);
@@ -111,6 +113,13 @@ func usage() {
                                             dataset document (-verify checks
                                             the incremental index against a
                                             full rebuild)
+  checkpoint -d <name>                      compact a served dataset's edit
+           -remote http://host:port         logs into checkpoint blobs via
+                                            /v1/admin/checkpoint: per shard,
+                                            persists state at the current
+                                            epoch and truncates the shipped
+                                            log; lagging followers bootstrap
+                                            from the checkpoint
   keywords -d <D1..D10> -w "a,b,c"          probabilistic keyword query
   match    -src <spec> -tgt <spec>          run the built-in matcher
            (files ending in .xsd are parsed as XML Schema)`)
@@ -751,6 +760,34 @@ func runMutate(args []string) error {
 		}
 		fmt.Printf("verify: incremental index == full rebuild (rebuild took %v, %.1fx the splice)\n",
 			rebuildTime.Round(time.Microsecond), float64(rebuildTime)/float64(st.BuildTime))
+	}
+	return nil
+}
+
+// runCheckpoint asks a running xmatchd to compact a dataset's edit logs
+// into checkpoint blobs (POST /v1/admin/checkpoint). Remote-only: a
+// checkpoint is an operation on a daemon's durable state.
+func runCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
+	id := fs.String("d", "", "served dataset name (required)")
+	remote := fs.String("remote", "", "xmatchd base URL (required)")
+	fs.Parse(args)
+	if *remote == "" || *id == "" {
+		return fmt.Errorf("checkpoint: both -remote and -d are required")
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	var resp server.CheckpointResponse
+	if err := postJSON(client, strings.TrimRight(*remote, "/")+"/v1/admin/checkpoint",
+		server.CheckpointRequest{Dataset: *id}, &resp); err != nil {
+		return err
+	}
+	for _, sh := range resp.Shards {
+		durable := "retention trimmed (volatile dataset, no blob)"
+		if sh.Durable {
+			durable = "checkpoint blob written"
+		}
+		fmt.Printf("checkpointed %s shard %d at epoch %d: %s, %d log byte(s) freed\n",
+			resp.Dataset, sh.Shard, sh.Epoch, durable, sh.FreedBytes)
 	}
 	return nil
 }

@@ -8,10 +8,22 @@
 //	xmatchd -datasets D1,D7                      # serve built-in workloads
 //	xmatchd -manifest catalog.xm                 # serve a store catalog manifest
 //	xmatchd -datasets D7 -write-manifest c.xm    # author a manifest and exit
+//	xmatchd -follow http://primary:8777          # read replica of a primary
 //
 // Endpoints: POST /v1/query, POST /v1/batch, GET /v1/datasets, GET
 // /healthz, GET /statsz, POST /v1/admin/reload (rebuilds the catalog from
-// the manifest — edit the file, hit the endpoint, no restart).
+// the manifest — edit the file, hit the endpoint, no restart), POST
+// /v1/admin/mutate, POST /v1/admin/checkpoint (compacts each durable
+// shard's edit log into a checkpoint blob), and the replication surface
+// (/v1/replicate/{manifest,stream,checkpoint}) a follower consumes.
+//
+// A follower (-follow) fetches the primary's manifest, rebuilds the same
+// catalog locally, then tails each shard's edit log over HTTP — replaying
+// records through the same delta path the primary used, so replica state
+// is byte-identical at every epoch. When the primary has compacted the
+// history away, the follower bootstraps from a checkpoint blob instead.
+// Followers are read-only (admin endpoints answer 403) and report
+// per-shard replication lag on /statsz.
 //
 // Query it with curl or the bundled client:
 //
@@ -33,6 +45,7 @@ import (
 	"time"
 
 	"xmatch/internal/engine"
+	"xmatch/internal/replica"
 	"xmatch/internal/server"
 	"xmatch/internal/store"
 )
@@ -50,11 +63,15 @@ func main() {
 	reqWorkers := flag.Int("request-workers", 0, "per-request worker budget (0 = half the pool, <0 = sequential)")
 	cache := flag.Int("cache", engine.DefaultCacheCapacity, "prepared-query cache capacity per dataset")
 	editlogDir := flag.String("editlog-dir", "", "persist /v1/admin/mutate batches per built-in dataset as <dir>/<name>.editlog, replayed on start and reload (built-in -datasets mode only; manifests carry their own EditLogPath)")
+	fsync := flag.Bool("fsync", true, "fsync durable edit-log appends before acknowledging a mutation; -fsync=false trades crash durability of the latest batches for write latency")
+	follow := flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8777): fetch its manifest, replay its edit logs, bootstrap from its checkpoints; local admin endpoints become read-only")
+	followInterval := flag.Duration("follow-interval", 500*time.Millisecond, "poll interval between replication sync rounds in -follow mode")
 	writeManifest := flag.String("write-manifest", "", "write the built-in -datasets selection as a manifest file and exit")
 	flag.Parse()
 
 	if err := run(*addr, *manifest, *datasets, *m, *docNodes, *docSeed, *shards, *tau,
-		*workers, *reqWorkers, *cache, *editlogDir, *writeManifest); err != nil {
+		*workers, *reqWorkers, *cache, *editlogDir, *writeManifest,
+		*fsync, *follow, *followInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "xmatchd:", err)
 		os.Exit(1)
 	}
@@ -86,7 +103,8 @@ func builtinManifest(datasets string, m, docNodes int, docSeed int64, shards int
 }
 
 func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards int, tau float64,
-	workers, reqWorkers, cache int, editlogDir, writeManifest string) error {
+	workers, reqWorkers, cache int, editlogDir, writeManifest string,
+	fsync bool, follow string, followInterval time.Duration) error {
 
 	eopts := engine.Options{Workers: workers, CacheCapacity: cache}
 
@@ -142,16 +160,43 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards
 		return nil
 	}
 
+	copts := server.CatalogOptions{NoFsync: !fsync}
 	loader := func() (*server.Catalog, error) {
 		man, baseDir, err := loadManifest()
 		if err != nil {
 			return nil, err
 		}
-		return server.BuildCatalog(man, baseDir, eopts)
+		return server.BuildCatalogOpts(man, baseDir, eopts, copts)
 	}
 
 	start := time.Now()
-	srv, err := server.New(loader, server.Options{RequestWorkers: reqWorkers})
+	var srv *server.Server
+	var err error
+	if follow != "" {
+		// Replica mode: the catalog comes from the primary's manifest, the
+		// state from its edit logs and checkpoints. The sync loop runs for
+		// the life of the process.
+		var f *replica.Follower
+		srv, f, err = server.NewFollower(follow, server.FollowerOptions{
+			Server: server.Options{RequestWorkers: reqWorkers},
+			Engine: eopts,
+		})
+		if err != nil {
+			return fmt.Errorf("following %s: %w", follow, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go f.Run(ctx, followInterval)
+		log.Printf("xmatchd: following %s (sync every %v, serving read-only)", follow, followInterval)
+	} else {
+		srv, err = server.New(loader, server.Options{
+			RequestWorkers: reqWorkers,
+			Manifest: func() (*store.Catalog, error) {
+				man, _, merr := loadManifest()
+				return man, merr
+			},
+		})
+	}
 	if err != nil {
 		return err
 	}

@@ -160,10 +160,13 @@ func (h *Handle) Apply(edits []Edit) (*Snapshot, error) {
 // ApplyLogged is Apply with a durability hook: after the batch has been
 // validated and its snapshot built — but before publication — log is
 // called (still under the write lock, so log invocations across writers
-// are ordered exactly like the batches they record). If log fails the
-// snapshot is discarded and the document is unchanged, so a persisted
-// edit log never misses a published batch.
-func (h *Handle) ApplyLogged(edits []Edit, log func([]Edit) error) (*Snapshot, error) {
+// are ordered exactly like the batches they record). log receives the
+// epoch the batch produces (the epoch of the snapshot about to be
+// published), so a persisted or shipped record carries the same
+// consistency token clients see. If log fails the snapshot is discarded
+// and the document is unchanged, so an edit log never misses a published
+// batch and never records an unpublished one it cannot take back.
+func (h *Handle) ApplyLogged(edits []Edit, log func(epoch uint64, edits []Edit) error) (*Snapshot, error) {
 	if len(edits) == 0 {
 		return nil, &EditError{Index: 0, Err: fmt.Errorf("empty edit batch")}
 	}
@@ -180,7 +183,7 @@ func (h *Handle) ApplyLogged(edits []Edit, log func([]Edit) error) (*Snapshot, e
 	ix := cur.Index.ApplyChanges(doc, cs)
 	doc.SetAccel(ix)
 	if log != nil {
-		if err := log(edits); err != nil {
+		if err := log(ix.Epoch(), edits); err != nil {
 			return nil, fmt.Errorf("delta: logging batch: %w", err)
 		}
 	}
@@ -188,6 +191,36 @@ func (h *Handle) ApplyLogged(edits []Edit, log func([]Edit) error) (*Snapshot, e
 	h.cur.Store(snap)
 	h.batches.Add(1)
 	h.edits.Add(uint64(len(edits)))
+	return snap, nil
+}
+
+// Freeze runs fn on the current snapshot while holding the write lock, so
+// no Apply can publish — or log — a batch for the duration. Checkpointing
+// uses it to persist the snapshot and truncate the edit log as one
+// atomic-against-writers step: without the lock, a writer that had logged
+// its record but not yet published could have that record destroyed by
+// the truncation, silently unmapping an epoch the log had promised. fn
+// must not call back into the handle's write path.
+func (h *Handle) Freeze(fn func(*Snapshot) error) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return fn(h.cur.Load())
+}
+
+// Adopt atomically replaces the handle's state with an externally
+// restored document — a checkpoint bootstrap on a replica that fell
+// behind the primary's retained log. The document must carry an installed
+// index (index.For finds it) whose epoch has been set to the restored
+// point in the mutation history; subsequent applies continue from there.
+func (h *Handle) Adopt(doc *xmltree.Document) (*Snapshot, error) {
+	ix := index.For(doc)
+	if ix == nil {
+		return nil, fmt.Errorf("delta: adopt: document has no installed index")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := &Snapshot{Doc: doc, Index: ix, Epoch: ix.Epoch()}
+	h.cur.Store(snap)
 	return snap, nil
 }
 

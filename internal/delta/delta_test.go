@@ -116,9 +116,11 @@ func TestApplyEditErrors(t *testing.T) {
 func TestApplyLogged(t *testing.T) {
 	h, s0 := open(t, `<r><a>1</a></r>`)
 	var logged [][]delta.Edit
+	var epochs []uint64
 	batch := []delta.Edit{{Op: delta.OpSetText, Path: "r.a", Text: "2"}}
-	if _, err := h.ApplyLogged(batch, func(es []delta.Edit) error {
+	if _, err := h.ApplyLogged(batch, func(epoch uint64, es []delta.Edit) error {
 		logged = append(logged, es)
+		epochs = append(epochs, epoch)
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -126,8 +128,13 @@ func TestApplyLogged(t *testing.T) {
 	if len(logged) != 1 || len(logged[0]) != 1 {
 		t.Fatalf("logged %v", logged)
 	}
+	// The hook sees the epoch the batch produces — the one the published
+	// snapshot will carry.
+	if len(epochs) != 1 || epochs[0] != h.Snapshot().Epoch {
+		t.Fatalf("logged epochs %v, snapshot epoch %d", epochs, h.Snapshot().Epoch)
+	}
 	// A failing log must abort publication.
-	_, err := h.ApplyLogged(batch, func([]delta.Edit) error { return errors.New("disk full") })
+	_, err := h.ApplyLogged(batch, func(uint64, []delta.Edit) error { return errors.New("disk full") })
 	if err == nil || !strings.Contains(err.Error(), "disk full") {
 		t.Fatalf("log failure not surfaced: %v", err)
 	}
@@ -136,13 +143,67 @@ func TestApplyLogged(t *testing.T) {
 	}
 	// An invalid batch must not reach the log.
 	logged = nil
-	if _, err := h.ApplyLogged([]delta.Edit{{Op: "bogus", Path: "r"}}, func(es []delta.Edit) error {
+	if _, err := h.ApplyLogged([]delta.Edit{{Op: "bogus", Path: "r"}}, func(_ uint64, es []delta.Edit) error {
 		logged = append(logged, es)
 		return nil
 	}); err == nil || logged != nil {
 		t.Fatalf("invalid batch logged: err=%v logged=%v", err, logged)
 	}
 	_ = s0
+}
+
+func TestFreezeAndAdopt(t *testing.T) {
+	h, _ := open(t, `<r><a>1</a></r>`)
+	if _, err := h.Apply([]delta.Edit{{Op: delta.OpSetText, Path: "r.a", Text: "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze sees the current snapshot and excludes writers while it runs.
+	var frozen uint64
+	if err := h.Freeze(func(s *delta.Snapshot) error {
+		frozen = s.Epoch
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if frozen != 1 {
+		t.Fatalf("frozen epoch %d, want 1", frozen)
+	}
+	wantErr := errors.New("boom")
+	if err := h.Freeze(func(*delta.Snapshot) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("Freeze error not surfaced: %v", err)
+	}
+
+	// Adopt swaps in a foreign document wholesale, keeping its index and
+	// epoch.
+	doc2, err := xmltree.ParseString(`<r><a>9</a><b>8</b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Attach(doc2)
+	ix.SetEpoch(41)
+	snap, err := h.Adopt(doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Doc != doc2 || snap.Epoch != 41 || h.Snapshot() != snap {
+		t.Fatalf("adopt did not publish: %+v", snap)
+	}
+	// Edits continue from the adopted epoch.
+	snap2, err := h.Apply([]delta.Edit{{Op: delta.OpSetText, Path: "r.b", Text: "7"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Epoch != 42 {
+		t.Fatalf("post-adopt epoch %d, want 42", snap2.Epoch)
+	}
+	// A document with no installed index is refused.
+	doc3, err := xmltree.ParseString(`<r/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Adopt(doc3); err == nil {
+		t.Fatal("adopted a document with no index")
+	}
 }
 
 func TestOpenAdoptsLoadedIndex(t *testing.T) {

@@ -386,6 +386,16 @@ func (ix *Index) Stats() Stats { return ix.stats }
 // built: 0 for a fresh Build or loaded snapshot.
 func (ix *Index) Epoch() uint64 { return ix.epoch }
 
+// SetEpoch overrides the epoch counter. An index restored from a
+// checkpoint is rebuilt from a snapshot — epoch 0 by construction — but
+// must resume the mutation history at the epoch the checkpoint captured,
+// so the consistency tokens handed to clients stay monotonic across a
+// restart or a replica bootstrap. Call before the index is shared.
+func (ix *Index) SetEpoch(e uint64) {
+	ix.epoch = e
+	ix.stats.Epoch = e
+}
+
 // list returns the postings list of the given dotted path. An overlay
 // epoch answers from its own spliced entries first and falls through to
 // the base chain; a self-contained index answers in one lookup.

@@ -1,0 +1,238 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"xmatch/internal/delta"
+)
+
+// Target is the local state one follower shard drives: the live handle
+// edits replay through and the (memory-only) shard log that retains the
+// replayed records, which lets a follower itself be streamed from and
+// feeds its lag accounting.
+type Target struct {
+	Handle *delta.Handle
+	Log    *ShardLog
+}
+
+// Lag is one shard's replication lag as of its last sync attempt.
+type Lag struct {
+	// PrimaryEpoch is the primary's epoch as of the last successful
+	// stream response; LocalEpoch is this follower's current epoch.
+	PrimaryEpoch uint64 `json:"primaryEpoch"`
+	LocalEpoch   uint64 `json:"localEpoch"`
+	// EpochsBehind and BytesPending measure the gap the last stream
+	// response revealed: how many epochs the follower still had to apply
+	// and the wire bytes it fetched to close them. Zero when caught up.
+	EpochsBehind uint64 `json:"epochsBehind"`
+	BytesPending int64  `json:"bytesPending"`
+	// Bootstraps counts checkpoint bootstraps (history compacted away);
+	// SyncErrors counts failed sync attempts; LastError keeps the most
+	// recent failure's message.
+	Bootstraps uint64 `json:"bootstraps,omitempty"`
+	SyncErrors uint64 `json:"syncErrors,omitempty"`
+	LastError  string `json:"lastError,omitempty"`
+}
+
+// Follower replays a primary's edit streams onto local handles. One
+// follower serves a whole catalog: SetTargets registers each dataset's
+// shards, Sync pulls one dataset level with the primary, SyncAll sweeps
+// the catalog, Run sweeps on an interval. Sync passes are serialized
+// internally — two concurrent pulls of the same shard would double-apply
+// records.
+type Follower struct {
+	client *Client
+
+	mu      sync.Mutex // serializes sync passes
+	targets map[string][]*Target
+
+	lagMu sync.Mutex
+	lag   map[string][]Lag
+}
+
+// NewFollower creates a follower pulling from the given client.
+func NewFollower(client *Client) *Follower {
+	return &Follower{
+		client:  client,
+		targets: make(map[string][]*Target),
+		lag:     make(map[string][]Lag),
+	}
+}
+
+// Primary returns the primary's base URL.
+func (f *Follower) Primary() string { return f.client.Base }
+
+// SetTargets registers (or replaces) the local shards of one dataset.
+func (f *Follower) SetTargets(dataset string, ts []*Target) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.targets[dataset] = ts
+	f.lagMu.Lock()
+	f.lag[dataset] = make([]Lag, len(ts))
+	f.lagMu.Unlock()
+}
+
+// Lags returns the per-shard lag of one dataset (copy; nil if unknown).
+func (f *Follower) Lags(dataset string) []Lag {
+	f.lagMu.Lock()
+	defer f.lagMu.Unlock()
+	ls, ok := f.lag[dataset]
+	if !ok {
+		return nil
+	}
+	out := make([]Lag, len(ls))
+	copy(out, ls)
+	return out
+}
+
+func (f *Follower) setLag(dataset string, shard int, update func(*Lag)) {
+	f.lagMu.Lock()
+	defer f.lagMu.Unlock()
+	if ls := f.lag[dataset]; shard < len(ls) {
+		update(&ls[shard])
+	}
+}
+
+// Sync pulls one dataset level with the primary: every shard streams the
+// records above its current epoch and replays them in order; a shard
+// whose history has been compacted away bootstraps from a checkpoint
+// first. Returns the first error; remaining shards are still attempted.
+func (f *Follower) Sync(dataset string) error {
+	f.mu.Lock()
+	ts := f.targets[dataset]
+	if ts == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("replica: unknown dataset %q", dataset)
+	}
+	var first error
+	for i, t := range ts {
+		if err := f.syncShard(dataset, i, t); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.mu.Unlock()
+	return first
+}
+
+// SyncAll sweeps every registered dataset once.
+func (f *Follower) SyncAll() error {
+	f.mu.Lock()
+	names := make([]string, 0, len(f.targets))
+	for name := range f.targets {
+		names = append(names, name)
+	}
+	f.mu.Unlock()
+	var first error
+	for _, name := range names {
+		if err := f.Sync(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncShard runs under f.mu.
+func (f *Follower) syncShard(dataset string, shard int, t *Target) error {
+	// Two passes at most: one that discovers a compacted history and
+	// bootstraps from the checkpoint, one that streams the records above
+	// it. A fresh checkpoint landing between the two just means the next
+	// sync bootstraps again.
+	for attempt := 0; attempt < 2; attempt++ {
+		from := t.Handle.Snapshot().Epoch
+		res, err := f.client.Stream(dataset, shard, from)
+		if err != nil {
+			f.recordError(dataset, shard, err)
+			return err
+		}
+		if res.NeedCheckpoint {
+			if err := f.bootstrap(dataset, shard, t); err != nil {
+				f.recordError(dataset, shard, err)
+				return err
+			}
+			continue
+		}
+		behind := uint64(0)
+		if res.PrimaryEpoch > from {
+			behind = res.PrimaryEpoch - from
+		}
+		for _, rec := range res.Records {
+			snap, err := t.Handle.ApplyLogged(rec.Edits, func(epoch uint64, es []delta.Edit) error {
+				return t.Log.Append(epoch, es)
+			})
+			if err != nil {
+				err = fmt.Errorf("replica: %s/%d: replaying epoch %d: %w", dataset, shard, rec.Epoch, err)
+				f.recordError(dataset, shard, err)
+				return err
+			}
+			if snap.Epoch != rec.Epoch {
+				err = fmt.Errorf("replica: %s/%d: replay diverged: record epoch %d produced snapshot epoch %d", dataset, shard, rec.Epoch, snap.Epoch)
+				f.recordError(dataset, shard, err)
+				return err
+			}
+		}
+		local := t.Handle.Snapshot().Epoch
+		f.setLag(dataset, shard, func(l *Lag) {
+			l.PrimaryEpoch = res.PrimaryEpoch
+			l.LocalEpoch = local
+			l.EpochsBehind = behind
+			l.BytesPending = res.Bytes
+			l.LastError = ""
+		})
+		return nil
+	}
+	err := fmt.Errorf("replica: %s/%d: primary checkpointed twice during one sync", dataset, shard)
+	f.recordError(dataset, shard, err)
+	return err
+}
+
+// bootstrap adopts a checkpoint fetched from the primary, replacing the
+// shard's state wholesale and rebasing its retained log.
+func (f *Follower) bootstrap(dataset string, shard int, t *Target) error {
+	ck, err := f.client.Checkpoint(dataset, shard)
+	if err != nil {
+		return err
+	}
+	if cur := t.Handle.Snapshot().Epoch; ck.Epoch < cur {
+		return fmt.Errorf("replica: %s/%d: checkpoint at epoch %d is older than local state at %d", dataset, shard, ck.Epoch, cur)
+	}
+	if _, err := t.Handle.Adopt(ck.Doc); err != nil {
+		return fmt.Errorf("replica: %s/%d: adopting checkpoint: %w", dataset, shard, err)
+	}
+	t.Log.ResetTo(ck.Epoch)
+	f.setLag(dataset, shard, func(l *Lag) {
+		l.Bootstraps++
+		l.LocalEpoch = ck.Epoch
+	})
+	return nil
+}
+
+func (f *Follower) recordError(dataset string, shard int, err error) {
+	f.setLag(dataset, shard, func(l *Lag) {
+		l.SyncErrors++
+		l.LastError = err.Error()
+	})
+}
+
+// Run sweeps the catalog every interval until ctx is done, logging sync
+// failures (the next tick retries).
+func (f *Follower) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if err := f.SyncAll(); err != nil {
+				log.Printf("replica: sync: %v", err)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
+	"xmatch/internal/replica"
 	"xmatch/internal/schema"
 	"xmatch/internal/store"
 	"xmatch/internal/xmltree"
@@ -22,17 +23,20 @@ import (
 
 // Shard is one member document of a serving collection: its mutable
 // identity behind a delta.Handle (own positional index, own snapshot
-// pins, own edit log) plus a per-shard query-latency histogram fed by the
-// engine's scatter observer.
+// pins, own replication log) plus a per-shard query-latency histogram
+// fed by the engine's scatter observer.
 type Shard struct {
 	// Live owns the member document's mutable identity: Live.Snapshot()
 	// is the current (document, index) pair, /v1/admin/mutate applies
 	// batches through it.
 	Live *delta.Handle
 
-	// editLog is the resolved edit-log file path; empty means mutations
-	// to this shard are in-memory only (lost on reload).
-	editLog string
+	// Log is the shard's replication log: every applied batch is recorded
+	// through it (durably when the catalog entry has an EditLogPath,
+	// in-memory otherwise) and followers stream from it. Never nil on a
+	// catalog-built collection. One log belongs to one catalog
+	// generation; Reload retires it.
+	Log *replica.ShardLog
 
 	// lat accumulates per-shard evaluation wall time, one observation per
 	// (embedding, shard) scatter unit.
@@ -41,7 +45,12 @@ type Shard struct {
 
 // EditLogPath returns the shard's resolved edit-log file path ("" when
 // mutations are not persisted).
-func (s *Shard) EditLogPath() string { return s.editLog }
+func (s *Shard) EditLogPath() string {
+	if s.Log == nil {
+		return ""
+	}
+	return s.Log.Path()
+}
 
 // Collection is one prepared serving tenant: a mapping set, the block
 // tree, a per-collection engine (own worker pool and prepared-query
@@ -97,7 +106,11 @@ func NewCollection(name string, set *mapping.Set, docs []*xmltree.Document, tau 
 	}
 	c := &Collection{Name: name, Set: set, Tree: bt, Engine: engine.New(eopts)}
 	for _, doc := range docs {
-		c.shards = append(c.shards, &Shard{Live: delta.Open(doc)})
+		h := delta.Open(doc)
+		// The memory-only log starts at the document's current epoch (a
+		// checkpoint-restored document opens mid-history); durable logs
+		// replace it in buildDataset.
+		c.shards = append(c.shards, &Shard{Live: h, Log: replica.NewShardLog(h.Snapshot().Epoch)})
 	}
 	c.Live = c.shards[0].Live
 	return c, nil
@@ -136,42 +149,59 @@ func (d *Collection) Index() *index.Index { return d.shards[0].Live.Snapshot().I
 
 // EditLogPath returns shard 0's resolved edit-log file path ("" when
 // mutations are not persisted).
-func (d *Collection) EditLogPath() string { return d.shards[0].editLog }
+func (d *Collection) EditLogPath() string { return d.shards[0].EditLogPath() }
 
-// WithEditLog configures edit-log persistence: batches applied to shard 0
-// append to the file at path, shard i > 0 to path+".s<i>", and
-// ReplayEditLog restores all of them. Must be called before the
-// collection is published.
-func (d *Collection) WithEditLog(path string) *Dataset {
-	for i, s := range d.shards {
-		if i == 0 {
-			s.editLog = path
-		} else {
-			s.editLog = fmt.Sprintf("%s.s%d", path, i)
-		}
+// shardLogPath resolves one shard's edit-log file: shard 0 appends to
+// the entry's path itself, shard i > 0 to path+".s<i>".
+func shardLogPath(path string, shard int) string {
+	if shard == 0 {
+		return path
 	}
-	return d
+	return fmt.Sprintf("%s.s%d", path, shard)
 }
 
-// ReplayEditLog replays every shard's persisted edit log (if any) over
-// its pristine document, restoring the collection's edited state. Called
-// once at catalog-prepare time, before the collection is published.
-func (d *Collection) ReplayEditLog() error {
+// openDurableLogs attaches durable replication logs to every shard and
+// replays their surviving records over the (pristine or
+// checkpoint-restored) documents, restoring the collection's edited
+// state. Called once at catalog-prepare time, before the collection is
+// published. Each replayed record's epoch must match the epoch its
+// replay produces — a mismatch means the log and the restored base state
+// disagree, which is corruption, not something to serve through.
+func (d *Collection) openDurableLogs(path string, fsync bool) error {
 	for si, s := range d.shards {
-		if s.editLog == "" {
-			continue
-		}
-		batches, err := store.LoadEditLogFile(s.editLog)
+		p := shardLogPath(path, si)
+		ckptEpoch := s.Live.Snapshot().Epoch // 0 unless checkpoint-restored
+		lg, err := replica.OpenShardLog(p, fsync, ckptEpoch)
 		if err != nil {
-			return fmt.Errorf("server: dataset %s shard %d: edit log %s: %w", d.Name, si, s.editLog, err)
+			return fmt.Errorf("server: dataset %s shard %d: edit log %s: %w", d.Name, si, p, err)
 		}
-		for i, b := range batches {
-			if _, err := s.Live.Apply(b); err != nil {
-				return fmt.Errorf("server: dataset %s shard %d: edit log %s: replaying batch %d: %w", d.Name, si, s.editLog, i, err)
+		for _, rec := range lg.Records() {
+			snap, err := s.Live.Apply(rec.Edits)
+			if err != nil {
+				return fmt.Errorf("server: dataset %s shard %d: edit log %s: replaying epoch %d: %w", d.Name, si, p, rec.Epoch, err)
+			}
+			if snap.Epoch != rec.Epoch {
+				return fmt.Errorf("server: dataset %s shard %d: edit log %s: record epoch %d replayed to epoch %d", d.Name, si, p, rec.Epoch, snap.Epoch)
 			}
 		}
+		s.Log = lg
 	}
 	return nil
+}
+
+// CheckpointShard persists one shard's current state as its checkpoint
+// and truncates its replication log, under the shard's write lock so no
+// concurrent mutate can log a record the truncation would destroy.
+// Returns the checkpoint epoch and the retained-log bytes freed.
+func (d *Collection) CheckpointShard(shard int) (epoch uint64, freed int64, err error) {
+	s := d.shards[shard]
+	err = s.Live.Freeze(func(snap *delta.Snapshot) error {
+		var ferr error
+		freed, ferr = s.Log.Checkpoint(snap.Doc, snap.Index, snap.Epoch)
+		epoch = snap.Epoch
+		return ferr
+	})
+	return epoch, freed, err
 }
 
 // observeShard records one per-shard evaluation timing; handed to
@@ -221,17 +251,31 @@ const (
 	DefaultDocNodes = 3473
 )
 
+// CatalogOptions tune catalog materialization beyond the engine knobs.
+type CatalogOptions struct {
+	// NoFsync skips the per-record fsync on durable edit-log appends. The
+	// default (fsync on) makes an acknowledged /v1/admin/mutate survive a
+	// process or machine crash — the contract followers rely on when they
+	// trust the shipped log.
+	NoFsync bool
+}
+
 // BuildCatalog materializes a manifest into a serving catalog. Built-in
 // entries regenerate their Table II dataset deterministically; blob-backed
 // entries load their mapping set (and optional document) from files resolved
 // relative to baseDir. Engine options apply to every dataset's engine.
 func BuildCatalog(man *store.Catalog, baseDir string, eopts engine.Options) (*Catalog, error) {
+	return BuildCatalogOpts(man, baseDir, eopts, CatalogOptions{})
+}
+
+// BuildCatalogOpts is BuildCatalog with explicit catalog options.
+func BuildCatalogOpts(man *store.Catalog, baseDir string, eopts engine.Options, copts CatalogOptions) (*Catalog, error) {
 	if err := man.Validate(); err != nil {
 		return nil, err
 	}
 	ds := make([]*Dataset, 0, len(man.Entries))
 	for _, e := range man.Entries {
-		d, err := buildDataset(e, baseDir, eopts)
+		d, err := buildDataset(e, baseDir, eopts, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +284,7 @@ func BuildCatalog(man *store.Catalog, baseDir string, eopts engine.Options) (*Ca
 	return NewCatalog(ds...)
 }
 
-func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*Dataset, error) {
+func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options, copts CatalogOptions) (*Dataset, error) {
 	var set *mapping.Set
 	var docs []*xmltree.Document
 	if e.Dataset != "" {
@@ -308,16 +352,33 @@ func buildDataset(e store.CatalogEntry, baseDir string, eopts engine.Options) (*
 		}
 		docs = []*xmltree.Document{doc}
 	}
+	logPath := ""
+	if e.EditLogPath != "" {
+		logPath = filepath.Join(baseDir, e.EditLogPath)
+		// A shard with a checkpoint restarts from it instead of the
+		// pristine document: the checkpoint document comes back with its
+		// exact interval numbering and a verified, epoch-stamped index
+		// installed, so delta.Open below adopts it mid-history and the
+		// (truncated) edit log replays only the records after it.
+		for i := range docs {
+			ck, err := store.LoadCheckpointFile(replica.CheckpointPath(shardLogPath(logPath, i)))
+			if err != nil {
+				return nil, fmt.Errorf("server: dataset %s shard %d: %w", e.Name, i, err)
+			}
+			if ck != nil {
+				docs[i] = ck.Doc
+			}
+		}
+	}
 	d, err := NewCollection(e.Name, set, docs, e.Tau, eopts)
 	if err != nil {
 		return nil, err
 	}
-	if e.EditLogPath != "" {
-		// Replay restores the entry's edited state over the pristine
+	if logPath != "" {
+		// Replay restores the entry's edited state over the restored
 		// documents (blob-backed or regenerated alike) without re-parsing
 		// mutated XML; later mutations append to the same logs.
-		d.WithEditLog(filepath.Join(baseDir, e.EditLogPath))
-		if err := d.ReplayEditLog(); err != nil {
+		if err := d.openDurableLogs(logPath, !copts.NoFsync); err != nil {
 			return nil, err
 		}
 	}

@@ -36,6 +36,7 @@ import (
 	"xmatch/internal/core"
 	"xmatch/internal/delta"
 	"xmatch/internal/engine"
+	"xmatch/internal/replica"
 	"xmatch/internal/store"
 	"xmatch/internal/xmltree"
 )
@@ -56,6 +57,18 @@ type Options struct {
 	// MaxBatchEdits bounds the edits one /v1/admin/mutate request may
 	// carry. 0 means 256.
 	MaxBatchEdits int
+	// ReadOnly rejects every state-changing endpoint (mutate, reload,
+	// checkpoint) with 403 — the posture of a read replica, whose state
+	// changes only through replication.
+	ReadOnly bool
+	// Manifest, when set, is served on /v1/replicate/manifest so a
+	// follower can build the same catalog locally before replaying the
+	// primary's edits. It should return the same manifest the Loader
+	// builds from.
+	Manifest func() (*store.Catalog, error)
+	// MinEpochWait bounds how long a query carrying min_epoch waits for
+	// the dataset to reach that epoch before answering 412. 0 means 2s.
+	MinEpochWait time.Duration
 }
 
 // Loader builds a fresh catalog: called once at startup and again on every
@@ -80,6 +93,10 @@ type Server struct {
 	cat      atomic.Pointer[Catalog]
 	mux      *http.ServeMux
 	stats    serverStats
+	// follower is set on a read replica (NewFollower): the sync engine
+	// that replays the primary's edit streams into this catalog. A
+	// min_epoch query nudges it instead of waiting for the next tick.
+	follower *replica.Follower
 }
 
 // New builds a server over the loader's initial catalog.
@@ -97,6 +114,9 @@ func New(loader Loader, opts Options) (*Server, error) {
 	if opts.MaxBatchEdits == 0 {
 		opts.MaxBatchEdits = 256
 	}
+	if opts.MinEpochWait == 0 {
+		opts.MinEpochWait = 2 * time.Second
+	}
 	s := &Server{opts: opts, loader: loader}
 	s.stats.start = time.Now()
 	s.cat.Store(cat)
@@ -106,6 +126,10 @@ func New(loader Loader, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/admin/mutate", s.timed(&s.stats.latMutate, &s.stats.mutates, s.handleMutate))
+	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc(replica.StreamEndpoint, s.handleReplicateStream)
+	s.mux.HandleFunc(replica.CheckpointEndpoint, s.handleReplicateCheckpoint)
+	s.mux.HandleFunc(replica.ManifestEndpoint, s.handleReplicateManifest)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s, nil
@@ -134,11 +158,21 @@ func (s *Server) Reload() ([]string, error) {
 		// documents reachable for as long as the memo maps live. Purging is
 		// safe under concurrent queries: an in-flight evaluation just sees a
 		// cold cache and recomputes against its pinned snapshot.
+		// Retiring the old generation's replication logs closes the other
+		// half of the race: a mutate or checkpoint that resolved the old
+		// collection before the swap fails its log write instead of
+		// interleaving with the new generation's writer on the same file.
 		for _, d := range old.Datasets() {
 			for _, sh := range d.Shards() {
 				sh.Live.Snapshot().Index.PurgeMemo()
+				if sh.Log != nil {
+					sh.Log.Retire()
+				}
 			}
 		}
+	}
+	if s.follower != nil {
+		s.wireFollower(cat)
 	}
 	s.stats.reloads.Add(1)
 	names := make([]string, 0, len(cat.names))
@@ -168,14 +202,24 @@ type QueryRequest struct {
 	// "basic" (Algorithm 3 over all mappings), or "topk" (requires K > 0).
 	Mode string `json:"mode,omitempty"`
 	K    int    `json:"k,omitempty"`
+	// MinEpoch demands read-your-writes: the query waits (bounded) until
+	// the dataset's epoch reaches MinEpoch — on a follower, until
+	// replication has caught up with the write that produced the token —
+	// and answers 412 if it cannot. 0 reads whatever is current.
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /v1/query.
 type QueryResponse struct {
-	Dataset string            `json:"dataset"`
-	Pattern string            `json:"pattern"`
-	Mode    string            `json:"mode"`
-	K       int               `json:"k,omitempty"`
+	Dataset string `json:"dataset"`
+	Pattern string `json:"pattern"`
+	Mode    string `json:"mode"`
+	K       int    `json:"k,omitempty"`
+	// Epoch is the consistency token of the state the query saw: the
+	// highest per-shard epoch among the snapshots it pinned. Hand it to a
+	// later query's min_epoch (on any replica) to read at-or-after this
+	// state.
+	Epoch   uint64            `json:"epoch"`
 	Results []core.WireResult `json:"results"`
 	Answers []core.WireAnswer `json:"answers"`
 }
@@ -192,6 +236,9 @@ type BatchQuery struct {
 type BatchRequest struct {
 	Dataset string       `json:"dataset"`
 	Queries []BatchQuery `json:"queries"`
+	// MinEpoch demands read-your-writes for the whole batch; see
+	// QueryRequest.MinEpoch.
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
 }
 
 // BatchAnswer is one per-query answer within a BatchResponse; Error is set
@@ -210,7 +257,10 @@ type BatchAnswer struct {
 // BatchResponse is the body of a successful POST /v1/batch; Responses
 // preserve request order.
 type BatchResponse struct {
-	Dataset   string        `json:"dataset"`
+	Dataset string `json:"dataset"`
+	// Epoch is the consistency token of the pinned state; see
+	// QueryResponse.Epoch.
+	Epoch     uint64        `json:"epoch"`
 	Responses []BatchAnswer `json:"responses"`
 }
 
@@ -314,6 +364,41 @@ func shardDocs(snaps []*delta.Snapshot) []*xmltree.Document {
 	return docs
 }
 
+// snapsEpoch is the consistency token of a pinned snapshot set: the
+// highest per-shard epoch. Per-shard epochs advance independently, so
+// for a multi-shard collection the token is an upper bound — exact for
+// the single-shard case, where it names one state precisely.
+func snapsEpoch(snaps []*delta.Snapshot) uint64 {
+	var epoch uint64
+	for _, sn := range snaps {
+		if sn.Epoch > epoch {
+			epoch = sn.Epoch
+		}
+	}
+	return epoch
+}
+
+// awaitEpoch blocks until the dataset's epoch reaches min, or the
+// bounded wait expires — read-your-writes for a client holding a mutate
+// or query epoch token. On a follower each round nudges the sync engine
+// instead of waiting for its next tick, so the common catch-up is one
+// stream round-trip, not a poll timeout.
+func (s *Server) awaitEpoch(ds *Dataset, min uint64) bool {
+	deadline := time.Now().Add(s.opts.MinEpochWait)
+	for {
+		if snapsEpoch(ds.Snapshots()) >= min {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		if s.follower != nil {
+			_ = s.follower.Sync(ds.Name) // errors surface as lag; keep polling
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -342,6 +427,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "unknown mode %q (want basic, compact, or topk)", mode)
 		return
 	}
+	if req.MinEpoch > 0 && !s.awaitEpoch(ds, req.MinEpoch) {
+		s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
+			req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
+		return
+	}
 	// Pin every shard's snapshot once: each evaluation below sees these
 	// exact (document, index) pairs even if a mutation lands mid-request.
 	// The scatter runs under one Sub budget, so a sharded collection holds
@@ -368,6 +458,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Pattern: req.Pattern,
 		Mode:    mode,
 		K:       req.K,
+		Epoch:   snapsEpoch(snaps),
 		Results: core.ToWire(results),
 		Answers: core.AnswersToWire(core.AggregateLeaf(q, results)),
 	})
@@ -392,6 +483,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "batch has %d queries, limit %d", len(req.Queries), s.opts.MaxBatchQueries)
 		return
 	}
+	if req.MinEpoch > 0 && !s.awaitEpoch(ds, req.MinEpoch) {
+		s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
+			req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
+		return
+	}
 	// One snapshot pin per shard for the whole batch: its queries are
 	// answered over a single consistent per-shard document state.
 	snaps := ds.Snapshots()
@@ -401,7 +497,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, bq := range req.Queries {
 		engReqs[i] = engine.Request{Pattern: bq.Pattern, K: bq.K}
 	}
-	resp := BatchResponse{Dataset: req.Dataset, Responses: make([]BatchAnswer, len(engReqs))}
+	resp := BatchResponse{Dataset: req.Dataset, Epoch: snapsEpoch(snaps), Responses: make([]BatchAnswer, len(engReqs))}
 	for i, er := range eng.EvaluateBatchAcross(ds.Set, sh, ds.Tree, engReqs) {
 		ba := BatchAnswer{Pattern: er.Pattern, K: er.K}
 		if er.Err != nil {
@@ -471,7 +567,24 @@ type MutateResponse struct {
 	Persisted bool `json:"persisted"`
 }
 
+// readOnly rejects a state-changing request on a read replica. Returns
+// true when the request was rejected.
+func (s *Server) readOnly(w http.ResponseWriter) bool {
+	if !s.opts.ReadOnly {
+		return false
+	}
+	primary := ""
+	if s.follower != nil {
+		primary = " (follower of " + s.follower.Primary() + ")"
+	}
+	s.fail(w, http.StatusForbidden, "read-only replica%s: state changes only through replication", primary)
+	return true
+}
+
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly(w) {
+		return
+	}
 	var req MutateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.failBody(w, err)
@@ -514,11 +627,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	shard := ds.Shards()[req.Shard]
-	var log func([]delta.Edit) error
-	if p := shard.EditLogPath(); p != "" {
-		log = func(es []delta.Edit) error { return store.AppendEditBatchFile(p, es) }
-	}
-	snap, err := shard.Live.ApplyLogged(req.Edits, log)
+	// Every applied batch goes through the shard's replication log — the
+	// durable edit-log append (fsynced before the ack) when the entry
+	// persists mutations, and the in-memory retention followers stream
+	// from either way. A log retired by a concurrent reload refuses the
+	// append, failing the mutate instead of writing to a file the new
+	// catalog generation now owns.
+	snap, err := shard.Live.ApplyLogged(req.Edits, shard.Log.Append)
 	s.reloadMu.RUnlock()
 	if err != nil {
 		var ee *delta.EditError
@@ -536,12 +651,15 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		Epoch:     snap.Epoch,
 		Applied:   len(req.Edits),
 		DocNodes:  snap.Doc.Len(),
-		Persisted: log != nil,
+		Persisted: shard.Log.Durable(),
 	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if !s.method(w, r, http.MethodPost) {
+		return
+	}
+	if s.readOnly(w) {
 		return
 	}
 	names, err := s.Reload()
@@ -621,20 +739,47 @@ type ShardStats struct {
 	EditsApplied  uint64         `json:"editsApplied"`
 	EditLog       bool           `json:"editLog"`
 	Latency       HistogramStats `json:"latency"`
+	// Replication is the shard's replication-log state, plus — on a
+	// follower — its lag behind the primary as of the last sync.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// ReplicationStats is one shard's replication row. The log fields
+// describe the shard's own replication log (what a follower could stream
+// right now); the lag fields are filled on a follower only.
+type ReplicationStats struct {
+	// CheckpointEpoch is the epoch of the latest checkpoint — the base of
+	// the retained log; a follower further behind must bootstrap.
+	CheckpointEpoch uint64 `json:"checkpointEpoch"`
+	// RetainedRecords/RetainedBytes measure the retained (shippable) log.
+	RetainedRecords int   `json:"retainedRecords"`
+	RetainedBytes   int64 `json:"retainedBytes"`
+
+	// Follower-side lag, as of the last sync attempt (see replica.Lag).
+	PrimaryEpoch uint64 `json:"primaryEpoch,omitempty"`
+	EpochsBehind uint64 `json:"epochsBehind,omitempty"`
+	BytesPending int64  `json:"bytesPending,omitempty"`
+	Bootstraps   uint64 `json:"bootstraps,omitempty"`
+	SyncErrors   uint64 `json:"syncErrors,omitempty"`
+	LastError    string `json:"lastError,omitempty"`
 }
 
 // Stats is the /statsz payload.
 type Stats struct {
-	UptimeSeconds float64                   `json:"uptimeSeconds"`
-	InFlight      int64                     `json:"inFlight"`
-	Queries       uint64                    `json:"queries"`
-	Batches       uint64                    `json:"batches"`
-	Reloads       uint64                    `json:"reloads"`
-	Mutations     uint64                    `json:"mutations"`
-	Edits         uint64                    `json:"edits"`
-	Errors        uint64                    `json:"errors"`
-	Latency       map[string]HistogramStats `json:"latency"`
-	Datasets      []DatasetStats            `json:"datasets"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Role is "primary" or "follower"; Primary carries the upstream base
+	// URL on a follower.
+	Role      string                    `json:"role"`
+	Primary   string                    `json:"primary,omitempty"`
+	InFlight  int64                     `json:"inFlight"`
+	Queries   uint64                    `json:"queries"`
+	Batches   uint64                    `json:"batches"`
+	Reloads   uint64                    `json:"reloads"`
+	Mutations uint64                    `json:"mutations"`
+	Edits     uint64                    `json:"edits"`
+	Errors    uint64                    `json:"errors"`
+	Latency   map[string]HistogramStats `json:"latency"`
+	Datasets  []DatasetStats            `json:"datasets"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -643,6 +788,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	st := Stats{
 		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		Role:          "primary",
 		InFlight:      s.stats.inFlight.Load(),
 		Queries:       s.stats.queries.Load(),
 		Batches:       s.stats.batches.Load(),
@@ -656,6 +802,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"mutate": s.stats.latMutate.snapshot(),
 		},
 	}
+	if s.follower != nil {
+		st.Role = "follower"
+		st.Primary = s.follower.Primary()
+	}
 	for _, d := range s.Catalog().Datasets() {
 		cs := d.Engine.CacheStats()
 		row := DatasetStats{
@@ -666,10 +816,32 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			CacheEntries:   cs.Entries,
 			EditLog:        d.EditLogPath() != "",
 		}
+		var lags []replica.Lag
+		if s.follower != nil {
+			lags = s.follower.Lags(d.Name)
+		}
 		for i, sh := range d.Shards() {
 			snap := sh.Live.Snapshot()
 			xs := snap.Index.Stats()
 			ls := sh.Live.Stats()
+			var rep *ReplicationStats
+			if sh.Log != nil {
+				lst := sh.Log.Status()
+				rep = &ReplicationStats{
+					CheckpointEpoch: lst.Base,
+					RetainedRecords: lst.RetainedRecords,
+					RetainedBytes:   lst.RetainedBytes,
+				}
+				if i < len(lags) {
+					lag := lags[i]
+					rep.PrimaryEpoch = lag.PrimaryEpoch
+					rep.EpochsBehind = lag.EpochsBehind
+					rep.BytesPending = lag.BytesPending
+					rep.Bootstraps = lag.Bootstraps
+					rep.SyncErrors = lag.SyncErrors
+					rep.LastError = lag.LastError
+				}
+			}
 			row.Shards = append(row.Shards, ShardStats{
 				Shard:         i,
 				DocNodes:      snap.Doc.Len(),
@@ -681,6 +853,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 				EditsApplied:  ls.Edits,
 				EditLog:       sh.EditLogPath() != "",
 				Latency:       sh.lat.snapshot(),
+				Replication:   rep,
 			})
 			// Dataset-level index and mutation fields aggregate across
 			// shards: capacity-style numbers (bytes, postings, nodes,

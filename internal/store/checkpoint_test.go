@@ -1,0 +1,186 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"xmatch/internal/delta"
+	"xmatch/internal/index"
+	"xmatch/internal/xmltree"
+)
+
+// editedState builds a document that has lived: parsed, indexed, and
+// mutated through the delta layer, so its numbering has holes and its
+// numBase sits above the original preorder range — the state a real
+// checkpoint captures.
+func editedState(t *testing.T) *delta.Snapshot {
+	t.Helper()
+	doc, err := xmltree.ParseString(`<r><a>1</a><b><c>x</c><c>y</c></b><d>z</d></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := delta.Open(doc)
+	for _, b := range [][]delta.Edit{
+		{{Op: delta.OpSetText, Path: "r.a", Text: "2"}},
+		{{Op: delta.OpInsert, Path: "r.b", XML: "<c><e>deep</e></c>", Pos: -1}},
+		{{Op: delta.OpDelete, Path: "r.d"}},
+		{{Op: delta.OpRename, Path: "r.a", Label: "a2"}},
+	} {
+		if _, err := h.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h.Snapshot()
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	snap := editedState(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, snap.Doc, snap.Index, snap.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != snap.Epoch {
+		t.Fatalf("epoch %d, want %d", ck.Epoch, snap.Epoch)
+	}
+	if got, want := ck.Doc.String(), snap.Doc.String(); got != want {
+		t.Fatalf("document diverged:\n%s\nvs\n%s", got, want)
+	}
+	// Numbering must be preserved exactly — Start-addressed edits and
+	// byte-identical replication depend on it — not merely structure.
+	orig, rest := snap.Doc.Nodes(), ck.Doc.Nodes()
+	if len(orig) != len(rest) {
+		t.Fatalf("%d nodes restored, want %d", len(rest), len(orig))
+	}
+	for i := range orig {
+		if orig[i].Start != rest[i].Start || orig[i].End != rest[i].End {
+			t.Fatalf("node %d renumbered: (%d,%d) -> (%d,%d)",
+				i, orig[i].Start, orig[i].End, rest[i].Start, rest[i].End)
+		}
+	}
+	if ck.Doc.NumBase() != snap.Doc.NumBase() {
+		t.Fatalf("numBase %d, want %d", ck.Doc.NumBase(), snap.Doc.NumBase())
+	}
+	// The index comes back installed on the document with the epoch
+	// stamped, ready for delta.Open/Adopt.
+	if index.For(ck.Doc) != ck.Index {
+		t.Fatal("restored index not installed on restored document")
+	}
+	if ck.Index.Epoch() != snap.Epoch {
+		t.Fatalf("restored index epoch %d, want %d", ck.Index.Epoch(), snap.Epoch)
+	}
+	// A restored shard keeps editing from where it left off: numbering
+	// continuity means Start-addressed edits recorded later still resolve.
+	h := delta.Open(ck.Doc)
+	s2, err := h.Apply([]delta.Edit{{Op: delta.OpSetText, Path: "r.a2", Text: "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Epoch != snap.Epoch+1 {
+		t.Fatalf("post-restore epoch %d, want %d", s2.Epoch, snap.Epoch+1)
+	}
+}
+
+func TestCheckpointDeterminism(t *testing.T) {
+	// Two saves of the same state are byte-identical, and a save of the
+	// *restored* state equals a save of the original — the property that
+	// lets replication tests compare primary and replica state by
+	// comparing checkpoint bytes.
+	snap := editedState(t)
+	var a, b bytes.Buffer
+	if err := SaveCheckpoint(&a, snap.Doc, snap.Index, snap.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(&b, snap.Doc, snap.Index, snap.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same state differ")
+	}
+	ck, err := LoadCheckpoint(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := SaveCheckpoint(&c, ck.Doc, ck.Index, ck.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("restored state saves differently than the original")
+	}
+}
+
+func TestCheckpointCorruption(t *testing.T) {
+	snap := editedState(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, snap.Doc, snap.Index, snap.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad magic":         append([]byte("XMATCH9\n"), good[len(magic):]...),
+		"truncated payload": good[: len(good)-7 : len(good)-7],
+	}
+	// Kind confusion: an edit log is not a checkpoint.
+	var lg bytes.Buffer
+	if err := CreateEditLog(&lg); err != nil {
+		t.Fatal(err)
+	}
+	cases["wrong kind"] = lg.Bytes()
+	// Future version.
+	var future bytes.Buffer
+	if err := writeHeaderVersion(&future, "checkpoint", version+1); err != nil {
+		t.Fatal(err)
+	}
+	cases["future version"] = future.Bytes()
+
+	for name, data := range cases {
+		_, err := LoadCheckpoint(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: load succeeded", name)
+			continue
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v (%T) is not a *FormatError", name, err, err)
+		}
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard0.ckpt")
+	// Missing file: no checkpoint, not an error.
+	if ck, err := LoadCheckpointFile(path); err != nil || ck != nil {
+		t.Fatalf("missing file: %v, %v", err, ck)
+	}
+	snap := editedState(t)
+	if err := SaveCheckpointFile(path, snap.Doc, snap.Index, snap.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpointFile(path)
+	if err != nil || ck == nil {
+		t.Fatalf("load: %v, %v", err, ck)
+	}
+	if ck.Epoch != snap.Epoch || ck.Doc.String() != snap.Doc.String() {
+		t.Fatal("file round trip diverged")
+	}
+	// Overwrite with a later state; the file must follow.
+	h := delta.Open(snap.Doc)
+	s2, err := h.Apply([]delta.Edit{{Op: delta.OpSetText, Path: "r.a2", Text: "9"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpointFile(path, s2.Doc, s2.Index, s2.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if ck, err = LoadCheckpointFile(path); err != nil || ck.Epoch != s2.Epoch {
+		t.Fatalf("overwrite: %v, epoch %d want %d", err, ck.Epoch, s2.Epoch)
+	}
+}

@@ -12,110 +12,205 @@ import (
 	"xmatch/internal/delta"
 )
 
-// Edit-log blobs (format version 3) persist a dataset's mutation history
-// as an append-only sequence of applied edit batches. Replaying the log
-// over the dataset's pristine document (in order, through delta.Apply)
-// restores its edited state exactly, so a serving daemon can restart — or
-// hot-reload — without re-deriving edits or re-shipping mutated XML.
+// Edit-log blobs persist a dataset's mutation history as an append-only
+// sequence of applied edit batches. Replaying the log over the dataset's
+// pristine document (in order, through delta.Apply) restores its edited
+// state exactly, so a serving daemon can restart — or hot-reload —
+// without re-deriving edits or re-shipping mutated XML. The same framing
+// doubles as the replication wire format: a primary ships a suffix of its
+// log to followers as a literal edit-log blob (see internal/replica).
 //
-// Unlike the other store blobs, an edit log grows in place: batches are
+// Unlike the other store blobs, an edit log grows in place: records are
 // appended to an existing file without rewriting it. A single gob stream
 // cannot be appended to (each Encoder emits its own type descriptors), so
 // the payload after the usual magic + header envelope is a sequence of
 // self-contained records, each a uvarint length prefix followed by one
-// gob-encoded batch. A torn tail — a crash mid-append — therefore damages
-// only the final record, and surfaces as a *FormatError on load rather
-// than as silently missing edits.
+// gob-encoded record. A torn tail — a crash mid-append — therefore
+// damages only the final record.
+//
+// Format version 6 adds two things. Each record carries the epoch its
+// batch produced, so a shipped record names the snapshot it reproduces;
+// and the envelope is followed by a meta message carrying the log's base
+// epoch — the epoch of the state the first record applies on top of.
+// A pristine log has base 0; a log reset by a checkpoint has the
+// checkpoint's epoch as its base, which is how replay knows the records
+// compacted into the checkpoint are gone on purpose. Records must then be
+// epoch-dense: record i carries epoch base+i+1. Pre-v6 logs decode with
+// base 0 and records implicitly numbered 1..n.
 
-// editBatch is one persisted record: the edits of one applied batch.
-type editBatch struct {
+// EditRecord is one persisted or shipped record: the edits of one applied
+// batch, tagged with the snapshot epoch the batch produced.
+type EditRecord struct {
+	Epoch uint64
 	Edits []delta.Edit
 }
 
-// CreateEditLog writes an empty edit-log blob (envelope only).
-func CreateEditLog(w io.Writer) error {
-	return writeHeader(w, "editlog")
+// editLogMeta is the gob message between the envelope and the record
+// stream of a v6+ log.
+type editLogMeta struct {
+	Base uint64
 }
 
-// AppendEditBatch appends one batch record to an edit log previously
-// started with CreateEditLog. The writer must be positioned at the end of
-// the log (an *os.File opened with O_APPEND, typically). The frame and
-// payload go down in a single Write, so a crash leaves at worst one torn
-// record at the tail — never an intact record after garbage.
-func AppendEditBatch(w io.Writer, edits []delta.Edit) error {
-	if len(edits) == 0 {
-		return fmt.Errorf("store: edit log: empty batch")
+// EditLog is a loaded edit log: the base epoch plus the records that
+// survived, in append order.
+type EditLog struct {
+	Base    uint64
+	Records []EditRecord
+
+	// Torn reports that the file ended inside the final record — the
+	// footprint of a crash mid-append. The torn bytes are dropped (the
+	// mutate path logs before it publishes, so a torn tail is by
+	// construction a batch that was never acknowledged), but the file
+	// still holds them: an append landing after torn garbage would turn a
+	// benign torn tail into fatal mid-log corruption, so writers must
+	// repair the file first (RecoverEditLogFile) before resuming appends.
+	Torn bool
+	// ValidSize is the byte length of the longest valid prefix of the
+	// blob: the envelope, meta, and every complete record. Truncating the
+	// file to ValidSize repairs a torn tail.
+	ValidSize int64
+}
+
+// Epoch returns the epoch of the state the log reproduces when fully
+// replayed: the base for an empty log, else the last record's epoch.
+func (l *EditLog) Epoch() uint64 {
+	if n := len(l.Records); n > 0 {
+		return l.Records[n-1].Epoch
+	}
+	return l.Base
+}
+
+// CreateEditLog writes an empty edit-log blob with base epoch 0.
+func CreateEditLog(w io.Writer) error {
+	return CreateEditLogAt(w, 0)
+}
+
+// CreateEditLogAt writes an empty edit-log blob whose first record will
+// apply on top of epoch base — the envelope of a log reset by a
+// checkpoint at that epoch.
+func CreateEditLogAt(w io.Writer, base uint64) error {
+	if err := writeHeader(w, "editlog"); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(editLogMeta{Base: base})
+}
+
+// EncodeEditRecord renders one record in its framed on-disk/wire form:
+// uvarint length prefix followed by the gob-encoded record. The frame is
+// what AppendEditRecord writes and what the replication stream ships, so
+// a record is encoded once and reused byte-for-byte.
+func EncodeEditRecord(rec EditRecord) ([]byte, error) {
+	if len(rec.Edits) == 0 {
+		return nil, fmt.Errorf("store: edit log: empty batch")
 	}
 	var record bytes.Buffer
 	record.Write(make([]byte, binary.MaxVarintLen64)) // frame placeholder
-	if err := gob.NewEncoder(&record).Encode(editBatch{Edits: edits}); err != nil {
-		return fmt.Errorf("store: encoding edit batch: %w", err)
+	if err := gob.NewEncoder(&record).Encode(rec); err != nil {
+		return nil, fmt.Errorf("store: encoding edit record: %w", err)
 	}
 	payloadLen := record.Len() - binary.MaxVarintLen64
 	var frame [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(frame[:], uint64(payloadLen))
 	buf := record.Bytes()
 	copy(buf[binary.MaxVarintLen64-n:], frame[:n])
-	_, err := w.Write(buf[binary.MaxVarintLen64-n:])
+	return buf[binary.MaxVarintLen64-n:], nil
+}
+
+// AppendEditRecord appends one record to an edit log previously started
+// with CreateEditLog[At]. The writer must be positioned at the end of the
+// log (an *os.File opened with O_APPEND, typically). The frame and
+// payload go down in a single Write, so a crash leaves at worst one torn
+// record at the tail — never an intact record after garbage.
+func AppendEditRecord(w io.Writer, rec EditRecord) error {
+	frame, err := EncodeEditRecord(rec)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
 	return err
 }
 
-// LoadEditLog reads an edit log, returning the applied batches in append
-// order. A final record truncated by end-of-file — the footprint of a
-// crash mid-append — is dropped silently: the mutate path logs before it
-// publishes, so a torn tail is by construction a batch that was never
-// acknowledged. Everything else — a damaged envelope, an undecodable or
-// implausible record, a batch that fails delta.Validate — is a
-// *FormatError; genuine read failures stay unclassified.
-func LoadEditLog(r io.Reader) ([][]delta.Edit, error) {
+// LoadEditLog reads an edit log, returning the base epoch and the applied
+// records in append order. A final record truncated by end-of-file is
+// dropped and reported via Torn/ValidSize rather than failing the load.
+// Everything else — a damaged envelope, an undecodable or implausible
+// record, a batch that fails delta.Validate, an epoch out of sequence —
+// is a *FormatError; genuine read failures stay unclassified.
+func LoadEditLog(r io.Reader) (*EditLog, error) {
 	dec, err := readHeader(r, "editlog")
 	if err != nil {
 		return nil, err
 	}
+	log := &EditLog{}
+	if dec.version >= 6 {
+		var meta editLogMeta
+		if err := dec.Decode(&meta); err != nil {
+			return nil, dec.classify(err, "edit log meta")
+		}
+		log.Base = meta.Base
+	}
 	// The envelope decoder reads exact message bounds (trackingReader is
 	// a ByteReader), so the record stream continues right where the
-	// header ended.
+	// meta ended, and the reader's byte count is the stream position.
 	br := dec.tr
-	var batches [][]delta.Edit
+	log.ValidSize = br.n
 	for {
 		size, err := binary.ReadUvarint(br)
 		if err == io.EOF {
-			return batches, nil
+			return log, nil
 		}
 		if err != nil {
-			if errors.Is(err, io.ErrUnexpectedEOF) && dec.tr.err == nil {
-				return batches, nil // torn tail: unacknowledged append
+			if errors.Is(err, io.ErrUnexpectedEOF) && br.err == nil {
+				log.Torn = true // torn tail: unacknowledged append
+				return log, nil
 			}
-			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: length prefix", len(batches)))
+			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: length prefix", len(log.Records)))
 		}
 		if size == 0 || size > 64<<20 {
-			return nil, formatErrorf("edit log record %d: implausible size %d", len(batches), size)
+			return nil, formatErrorf("edit log record %d: implausible size %d", len(log.Records), size)
 		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			if (errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)) && dec.tr.err == nil {
-				return batches, nil // torn tail: unacknowledged append
+			if (errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)) && br.err == nil {
+				log.Torn = true // torn tail: unacknowledged append
+				return log, nil
 			}
-			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: torn record", len(batches)))
+			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: torn record", len(log.Records)))
 		}
-		var b editBatch
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&b); err != nil {
-			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: decoding", len(batches)))
+		var rec EditRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return nil, dec.classify(err, fmt.Sprintf("edit log record %d: decoding", len(log.Records)))
 		}
-		if err := delta.Validate(b.Edits); err != nil {
-			return nil, &FormatError{Msg: fmt.Sprintf("edit log record %d: %v", len(batches), err), Err: err}
+		if err := delta.Validate(rec.Edits); err != nil {
+			return nil, &FormatError{Msg: fmt.Sprintf("edit log record %d: %v", len(log.Records), err), Err: err}
 		}
-		batches = append(batches, b.Edits)
+		want := log.Base + uint64(len(log.Records)) + 1
+		if rec.Epoch == 0 {
+			rec.Epoch = want // pre-v6 record: epochs were implicit
+		} else if rec.Epoch != want {
+			return nil, formatErrorf("edit log record %d: epoch %d out of sequence (want %d, base %d)",
+				len(log.Records), rec.Epoch, want, log.Base)
+		}
+		log.Records = append(log.Records, rec)
+		log.ValidSize = br.n
 	}
 }
 
-// AppendEditBatchFile appends one batch to the edit-log file at path,
-// creating the file (with its envelope) if it does not exist. The append
-// is a single write on a file opened with O_APPEND; if it fails partway
-// (disk full, say) the file is truncated back to its pre-append size, so
-// a failed — and therefore unacknowledged — append cannot leave garbage
-// in front of later successful records.
-func AppendEditBatchFile(path string, edits []delta.Edit) error {
+// AppendEditRecordFile appends one record to the edit-log file at path,
+// creating the file (with its envelope, at the record's predecessor
+// epoch) if it does not exist or is empty. The append is a single write
+// on a file opened with O_APPEND; if it fails partway (disk full, say)
+// the file is truncated back to its pre-append size, so a failed — and
+// therefore unacknowledged — append cannot leave garbage in front of
+// later successful records. With sync set the record is fsynced before
+// success is reported, so an acknowledged batch survives a process or
+// machine crash.
+//
+// The caller is responsible for having repaired any torn tail first
+// (RecoverEditLogFile): appending after torn garbage would strand an
+// intact record behind undecodable bytes, which LoadEditLog rightly
+// refuses as mid-log corruption.
+func AppendEditRecordFile(path string, rec EditRecord, sync bool) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -127,14 +222,17 @@ func AppendEditBatchFile(path string, edits []delta.Edit) error {
 	}
 	pre := st.Size()
 	if pre == 0 {
-		if err := CreateEditLog(f); err != nil {
+		if rec.Epoch == 0 {
+			return fmt.Errorf("store: edit log %s: record carries no epoch", path)
+		}
+		if err := CreateEditLogAt(f, rec.Epoch-1); err != nil {
 			return err
 		}
 		if st, err := f.Stat(); err == nil {
 			pre = st.Size()
 		}
 	}
-	if err := AppendEditBatch(f, edits); err != nil {
+	if err := AppendEditRecord(f, rec); err != nil {
 		// Best effort: a tail we cannot truncate is still recoverable on
 		// load (torn-tail tolerance) as long as no later append lands
 		// after it; returning the error makes the mutate fail, so the
@@ -142,20 +240,79 @@ func AppendEditBatchFile(path string, edits []delta.Edit) error {
 		_ = f.Truncate(pre)
 		return err
 	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Truncate(pre)
+			return err
+		}
+	}
 	return nil
 }
 
 // LoadEditLogFile reads the edit-log file at path. A missing file is an
-// empty history, not an error — a dataset that has never been mutated has
-// no log yet.
-func LoadEditLogFile(path string) ([][]delta.Edit, error) {
+// empty history (base 0), not an error — a dataset that has never been
+// mutated has no log yet.
+func LoadEditLogFile(path string) (*EditLog, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return &EditLog{}, nil
 	}
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	return LoadEditLog(f)
+}
+
+// RecoverEditLogFile loads the edit-log file at path and, if it ends in a
+// torn record, truncates the file back to its last complete record so
+// appends may safely resume. This is the mandatory first step before
+// writing to a log that may have seen a crash; load-only callers can keep
+// using LoadEditLogFile. A missing file is an empty history. Mid-log
+// corruption still fails with a *FormatError — truncation only ever eats
+// bytes that were never acknowledged.
+func RecoverEditLogFile(path string) (*EditLog, error) {
+	log, err := LoadEditLogFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if log.Torn {
+		if err := os.Truncate(path, log.ValidSize); err != nil {
+			return nil, fmt.Errorf("store: repairing torn edit log %s: %w", path, err)
+		}
+		log.Torn = false
+	}
+	return log, nil
+}
+
+// WriteEditLogFile atomically replaces the edit-log file at path with a
+// fresh log at the given base epoch holding the given pre-framed records
+// (EncodeEditRecord output). The new log is written to a temporary file,
+// synced, and renamed over path, so a crash leaves either the old log or
+// the new one — never a hybrid. Checkpointing uses this to truncate the
+// shipped history.
+func WriteEditLogFile(path string, base uint64, frames [][]byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	err = CreateEditLogAt(f, base)
+	for _, frame := range frames {
+		if err != nil {
+			break
+		}
+		_, err = f.Write(frame)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

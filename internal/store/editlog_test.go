@@ -27,31 +27,81 @@ func sampleBatches() [][]delta.Edit {
 	}
 }
 
-func TestEditLogRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	if err := CreateEditLog(&buf); err != nil {
-		t.Fatal(err)
+// sampleRecords frames sampleBatches as epoch-dense records above base.
+func sampleRecords(base uint64) []EditRecord {
+	batches := sampleBatches()
+	recs := make([]EditRecord, len(batches))
+	for i, b := range batches {
+		recs[i] = EditRecord{Epoch: base + uint64(i) + 1, Edits: b}
 	}
-	want := sampleBatches()
-	for _, b := range want {
-		if err := AppendEditBatch(&buf, b); err != nil {
+	return recs
+}
+
+func TestEditLogRoundTrip(t *testing.T) {
+	for _, base := range []uint64{0, 41} {
+		var buf bytes.Buffer
+		if err := CreateEditLogAt(&buf, base); err != nil {
 			t.Fatal(err)
 		}
+		want := sampleRecords(base)
+		for _, rec := range want {
+			if err := AppendEditRecord(&buf, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := LoadEditLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Base != base || got.Torn {
+			t.Fatalf("base %d: loaded base %d, torn %v", base, got.Base, got.Torn)
+		}
+		if !reflect.DeepEqual(got.Records, want) {
+			t.Fatalf("round trip changed the log:\ngot  %+v\nwant %+v", got.Records, want)
+		}
+		if got.Epoch() != base+uint64(len(want)) {
+			t.Fatalf("log epoch %d, want %d", got.Epoch(), base+uint64(len(want)))
+		}
+		if got.ValidSize != int64(buf.Len()) {
+			t.Fatalf("ValidSize %d, blob is %d bytes", got.ValidSize, buf.Len())
+		}
+		// An empty log (envelope only) loads as no records at the base.
+		var empty bytes.Buffer
+		if err := CreateEditLogAt(&empty, base); err != nil {
+			t.Fatal(err)
+		}
+		got, err = LoadEditLog(bytes.NewReader(empty.Bytes()))
+		if err != nil || len(got.Records) != 0 || got.Epoch() != base {
+			t.Fatalf("empty log: %v, %+v", err, got)
+		}
 	}
-	got, err := LoadEditLog(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("round trip changed the log:\ngot  %+v\nwant %+v", got, want)
-	}
-	// An empty log (envelope only) loads as no batches.
-	var empty bytes.Buffer
-	if err := CreateEditLog(&empty); err != nil {
-		t.Fatal(err)
-	}
-	if got, err := LoadEditLog(bytes.NewReader(empty.Bytes())); err != nil || len(got) != 0 {
-		t.Fatalf("empty log: %v, %d batches", err, len(got))
+}
+
+func TestEditLogEpochDensity(t *testing.T) {
+	// Records must advance the epoch by exactly one each; a gap or
+	// repetition means the log and the state it claims to reproduce have
+	// diverged, which replay must refuse rather than paper over.
+	for name, epochs := range map[string][]uint64{
+		"gap":        {1, 3},
+		"repeat":     {1, 1},
+		"regression": {2, 1},
+		"wrong base": {5, 6},
+	} {
+		var buf bytes.Buffer
+		if err := CreateEditLog(&buf); err != nil {
+			t.Fatal(err)
+		}
+		batch := sampleBatches()[0]
+		for _, e := range epochs {
+			if err := AppendEditRecord(&buf, EditRecord{Epoch: e, Edits: batch}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, err := LoadEditLog(bytes.NewReader(buf.Bytes()))
+		var fe *FormatError
+		if err == nil || !errors.As(err, &fe) {
+			t.Errorf("%s: sparse epochs accepted: %v", name, err)
+		}
 	}
 }
 
@@ -61,8 +111,8 @@ func TestEditLogRoundTrip(t *testing.T) {
 func TestEditLogFileAppendAcrossOpens(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "orders.editlog")
 	// Missing file: empty history.
-	if got, err := LoadEditLogFile(path); err != nil || got != nil {
-		t.Fatalf("missing file: %v, %v", err, got)
+	if got, err := LoadEditLogFile(path); err != nil || len(got.Records) != 0 || got.Base != 0 {
+		t.Fatalf("missing file: %v, %+v", err, got)
 	}
 	doc, err := xmltree.ParseString(`<r><a>1</a><b>9</b></r>`)
 	if err != nil {
@@ -75,8 +125,8 @@ func TestEditLogFileAppendAcrossOpens(t *testing.T) {
 		{{Op: delta.OpDelete, Path: "r.b"}, {Op: delta.OpRename, Path: "r.c", Label: "e"}},
 	}
 	for _, b := range batches {
-		if _, err := h.ApplyLogged(b, func(es []delta.Edit) error {
-			return AppendEditBatchFile(path, es)
+		if _, err := h.ApplyLogged(b, func(epoch uint64, es []delta.Edit) error {
+			return AppendEditRecordFile(path, EditRecord{Epoch: epoch, Edits: es}, true)
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -85,17 +135,21 @@ func TestEditLogFileAppendAcrossOpens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(replayed, batches) {
-		t.Fatalf("log replay order changed: %+v", replayed)
+	if len(replayed.Records) != len(batches) {
+		t.Fatalf("%d records replayed, want %d", len(replayed.Records), len(batches))
 	}
 	doc2, err := xmltree.ParseString(`<r><a>1</a><b>9</b></r>`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h2 := delta.Open(doc2)
-	for _, b := range replayed {
-		if _, err := h2.Apply(b); err != nil {
+	for _, rec := range replayed.Records {
+		snap, err := h2.Apply(rec.Edits)
+		if err != nil {
 			t.Fatal(err)
+		}
+		if snap.Epoch != rec.Epoch {
+			t.Fatalf("replay reached epoch %d, record says %d", snap.Epoch, rec.Epoch)
 		}
 	}
 	if h2.Snapshot().Doc.String() != h.Snapshot().Doc.String() {
@@ -108,8 +162,9 @@ func TestEditLogCorruption(t *testing.T) {
 	if err := CreateEditLog(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, b := range sampleBatches() {
-		if err := AppendEditBatch(&buf, b); err != nil {
+	recs := sampleRecords(0)
+	for _, rec := range recs {
+		if err := AppendEditRecord(&buf, rec); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,34 +196,13 @@ func TestEditLogCorruption(t *testing.T) {
 		}
 	}
 
-	// A torn tail — the footprint of a crash mid-append — drops exactly
-	// the torn (and therefore never-acknowledged) final record and keeps
-	// everything before it, whether the tear hit the payload or the
-	// length prefix itself.
-	for name, data := range map[string][]byte{
-		"torn payload": good[:len(good)-3],
-		"torn varint":  good[:len(good)-1],
-	} {
-		got, err := LoadEditLog(bytes.NewReader(data))
-		if err != nil {
-			t.Errorf("%s: torn tail not tolerated: %v", name, err)
-			continue
-		}
-		if len(got) != len(sampleBatches())-1 {
-			t.Errorf("%s: %d batches survived, want %d", name, len(got), len(sampleBatches())-1)
-		}
-		if !reflect.DeepEqual(got, sampleBatches()[:len(got)]) {
-			t.Errorf("%s: surviving batches changed", name)
-		}
-	}
-
 	// A record carrying an invalid batch (bad shape) must be rejected
 	// even though it decodes.
 	var bad bytes.Buffer
 	if err := CreateEditLog(&bad); err != nil {
 		t.Fatal(err)
 	}
-	if err := AppendEditBatch(&bad, []delta.Edit{{Op: delta.OpDelete, Path: "r"}}); err != nil {
+	if err := AppendEditRecord(&bad, EditRecord{Epoch: 1, Edits: []delta.Edit{{Op: delta.OpDelete, Path: "r"}}}); err != nil {
 		t.Fatal(err)
 	}
 	// Hand-corrupt the op by round-tripping through the record layer.
@@ -183,12 +217,172 @@ func TestEditLogCorruption(t *testing.T) {
 	}
 
 	// Appending an empty batch is refused.
-	if err := AppendEditBatch(&bytes.Buffer{}, nil); err == nil {
+	if err := AppendEditRecord(&bytes.Buffer{}, EditRecord{Epoch: 1}); err == nil {
 		t.Error("empty batch appended")
 	}
 }
 
-func TestEditLogV3Versioning(t *testing.T) {
+// TestEditLogTornTailMatrix truncates a log at every byte offset inside
+// its final record — every possible footprint of a crash mid-append —
+// and requires each one to load as a benign torn tail: the completed
+// records intact, the torn record dropped, ValidSize naming the exact
+// repair point.
+func TestEditLogTornTailMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateEditLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(0)
+	var tail int // offset where the final record begins
+	for i, rec := range recs {
+		if i == len(recs)-1 {
+			tail = buf.Len()
+		}
+		if err := AppendEditRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := buf.Bytes()
+
+	for cut := tail; cut < len(good); cut++ {
+		got, err := LoadEditLog(bytes.NewReader(good[:cut]))
+		if err != nil {
+			t.Fatalf("cut at %d/%d: torn tail not tolerated: %v", cut, len(good), err)
+		}
+		if cut == tail {
+			// Truncation exactly at a record boundary is not torn at all.
+			if got.Torn {
+				t.Errorf("cut at boundary %d flagged torn", cut)
+			}
+		} else if !got.Torn {
+			t.Errorf("cut at %d/%d not flagged torn", cut, len(good))
+		}
+		if len(got.Records) != len(recs)-1 {
+			t.Errorf("cut at %d: %d records survived, want %d", cut, len(got.Records), len(recs)-1)
+			continue
+		}
+		if !reflect.DeepEqual(got.Records, recs[:len(recs)-1]) {
+			t.Errorf("cut at %d: surviving records changed", cut)
+		}
+		if got.ValidSize != int64(tail) {
+			t.Errorf("cut at %d: ValidSize %d, want %d", cut, got.ValidSize, tail)
+		}
+	}
+
+	// The whole blob, untouched, is not torn.
+	if got, err := LoadEditLog(bytes.NewReader(good)); err != nil || got.Torn {
+		t.Fatalf("intact log: %v, torn %v", err, got.Torn)
+	}
+}
+
+// TestEditLogRecoverAndResume exercises the append-after-crash sequence
+// at every truncation offset: recover (which must physically truncate
+// the torn bytes), then append the batch again, then load clean. Without
+// the recovery step the re-append would land after torn garbage and turn
+// a benign tear into mid-log corruption — the durability bug this
+// package refuses to allow.
+func TestEditLogRecoverAndResume(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateEditLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(0)
+	var tail int
+	for i, rec := range recs {
+		if i == len(recs)-1 {
+			tail = buf.Len()
+		}
+		if err := AppendEditRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+
+	for cut := tail; cut < len(good); cut++ {
+		path := filepath.Join(dir, "log")
+		if err := os.WriteFile(path, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lg, err := RecoverEditLogFile(path)
+		if err != nil {
+			t.Fatalf("cut at %d: recover: %v", cut, err)
+		}
+		if lg.Torn {
+			t.Fatalf("cut at %d: recover left the log torn", cut)
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() != int64(tail) {
+			t.Fatalf("cut at %d: file is %d bytes after recovery, want %d", cut, st.Size(), tail)
+		}
+		// Resume: re-append the batch the tear ate, then load clean.
+		last := recs[len(recs)-1]
+		if err := AppendEditRecordFile(path, last, true); err != nil {
+			t.Fatalf("cut at %d: resume append: %v", cut, err)
+		}
+		final, err := LoadEditLogFile(path)
+		if err != nil || final.Torn {
+			t.Fatalf("cut at %d: post-resume load: %v, torn %v", cut, err, final.Torn)
+		}
+		if !reflect.DeepEqual(final.Records, recs) {
+			t.Fatalf("cut at %d: post-resume records diverged", cut)
+		}
+	}
+
+	// Appending to a torn file without recovering first strands the new
+	// record behind garbage: depending on where the tear fell, the load
+	// either fails outright or silently drops the acknowledged record.
+	// Either way the log no longer reproduces the acknowledged history —
+	// exactly the corruption recovery exists to prevent.
+	for cut := tail + 1; cut < len(good); cut++ {
+		path := filepath.Join(dir, "unrepaired")
+		if err := os.WriteFile(path, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := AppendEditRecordFile(path, recs[len(recs)-1], false); err != nil {
+			t.Fatal(err)
+		}
+		lg, err := LoadEditLogFile(path)
+		if err == nil && !lg.Torn && len(lg.Records) == len(recs) {
+			t.Fatalf("cut at %d: append after torn garbage produced an apparently healthy log", cut)
+		}
+	}
+}
+
+func TestWriteEditLogFile(t *testing.T) {
+	// Atomic rewrite at a nonzero base: the checkpoint truncation path.
+	path := filepath.Join(t.TempDir(), "log")
+	recs := sampleRecords(7)
+	frames := make([][]byte, len(recs))
+	for i, rec := range recs {
+		frame, err := EncodeEditRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = frame
+	}
+	if err := WriteEditLogFile(path, 7, frames); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := LoadEditLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Base != 7 || !reflect.DeepEqual(lg.Records, recs) {
+		t.Fatalf("rewritten log diverged: base %d, %+v", lg.Base, lg.Records)
+	}
+	// Rewriting to empty resets the history to the base alone.
+	if err := WriteEditLogFile(path, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if lg, err = LoadEditLogFile(path); err != nil || lg.Base != 10 || len(lg.Records) != 0 {
+		t.Fatalf("reset log: %v, %+v", err, lg)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}
+
+func TestEditLogVersioning(t *testing.T) {
 	// An edit log claiming a future version is rejected.
 	var future bytes.Buffer
 	if err := writeHeaderVersion(&future, "editlog", version+1); err != nil {
@@ -213,16 +407,21 @@ func TestEditLogV3Versioning(t *testing.T) {
 		t.Errorf("EditLogPath lost: %+v", got.Entries[0])
 	}
 	// Appends to a file created by a foreign writer with a stale size-0
-	// header path: AppendEditBatchFile on an empty existing file writes
-	// the envelope first.
+	// header path: AppendEditRecordFile on an empty existing file writes
+	// the envelope first, based at the record's predecessor epoch.
 	path := filepath.Join(t.TempDir(), "x.editlog")
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := AppendEditBatchFile(path, []delta.Edit{{Op: delta.OpSetText, Path: "r", Text: "t"}}); err != nil {
+	rec := EditRecord{Epoch: 5, Edits: []delta.Edit{{Op: delta.OpSetText, Path: "r", Text: "t"}}}
+	if err := AppendEditRecordFile(path, rec, false); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := LoadEditLogFile(path); err != nil || len(got) != 1 {
-		t.Fatalf("append to empty file: %v, %d batches", err, len(got))
+	if lg, err := LoadEditLogFile(path); err != nil || lg.Base != 4 || len(lg.Records) != 1 {
+		t.Fatalf("append to empty file: %v, %+v", err, lg)
+	}
+	// A record with no epoch cannot seed a fresh file.
+	if err := AppendEditRecordFile(filepath.Join(t.TempDir(), "y"), EditRecord{Edits: rec.Edits}, false); err == nil {
+		t.Error("epoch-less record seeded a log")
 	}
 }

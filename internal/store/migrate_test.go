@@ -8,18 +8,46 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"reflect"
 	"strings"
 	"testing"
 
 	"xmatch/internal/dataset"
+	"xmatch/internal/delta"
 	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/xmltree"
 )
+
+// saveEditLogLegacy writes an edit-log blob in the pre-v6 payload layout:
+// no meta message after the envelope, and records that carry only their
+// edits (gob matches by field name, so a legacy record decodes into
+// EditRecord with Epoch 0).
+func saveEditLogLegacy(w io.Writer, batches [][]delta.Edit, v int) error {
+	if err := writeHeaderVersion(w, "editlog", v); err != nil {
+		return err
+	}
+	for _, b := range batches {
+		var record bytes.Buffer
+		if err := gob.NewEncoder(&record).Encode(struct{ Edits []delta.Edit }{b}); err != nil {
+			return err
+		}
+		var frame [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(frame[:], uint64(record.Len()))
+		if _, err := w.Write(frame[:n]); err != nil {
+			return err
+		}
+		if _, err := w.Write(record.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // reversion rewrites a current-format blob's envelope to an older version,
 // leaving the payload bytes untouched — exactly what a blob written by an
@@ -110,6 +138,16 @@ func TestStoreMigrateAcrossVersions(t *testing.T) {
 				}
 				blob = legacy.Bytes()
 			}
+			if kind == "editlog" && v < 6 {
+				// Edit-log payloads gained the base-epoch meta message in
+				// v6; an old-version log has no meta, so it too needs the
+				// legacy writer.
+				var legacy bytes.Buffer
+				if err := saveEditLogLegacy(&legacy, nil, v); err != nil {
+					t.Fatalf("editlog: legacy v%d save: %v", v, err)
+				}
+				blob = legacy.Bytes()
+			}
 			if err := k.load(blob); err != nil {
 				t.Errorf("%s: v%d envelope rejected: %v", kind, v, err)
 			}
@@ -119,6 +157,41 @@ func TestStoreMigrateAcrossVersions(t *testing.T) {
 		var fe *FormatError
 		if err == nil || !errors.As(err, &fe) {
 			t.Errorf("%s: future envelope accepted or misclassified: %v", kind, err)
+		}
+	}
+}
+
+// TestStoreMigrateEditLogV5 proves a populated pre-v6 edit log — no base
+// meta, records without epochs — loads under the v6 reader with base 0
+// and implicit epochs 1..n, preserving every batch.
+func TestStoreMigrateEditLogV5(t *testing.T) {
+	batches := [][]delta.Edit{
+		{{Op: delta.OpSetText, Path: "r.a", Text: "2"}},
+		{{Op: delta.OpInsert, Path: "r", XML: "<c>x</c>", Pos: -1}},
+		{{Op: delta.OpDelete, Path: "r.c"}},
+	}
+	for v := minVersion; v < 6; v++ {
+		var legacy bytes.Buffer
+		if err := saveEditLogLegacy(&legacy, batches, v); err != nil {
+			t.Fatalf("v%d: save: %v", v, err)
+		}
+		lg, err := LoadEditLog(bytes.NewReader(legacy.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d: load: %v", v, err)
+		}
+		if lg.Base != 0 || lg.Torn {
+			t.Fatalf("v%d: base %d, torn %v", v, lg.Base, lg.Torn)
+		}
+		if len(lg.Records) != len(batches) {
+			t.Fatalf("v%d: %d records, want %d", v, len(lg.Records), len(batches))
+		}
+		for i, rec := range lg.Records {
+			if rec.Epoch != uint64(i)+1 {
+				t.Errorf("v%d: record %d assigned epoch %d, want %d", v, i, rec.Epoch, i+1)
+			}
+			if !reflect.DeepEqual(rec.Edits, batches[i]) {
+				t.Errorf("v%d: record %d edits diverged", v, i)
+			}
 		}
 	}
 }

@@ -25,13 +25,17 @@ const (
 	// reference; version 4 switched index blobs to the delta-compressed
 	// postings payload (varint blocks with persisted skip pointers —
 	// index.CompactSnapshot); version 5 added the per-entry shard count on
-	// catalog manifests (CatalogEntry.Shards). Readers accept every
-	// version back to minVersion: v2/v3 index blobs still decode through
-	// the legacy snapshot payload, and gob ignores fields a payload lacks,
-	// so older blobs of the other kinds decode with the new fields
-	// zero-valued — a v4 manifest loads with Shards 0, meaning a
-	// single-document collection.
-	version    = 5
+	// catalog manifests (CatalogEntry.Shards); version 6 added checkpoint
+	// blobs and made edit logs epoch-aware (a base-epoch meta message
+	// after the envelope, and an explicit epoch on every record — the
+	// replication substrate). Readers accept every version back to
+	// minVersion: v2/v3 index blobs still decode through the legacy
+	// snapshot payload, and gob ignores fields a payload lacks, so older
+	// blobs of the other kinds decode with the new fields zero-valued — a
+	// v4 manifest loads with Shards 0, meaning a single-document
+	// collection, and a v5 edit log loads with base 0 and its record
+	// epochs implicitly numbered 1..n.
+	version    = 6
 	minVersion = 1
 )
 
@@ -57,7 +61,7 @@ func formatErrorf(format string, args ...any) error {
 
 type header struct {
 	Version int
-	Kind    string // "schema", "matching", "mappingset", "catalog", "index", "editlog"
+	Kind    string // "schema", "matching", "mappingset", "catalog", "index", "editlog", "checkpoint"
 }
 
 type schemaDTO struct {
@@ -136,15 +140,19 @@ func writeHeaderVersion(w io.Writer, kind string, v int) error {
 // implements io.ByteReader so gob decoders read exactly the bytes of each
 // message instead of wrapping the stream in a buffered reader — which is
 // what lets the edit-log loader resume reading length-prefixed records
-// right after the envelope.
+// right after the envelope. It also counts the bytes consumed: with exact
+// reads, that count is the stream position, which is how the edit-log
+// loader locates the last complete record when repairing a torn tail.
 type trackingReader struct {
 	r   io.Reader
+	n   int64
 	err error
 	buf [1]byte
 }
 
 func (t *trackingReader) Read(p []byte) (int, error) {
 	n, err := t.r.Read(p)
+	t.n += int64(n)
 	if err != nil && err != io.EOF && t.err == nil {
 		t.err = err
 	}
