@@ -222,6 +222,7 @@ func runQuery(args []string) error {
 	parallel := fs.Bool("parallel", true, "enable parallel evaluation (-parallel=false forces sequential)")
 	indexed := fs.Bool("indexed", true, "evaluate through the positional document index; false skips accelerator discovery entirely, forcing the joined matcher (local evaluation only: with -remote the daemon's catalog fixes indexing, so the flag is rejected rather than silently ignored)")
 	remote := fs.String("remote", "", "xmatchd base URL (e.g. http://localhost:8777); query the daemon's dataset named by -d instead of evaluating locally")
+	explain := fs.Bool("explain", false, "print evaluation internals after the answers: the request trace and the index matcher's counters (single query only)")
 	fs.Parse(args)
 	if *qtext == "" {
 		return fmt.Errorf("query: -q is required")
@@ -243,6 +244,9 @@ func runQuery(args []string) error {
 	if len(queries) == 0 {
 		return fmt.Errorf("query: -q holds no query text")
 	}
+	if *explain && len(queries) > 1 {
+		return fmt.Errorf("query: -explain applies to a single query, not a ';' batch")
+	}
 	if *remote != "" {
 		// The daemon's catalog fixes the dataset shape and engine; accepting
 		// these flags would silently answer over a different configuration.
@@ -256,7 +260,7 @@ func runQuery(args []string) error {
 		if len(conflicts) > 0 {
 			return fmt.Errorf("query: %s only apply to local evaluation; with -remote the daemon's catalog fixes the dataset shape", strings.Join(conflicts, ", "))
 		}
-		return runRemoteQuery(*remote, *id, queries, *k)
+		return runRemoteQuery(*remote, *id, queries, *k, *explain)
 	}
 
 	_, set, err := loadSet(*id, *m)
@@ -291,14 +295,30 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Local EXPLAIN reads the process-global matcher counters around the
+	// evaluation; this process runs nothing else, so the delta is exact.
+	before := index.GlobalCounters()
+	start := time.Now()
 	var results []core.Result
 	if *k > 0 {
 		results = eng.EvaluateTopK(q, set, doc, bt, *k)
 	} else {
 		results = eng.Evaluate(q, set, doc, bt)
 	}
+	elapsed := time.Since(start)
 	printAnswers(queries[0], q, results)
+	if *explain {
+		fmt.Printf("explain: evaluated in %.3fms\n", float64(elapsed.Microseconds())/1e3)
+		printCounters("  ", index.GlobalCounters().Sub(before))
+	}
 	return nil
+}
+
+// printCounters renders one matcher-counter block of an EXPLAIN report.
+func printCounters(indent string, c index.CountersSnapshot) {
+	fmt.Printf("%sevals=%d memoHits=%d memoMisses=%d fastPath=%d\n", indent, c.Evals, c.MemoHits, c.MemoMisses, c.FastPath)
+	fmt.Printf("%scandidates=%d usefulSurvivors=%d reachSurvivors=%d emitted=%d\n", indent, c.Candidates, c.UsefulSurvivors, c.ReachSurvivors, c.Emitted)
+	fmt.Printf("%sgallopMerges=%d linearMerges=%d decoded=%d lists / %d postings / %d blocks\n", indent, c.GallopMerges, c.LinearMerges, c.DecodedLists, c.DecodedPostings, c.DecodedBlocks)
 }
 
 func printAnswers(text string, q *core.Query, results []core.Result) {
@@ -323,11 +343,13 @@ func printWireAnswers(text string, nResults int, answers []core.WireAnswer) {
 
 // runRemoteQuery answers the queries through a running xmatchd daemon:
 // one query POSTs /v1/query (top-k when -k > 0), several POST one /v1/batch.
-func runRemoteQuery(base, ds string, queries []string, k int) error {
+// With explain set the daemon annotates the response with its trace and
+// per-shard matcher counters, printed after the answers.
+func runRemoteQuery(base, ds string, queries []string, k int, explain bool) error {
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: 60 * time.Second}
 	if len(queries) == 1 {
-		req := server.QueryRequest{Dataset: ds, Pattern: queries[0], K: k}
+		req := server.QueryRequest{Dataset: ds, Pattern: queries[0], K: k, Explain: explain}
 		if k > 0 {
 			req.Mode = "topk"
 		}
@@ -336,6 +358,21 @@ func runRemoteQuery(base, ds string, queries []string, k int) error {
 			return err
 		}
 		printWireAnswers(resp.Pattern, len(resp.Results), resp.Answers)
+		if resp.Explain != nil {
+			ex := resp.Explain
+			fmt.Printf("explain: request %s, %.3fms total\n", ex.Trace.ID, float64(ex.Trace.DurUs)/1e3)
+			for _, sp := range ex.Trace.Spans {
+				detail := sp.Detail
+				if detail != "" {
+					detail = "  " + detail
+				}
+				fmt.Printf("  %9.3fms +%9.3fms  %s%s\n", float64(sp.StartUs)/1e3, float64(sp.DurUs)/1e3, sp.Name, detail)
+			}
+			for _, sh := range ex.Shards {
+				fmt.Printf("  shard %d (epoch %d):\n", sh.Shard, sh.Epoch)
+				printCounters("    ", sh.Counters)
+			}
+		}
 		return nil
 	}
 	req := server.BatchRequest{Dataset: ds}

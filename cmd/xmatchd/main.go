@@ -11,19 +11,27 @@
 //	xmatchd -follow http://primary:8777          # read replica of a primary
 //
 // Endpoints: POST /v1/query, POST /v1/batch, GET /v1/datasets, GET
-// /healthz, GET /statsz, POST /v1/admin/reload (rebuilds the catalog from
-// the manifest — edit the file, hit the endpoint, no restart), POST
-// /v1/admin/mutate, POST /v1/admin/checkpoint (compacts each durable
-// shard's edit log into a checkpoint blob), and the replication surface
-// (/v1/replicate/{manifest,stream,checkpoint}) a follower consumes.
+// /healthz, GET /statsz, GET /metricsz (Prometheus text exposition), GET
+// /v1/debug/traces (tail-sampled slow-query traces), POST /v1/admin/reload
+// (rebuilds the catalog from the manifest — edit the file, hit the
+// endpoint, no restart), POST /v1/admin/mutate, POST /v1/admin/checkpoint
+// (compacts each durable shard's edit log into a checkpoint blob), and the
+// replication surface (/v1/replicate/{manifest,stream,checkpoint}) a
+// follower consumes.
 //
 // A follower (-follow) fetches the primary's manifest, rebuilds the same
 // catalog locally, then tails each shard's edit log over HTTP — replaying
 // records through the same delta path the primary used, so replica state
 // is byte-identical at every epoch. When the primary has compacted the
 // history away, the follower bootstraps from a checkpoint blob instead.
-// Followers are read-only (admin endpoints answer 403) and report
-// per-shard replication lag on /statsz.
+// Followers are read-only (admin endpoints answer 403), report per-shard
+// replication lag on /statsz and /metricsz, and degrade /healthz (503)
+// when the worst shard falls more than -max-lag epochs behind.
+//
+// Logs are structured (log/slog): -log-format picks text or json,
+// -log-level the floor. Slow requests log with the same request ID the
+// X-Request-Id response header and /v1/debug/traces carry. -debug-addr
+// starts a second listener serving net/http/pprof (off by default).
 //
 // Query it with curl or the bundled client:
 //
@@ -35,8 +43,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -45,33 +54,63 @@ import (
 	"time"
 
 	"xmatch/internal/engine"
+	"xmatch/internal/obs"
 	"xmatch/internal/replica"
 	"xmatch/internal/server"
 	"xmatch/internal/store"
 )
 
+// config carries every flag the daemon parses.
+type config struct {
+	addr           string
+	manifest       string
+	datasets       string
+	mappings       int
+	docNodes       int
+	docSeed        int64
+	shards         int
+	tau            float64
+	workers        int
+	reqWorkers     int
+	cache          int
+	editlogDir     string
+	fsync          bool
+	follow         string
+	followInterval time.Duration
+	writeManifest  string
+	logFormat      string
+	logLevel       string
+	debugAddr      string
+	traceThreshold time.Duration
+	maxLag         int64
+}
+
 func main() {
-	addr := flag.String("addr", ":8777", "listen address")
-	manifest := flag.String("manifest", "", "store catalog manifest to serve (overrides -datasets)")
-	datasets := flag.String("datasets", "D7", "comma-separated built-in dataset IDs to serve")
-	m := flag.Int("m", server.DefaultMappings, "possible mappings per built-in dataset")
-	docNodes := flag.Int("doc", server.DefaultDocNodes, "document size per built-in dataset")
-	docSeed := flag.Int64("seed", 42, "document generator seed")
-	shards := flag.Int("shards", 1, "member documents per built-in dataset (-doc nodes total across them); >1 serves a scatter-gather collection")
-	tau := flag.Float64("tau", 0.2, "block-tree confidence threshold")
-	workers := flag.Int("workers", 0, "worker-pool size per dataset engine (0 = all cores)")
-	reqWorkers := flag.Int("request-workers", 0, "per-request worker budget (0 = half the pool, <0 = sequential)")
-	cache := flag.Int("cache", engine.DefaultCacheCapacity, "prepared-query cache capacity per dataset")
-	editlogDir := flag.String("editlog-dir", "", "persist /v1/admin/mutate batches per built-in dataset as <dir>/<name>.editlog, replayed on start and reload (built-in -datasets mode only; manifests carry their own EditLogPath)")
-	fsync := flag.Bool("fsync", true, "fsync durable edit-log appends before acknowledging a mutation; -fsync=false trades crash durability of the latest batches for write latency")
-	follow := flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8777): fetch its manifest, replay its edit logs, bootstrap from its checkpoints; local admin endpoints become read-only")
-	followInterval := flag.Duration("follow-interval", 500*time.Millisecond, "poll interval between replication sync rounds in -follow mode")
-	writeManifest := flag.String("write-manifest", "", "write the built-in -datasets selection as a manifest file and exit")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8777", "listen address")
+	flag.StringVar(&cfg.manifest, "manifest", "", "store catalog manifest to serve (overrides -datasets)")
+	flag.StringVar(&cfg.datasets, "datasets", "D7", "comma-separated built-in dataset IDs to serve")
+	flag.IntVar(&cfg.mappings, "m", server.DefaultMappings, "possible mappings per built-in dataset")
+	flag.IntVar(&cfg.docNodes, "doc", server.DefaultDocNodes, "document size per built-in dataset")
+	flag.Int64Var(&cfg.docSeed, "seed", 42, "document generator seed")
+	flag.IntVar(&cfg.shards, "shards", 1, "member documents per built-in dataset (-doc nodes total across them); >1 serves a scatter-gather collection")
+	flag.Float64Var(&cfg.tau, "tau", 0.2, "block-tree confidence threshold")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool size per dataset engine (0 = all cores)")
+	flag.IntVar(&cfg.reqWorkers, "request-workers", 0, "per-request worker budget (0 = half the pool, <0 = sequential)")
+	flag.IntVar(&cfg.cache, "cache", engine.DefaultCacheCapacity, "prepared-query cache capacity per dataset")
+	flag.StringVar(&cfg.editlogDir, "editlog-dir", "", "persist /v1/admin/mutate batches per built-in dataset as <dir>/<name>.editlog, replayed on start and reload (built-in -datasets mode only; manifests carry their own EditLogPath)")
+	flag.BoolVar(&cfg.fsync, "fsync", true, "fsync durable edit-log appends before acknowledging a mutation; -fsync=false trades crash durability of the latest batches for write latency")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8777): fetch its manifest, replay its edit logs, bootstrap from its checkpoints; local admin endpoints become read-only")
+	flag.DurationVar(&cfg.followInterval, "follow-interval", 500*time.Millisecond, "poll interval between replication sync rounds in -follow mode")
+	flag.StringVar(&cfg.writeManifest, "write-manifest", "", "write the built-in -datasets selection as a manifest file and exit")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "structured log encoding: text or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on a separate listener at this address (empty = off)")
+	flag.DurationVar(&cfg.traceThreshold, "trace-threshold", 100*time.Millisecond, "retain a request's trace on /v1/debug/traces when its latency reaches this threshold; 0 retains every trace, negative disables retention")
+	flag.Int64Var(&cfg.maxLag, "max-lag", 1000, "in -follow mode, epochs behind the primary (worst shard) before /healthz reports degraded; negative disables the check")
 	flag.Parse()
 
-	if err := run(*addr, *manifest, *datasets, *m, *docNodes, *docSeed, *shards, *tau,
-		*workers, *reqWorkers, *cache, *editlogDir, *writeManifest,
-		*fsync, *follow, *followInterval); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xmatchd:", err)
 		os.Exit(1)
 	}
@@ -80,18 +119,18 @@ func main() {
 // builtinManifest assembles a manifest from a comma-separated ID list.
 // With editlog set, each entry persists its mutations to <name>.editlog
 // (resolved against the loader's base directory).
-func builtinManifest(datasets string, m, docNodes int, docSeed int64, shards int, tau float64, editlog bool) (*store.Catalog, error) {
+func builtinManifest(cfg config) (*store.Catalog, error) {
 	var man store.Catalog
-	for _, id := range strings.Split(datasets, ",") {
+	for _, id := range strings.Split(cfg.datasets, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
 		e := store.CatalogEntry{
-			Name: id, Dataset: id, Mappings: m,
-			DocNodes: docNodes, DocSeed: docSeed, Shards: shards, Tau: tau,
+			Name: id, Dataset: id, Mappings: cfg.mappings,
+			DocNodes: cfg.docNodes, DocSeed: cfg.docSeed, Shards: cfg.shards, Tau: cfg.tau,
 		}
-		if editlog {
+		if cfg.editlogDir != "" {
 			e.EditLogPath = id + ".editlog"
 		}
 		man.Entries = append(man.Entries, e)
@@ -102,17 +141,20 @@ func builtinManifest(datasets string, m, docNodes int, docSeed int64, shards int
 	return &man, nil
 }
 
-func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards int, tau float64,
-	workers, reqWorkers, cache int, editlogDir, writeManifest string,
-	fsync bool, follow string, followInterval time.Duration) error {
+func run(cfg config) error {
+	logger, err := obs.NewLogger(cfg.logFormat, cfg.logLevel, os.Stderr)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
-	eopts := engine.Options{Workers: workers, CacheCapacity: cache}
+	eopts := engine.Options{Workers: cfg.workers, CacheCapacity: cfg.cache}
 
-	if editlogDir != "" {
+	if cfg.editlogDir != "" {
 		// Create it up front: the daemon starts fine against a missing
 		// directory (no logs yet = pristine datasets), but the first
 		// mutation's append would fail with a confusing 500.
-		if err := os.MkdirAll(editlogDir, 0o755); err != nil {
+		if err := os.MkdirAll(cfg.editlogDir, 0o755); err != nil {
 			return fmt.Errorf("creating -editlog-dir: %w", err)
 		}
 	}
@@ -120,32 +162,32 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards
 	// loadManifest re-reads the manifest source on every call, so a reload
 	// after editing the manifest file picks up the changes.
 	loadManifest := func() (*store.Catalog, string, error) {
-		if manifest == "" {
-			man, err := builtinManifest(datasets, m, docNodes, docSeed, shards, tau, editlogDir != "")
+		if cfg.manifest == "" {
+			man, err := builtinManifest(cfg)
 			baseDir := "."
-			if editlogDir != "" {
-				baseDir = editlogDir
+			if cfg.editlogDir != "" {
+				baseDir = cfg.editlogDir
 			}
 			return man, baseDir, err
 		}
-		f, err := os.Open(manifest)
+		f, err := os.Open(cfg.manifest)
 		if err != nil {
 			return nil, "", err
 		}
 		defer f.Close()
 		man, err := store.LoadCatalog(f)
 		if err != nil {
-			return nil, "", fmt.Errorf("manifest %s: %w", manifest, err)
+			return nil, "", fmt.Errorf("manifest %s: %w", cfg.manifest, err)
 		}
-		return man, filepath.Dir(manifest), nil
+		return man, filepath.Dir(cfg.manifest), nil
 	}
 
-	if writeManifest != "" {
-		man, err := builtinManifest(datasets, m, docNodes, docSeed, shards, tau, editlogDir != "")
+	if cfg.writeManifest != "" {
+		man, err := builtinManifest(cfg)
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(writeManifest)
+		f, err := os.Create(cfg.writeManifest)
 		if err != nil {
 			return err
 		}
@@ -156,11 +198,11 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote manifest with %d dataset(s) to %s\n", len(man.Entries), writeManifest)
+		fmt.Printf("wrote manifest with %d dataset(s) to %s\n", len(man.Entries), cfg.writeManifest)
 		return nil
 	}
 
-	copts := server.CatalogOptions{NoFsync: !fsync}
+	copts := server.CatalogOptions{NoFsync: !cfg.fsync}
 	loader := func() (*server.Catalog, error) {
 		man, baseDir, err := loadManifest()
 		if err != nil {
@@ -169,38 +211,48 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards
 		return server.BuildCatalogOpts(man, baseDir, eopts, copts)
 	}
 
+	traceThreshold := cfg.traceThreshold
+	if traceThreshold == 0 {
+		// The flag's 0 means "retain every trace"; the Options zero value
+		// means "server default", so express retain-all as the smallest
+		// positive threshold.
+		traceThreshold = time.Nanosecond
+	}
+	sopts := server.Options{
+		RequestWorkers: cfg.reqWorkers,
+		TraceThreshold: traceThreshold,
+		MaxLagEpochs:   cfg.maxLag,
+		Logger:         logger,
+	}
+
 	start := time.Now()
 	var srv *server.Server
-	var err error
-	if follow != "" {
+	if cfg.follow != "" {
 		// Replica mode: the catalog comes from the primary's manifest, the
 		// state from its edit logs and checkpoints. The sync loop runs for
 		// the life of the process.
 		var f *replica.Follower
-		srv, f, err = server.NewFollower(follow, server.FollowerOptions{
-			Server: server.Options{RequestWorkers: reqWorkers},
+		srv, f, err = server.NewFollower(cfg.follow, server.FollowerOptions{
+			Server: sopts,
 			Engine: eopts,
 		})
 		if err != nil {
-			return fmt.Errorf("following %s: %w", follow, err)
+			return fmt.Errorf("following %s: %w", cfg.follow, err)
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		go f.Run(ctx, followInterval)
-		log.Printf("xmatchd: following %s (sync every %v, serving read-only)", follow, followInterval)
+		go f.Run(ctx, cfg.followInterval)
+		logger.Info("following primary", "primary", cfg.follow, "interval", cfg.followInterval.String())
 	} else {
-		srv, err = server.New(loader, server.Options{
-			RequestWorkers: reqWorkers,
-			Manifest: func() (*store.Catalog, error) {
-				man, _, merr := loadManifest()
-				return man, merr
-			},
-		})
+		sopts.Manifest = func() (*store.Catalog, error) {
+			man, _, merr := loadManifest()
+			return man, merr
+		}
+		srv, err = server.New(loader, sopts)
 	}
 	if err != nil {
 		return err
 	}
-	var names []string
 	for _, d := range srv.Catalog().Datasets() {
 		var nodes, idxBytes int
 		var epoch uint64
@@ -215,14 +267,32 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards
 				epoch = snap.Epoch
 			}
 		}
-		names = append(names, fmt.Sprintf("%s(|M|=%d shards=%d doc=%d epoch=%d blocks=%d idx=%dB/%v)",
-			d.Name, d.Set.Len(), d.NumShards(), nodes, epoch, d.Tree.Stats().NumBlocks,
-			idxBytes, build.Round(time.Millisecond)))
+		logger.Info("dataset ready",
+			"dataset", d.Name,
+			"mappings", d.Set.Len(),
+			"shards", d.NumShards(),
+			"docNodes", nodes,
+			"epoch", epoch,
+			"blocks", d.Tree.Stats().NumBlocks,
+			"indexBytes", idxBytes,
+			"buildMs", float64(build.Microseconds())/1e3)
 	}
-	log.Printf("xmatchd: catalog ready in %v: %s", time.Since(start).Round(time.Millisecond), strings.Join(names, " "))
-	log.Printf("xmatchd: listening on %s", addr)
+	logger.Info("catalog ready", "elapsed", time.Since(start).Round(time.Millisecond).String())
 
-	hs := &http.Server{Addr: addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	if cfg.debugAddr != "" {
+		// pprof rides a separate listener so profiling exposure is an
+		// explicit deployment decision, never implied by the serving port.
+		dbg := &http.Server{Addr: cfg.debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener (pprof)", "addr", cfg.debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
+	logger.Info("listening", "addr", cfg.addr)
+	hs := &http.Server{Addr: cfg.addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
@@ -232,7 +302,7 @@ func run(addr, manifest, datasets string, m, docNodes int, docSeed int64, shards
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("xmatchd: %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return hs.Shutdown(ctx)

@@ -27,8 +27,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xmatch/internal/index"
+	"xmatch/internal/obs"
 	"xmatch/internal/xmltree"
 )
 
@@ -112,6 +114,9 @@ type Stats struct {
 	Batches uint64
 	// Edits is the total number of edits across applied batches.
 	Edits uint64
+	// ApplyMs is the cumulative wall time spent applying batches
+	// (lock-wait excluded), in milliseconds.
+	ApplyMs float64
 }
 
 // Handle owns the mutable identity of one live document: an atomically
@@ -119,10 +124,11 @@ type Stats struct {
 // number of goroutines may call Snapshot concurrently with one another
 // and with writers.
 type Handle struct {
-	mu      sync.Mutex
-	cur     atomic.Pointer[Snapshot]
-	batches atomic.Uint64
-	edits   atomic.Uint64
+	mu       sync.Mutex
+	cur      atomic.Pointer[Snapshot]
+	batches  atomic.Uint64
+	edits    atomic.Uint64
+	applyLat *obs.Histogram // per-batch apply latency, lock-wait excluded
 }
 
 // Open wraps a document in a live handle. An index already attached to
@@ -134,7 +140,7 @@ func Open(doc *xmltree.Document) *Handle {
 	if ix == nil {
 		ix = index.Attach(doc)
 	}
-	h := &Handle{}
+	h := &Handle{applyLat: obs.NewHistogram(nil)}
 	h.cur.Store(&Snapshot{Doc: doc, Index: ix, Epoch: ix.Epoch()})
 	return h
 }
@@ -145,7 +151,26 @@ func (h *Handle) Snapshot() *Snapshot { return h.cur.Load() }
 
 // Stats returns the handle's mutation counters.
 func (h *Handle) Stats() Stats {
-	return Stats{Epoch: h.Snapshot().Epoch, Batches: h.batches.Load(), Edits: h.edits.Load()}
+	return Stats{
+		Epoch:   h.Snapshot().Epoch,
+		Batches: h.batches.Load(),
+		Edits:   h.edits.Load(),
+		ApplyMs: h.applyLat.Snapshot().SumMs,
+	}
+}
+
+// ApplyLatency snapshots the handle's per-batch apply-latency histogram.
+func (h *Handle) ApplyLatency() obs.HistogramSnapshot { return h.applyLat.Snapshot() }
+
+// CollectMetrics emits the handle's mutation metrics onto e under the
+// given labels — the delta subsystem's contribution to /metricsz.
+func (h *Handle) CollectMetrics(e *obs.Exporter, labels ...obs.Label) {
+	snap := h.Snapshot()
+	e.Counter("xmatch_delta_batches_total", "Edit batches applied.", float64(h.batches.Load()), labels...)
+	e.Counter("xmatch_delta_edits_total", "Edits applied across batches.", float64(h.edits.Load()), labels...)
+	e.Gauge("xmatch_delta_epoch", "Current snapshot epoch.", float64(snap.Epoch), labels...)
+	e.Gauge("xmatch_delta_overlay_depth", "Index overlay chain length above the nearest self-contained index.", float64(snap.Index.Stats().Overlays), labels...)
+	e.Histogram("xmatch_delta_apply_seconds", "Per-batch apply latency, lock-wait excluded.", h.applyLat.Snapshot(), labels...)
 }
 
 // Apply applies one batch of edits atomically: either every edit applies
@@ -172,6 +197,7 @@ func (h *Handle) ApplyLogged(edits []Edit, log func(epoch uint64, edits []Edit) 
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	start := time.Now()
 	cur := h.cur.Load()
 	rev := cur.Doc.BeginRevision()
 	for i, e := range edits {
@@ -191,6 +217,7 @@ func (h *Handle) ApplyLogged(edits []Edit, log func(epoch uint64, edits []Edit) 
 	h.cur.Store(snap)
 	h.batches.Add(1)
 	h.edits.Add(uint64(len(edits)))
+	h.applyLat.Observe(time.Since(start))
 	return snap, nil
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"xmatch/internal/core"
 	"xmatch/internal/mapping"
+	"xmatch/internal/obs"
 	"xmatch/internal/twig"
 	"xmatch/internal/xmltree"
 )
@@ -138,18 +139,49 @@ func (e *Engine) release() {
 // against two different sets occupies two entries. Failed preparations are
 // not cached.
 func (e *Engine) Prepare(pattern string, set *mapping.Set) (*core.Query, error) {
+	q, _, err := e.PrepareCached(pattern, set)
+	return q, err
+}
+
+// PrepareCached is Prepare reporting whether the query was answered from
+// the prepared-query cache — the distinction EXPLAIN and the prepare
+// span surface.
+func (e *Engine) PrepareCached(pattern string, set *mapping.Set) (*core.Query, bool, error) {
 	if q, ok := e.cache.get(pattern, set); ok {
-		return q, nil
+		return q, true, nil
 	}
 	q, err := core.PrepareQuery(pattern, set)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return e.cache.put(pattern, set, q), nil
+	return e.cache.put(pattern, set, q), false, nil
 }
 
 // CacheStats returns a snapshot of the prepared-query cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// Busy returns how many pool slots are currently reserved on the
+// engine's own admission gate (0 for a sequential engine) — together
+// with Workers, the admission-queue depth gauge /metricsz exposes.
+func (e *Engine) Busy() int {
+	if len(e.gates) == 0 {
+		return 0
+	}
+	return len(e.gates[0])
+}
+
+// CollectMetrics emits the engine's pool and prepared-query-cache
+// metrics onto x under the given labels (typically the owning dataset's
+// name) — the engine's contribution to /metricsz.
+func (e *Engine) CollectMetrics(x *obs.Exporter, labels ...obs.Label) {
+	cs := e.CacheStats()
+	x.Gauge("xmatch_engine_workers", "Configured evaluation worker budget.", float64(e.workers), labels...)
+	x.Gauge("xmatch_engine_busy_workers", "Pool slots currently reserved.", float64(e.Busy()), labels...)
+	x.Counter("xmatch_engine_prepare_cache_hits_total", "Prepared-query cache hits.", float64(cs.Hits), labels...)
+	x.Counter("xmatch_engine_prepare_cache_misses_total", "Prepared-query cache misses.", float64(cs.Misses), labels...)
+	x.Counter("xmatch_engine_prepare_cache_evictions_total", "Prepared-query cache evictions.", float64(cs.Evictions), labels...)
+	x.Gauge("xmatch_engine_prepare_cache_entries", "Prepared queries currently cached.", float64(cs.Entries), labels...)
+}
 
 // EvaluateBasic answers the PTQ with a parallel Algorithm 3: the relevant
 // mappings of each embedding are split into contiguous chunks evaluated

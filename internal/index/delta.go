@@ -51,6 +51,7 @@ func (ix *Index) ApplyChanges(newDoc *xmltree.Document, cs *xmltree.ChangeSet) *
 		paths:  make(map[string]*PostingList),
 		values: make(map[valueKey]*PostingList),
 		texts:  make(map[string]*textEntry),
+		ctr:    ix.ctr,
 		stats:  ix.stats,
 	}
 	nx.stats.Epoch = nx.epoch
@@ -337,7 +338,7 @@ func (ix *Index) flatten() *Index {
 		}
 	}
 	putPostingBuf(buf)
-	nx := &Index{doc: ix.doc, epoch: ix.epoch, paths: paths, values: values, texts: texts}
+	nx := &Index{doc: ix.doc, epoch: ix.epoch, paths: paths, values: values, texts: texts, ctr: ix.ctr}
 	nx.stats = nx.computeStats()
 	nx.stats.Epoch = ix.epoch
 	return nx

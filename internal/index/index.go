@@ -86,6 +86,10 @@ type Index struct {
 	// is collected together with the epoch.
 	memo resultMemo
 
+	// ctr accumulates the chain's matcher counters (see Counters); shared
+	// across overlay epochs and their flattened successors.
+	ctr *Counters
+
 	stats Stats
 }
 
@@ -173,6 +177,7 @@ func build(doc *xmltree.Document, compress bool) *Index {
 		doc:    doc,
 		paths:  make(map[string]*PostingList, len(paths)),
 		values: make(map[valueKey]*PostingList, len(values)),
+		ctr:    &Counters{},
 	}
 	if compress && len(nodes) >= parallelBuildThreshold && workers > 1 {
 		compressParallel(ix, paths, values, workers)

@@ -58,6 +58,7 @@ func (ix *Index) MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.Path
 	}
 	st := getTwigState()
 	defer putTwigState(st)
+	st.tally = tally{}
 	// Result memo: evaluation is a pure function of (index, pattern,
 	// binding), and PTQ workloads rewrite heavily overlapping mappings to
 	// a handful of distinct bindings — most evaluations over a hot index
@@ -74,9 +75,16 @@ func (ix *Index) MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.Path
 	res, hit := byKey[string(kb)]
 	shard.mu.RUnlock()
 	if hit {
+		ix.ctr.addMemoHit()
+		globalCounters.addMemoHit()
 		return res
 	}
+	st.tally.memoMisses = 1
 	res = ix.matchTwig(st, qn, paths)
+	st.tally.emitted = uint64(len(res))
+	st.tally.decodedBlocks += st.prc.takeDecoded() + st.enc.takeDecoded()
+	ix.ctr.addEval(&st.tally)
+	globalCounters.addEval(&st.tally)
 	shard.mu.Lock()
 	if shard.m == nil {
 		shard.m = make(map[*twig.Node]map[string][]twig.Match)
@@ -112,6 +120,8 @@ func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding)
 		} else {
 			pl = ix.list(paths[qn])
 		}
+		st.tally.fastPath = 1
+		st.tally.candidates = uint64(pl.Len())
 		return emitList(qn, pl)
 	}
 	st.collect(qn)
@@ -119,6 +129,9 @@ func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding)
 		if !ix.loadCandidates(st, i, n, paths) {
 			return nil
 		}
+	}
+	for i := range st.nodes {
+		st.tally.candidates += uint64(st.clen(i))
 	}
 	if len(st.nodes) == 1 {
 		return st.emitSingles(qn, 0)
@@ -132,11 +145,17 @@ func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding)
 			}
 		}
 	}
+	for i := range st.nodes {
+		st.tally.usefulSurvivors += uint64(st.clen(i))
+	}
 	// Top-down reachability: preorder visits parents first.
 	for i, n := range st.nodes {
 		for _, c := range n.Children {
 			st.filterChildrenByParents(st.ord(c), i)
 		}
+	}
+	for i := range st.nodes {
+		st.tally.reachSurvivors += uint64(st.clen(i))
 	}
 	return st.enumerate(qn)
 }
@@ -272,6 +291,8 @@ type twigState struct {
 
 	prc, enc cursor // probe / enumerate cursors for galloped access
 
+	tally tally // this evaluation's counter accumulator
+
 	// enumerate scratch, per pattern node ordinal.
 	subs  [][][]twig.Match
 	curss [][]int
@@ -314,6 +335,9 @@ func (st *twigState) materialize(pl *PostingList) []Posting {
 	}
 	slot.pl = pl
 	slot.ps = pl.appendAll(slot.ps[:0])
+	st.tally.decodedLists++
+	st.tally.decodedPostings += uint64(pl.Len())
+	st.tally.decodedBlocks += uint64(pl.blocks())
 	return slot.ps
 }
 
@@ -463,8 +487,10 @@ func gallopSlice(ps []Posting, ok func(*Posting) bool) int {
 func (st *twigState) filterParentsByChild(pi, ci int) bool {
 	plen, cl := st.clen(pi), st.clen(ci)
 	if cl*gallopSkew < plen {
+		st.tally.gallopMerges++
 		st.filterParentsGallop(pi, ci)
 	} else {
+		st.tally.linearMerges++
 		st.filterParentsScan(pi, ci)
 	}
 	return st.clen(pi) > 0
@@ -549,8 +575,10 @@ func (st *twigState) filterParentsGallop(pi, ci int) {
 func (st *twigState) filterChildrenByParents(ci, pi int) {
 	plen, cl := st.clen(pi), st.clen(ci)
 	if plen*gallopSkew < cl {
+		st.tally.gallopMerges++
 		st.filterChildrenGallop(ci, pi)
 	} else {
+		st.tally.linearMerges++
 		st.filterChildrenScan(ci, pi)
 	}
 }
@@ -622,6 +650,10 @@ func (st *twigState) filterChildrenGallop(ci, pi int) {
 		if ps := child.ps; ps != nil {
 			st.cand[ci], st.owned[ci] = ps[lo:hi], false
 			return
+		}
+		if hi > lo {
+			st.tally.decodedPostings += uint64(hi - lo)
+			st.tally.decodedBlocks += uint64((hi-1)>>blockShift - lo>>blockShift + 1)
 		}
 		out := st.lists[ci].appendRange(st.bufs[ci][:0], lo, hi)
 		st.bufs[ci] = out

@@ -258,10 +258,11 @@ func (pl *PostingList) flatBytes() int { return pl.Len() * postingBytes }
 // Cursors are cheap to reset and live in pooled matcher state; they must
 // not be shared between goroutines.
 type cursor struct {
-	pl     *PostingList
-	blk    int // decoded block index, -1 when none
-	starts [blockSize]int32
-	ends   [blockSize]int32
+	pl      *PostingList
+	blk     int    // decoded block index, -1 when none
+	decoded uint64 // blocks decoded since takeDecoded, for the eval tally
+	starts  [blockSize]int32
+	ends    [blockSize]int32
 }
 
 func (c *cursor) reset(pl *PostingList) {
@@ -269,11 +270,20 @@ func (c *cursor) reset(pl *PostingList) {
 	c.blk = -1
 }
 
+// takeDecoded returns and clears the decoded-block count — read once per
+// evaluation when the tally flushes.
+func (c *cursor) takeDecoded() uint64 {
+	n := c.decoded
+	c.decoded = 0
+	return n
+}
+
 // ensure decodes posting i's block into the window.
 func (c *cursor) ensure(i int) {
 	if b := i >> blockShift; b != c.blk {
 		c.pl.decodeBlock(b, &c.starts, &c.ends)
 		c.blk = b
+		c.decoded++
 	}
 }
 

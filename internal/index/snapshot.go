@@ -107,6 +107,7 @@ func FromSnapshot(doc *xmltree.Document, snap *Snapshot) (*Index, error) {
 		doc:    doc,
 		paths:  make(map[string]*PostingList, len(snap.Paths)),
 		values: make(map[valueKey]*PostingList, len(snap.Values)),
+		ctr:    &Counters{},
 	}
 	total := 0
 	for _, sp := range snap.Paths {

@@ -3,11 +3,13 @@ package replica
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmatch/internal/delta"
+	"xmatch/internal/obs"
 )
 
 // Target is the local state one follower shard drives: the live handle
@@ -47,19 +49,33 @@ type Lag struct {
 type Follower struct {
 	client *Client
 
+	// Observe, when set, is called after every replay that applied at
+	// least one record — the hook the server uses to emit replication
+	// spans and per-shard replay metrics. Set before Run starts; it may
+	// be called from the sync goroutine only.
+	Observe func(dataset string, shard int, records int, took time.Duration)
+
+	// Logger receives sync-failure log lines; nil falls back to
+	// slog.Default(). Set before Run starts.
+	Logger *slog.Logger
+
 	mu      sync.Mutex // serializes sync passes
 	targets map[string][]*Target
 
 	lagMu sync.Mutex
 	lag   map[string][]Lag
+
+	replayed  atomic.Uint64 // records replayed
+	replayLat *obs.Histogram
 }
 
 // NewFollower creates a follower pulling from the given client.
 func NewFollower(client *Client) *Follower {
 	return &Follower{
-		client:  client,
-		targets: make(map[string][]*Target),
-		lag:     make(map[string][]Lag),
+		client:    client,
+		targets:   make(map[string][]*Target),
+		lag:       make(map[string][]Lag),
+		replayLat: obs.NewHistogram(nil),
 	}
 }
 
@@ -159,6 +175,7 @@ func (f *Follower) syncShard(dataset string, shard int, t *Target) error {
 		if res.PrimaryEpoch > from {
 			behind = res.PrimaryEpoch - from
 		}
+		replayStart := time.Now()
 		for _, rec := range res.Records {
 			snap, err := t.Handle.ApplyLogged(rec.Edits, func(epoch uint64, es []delta.Edit) error {
 				return t.Log.Append(epoch, es)
@@ -172,6 +189,14 @@ func (f *Follower) syncShard(dataset string, shard int, t *Target) error {
 				err = fmt.Errorf("replica: %s/%d: replay diverged: record epoch %d produced snapshot epoch %d", dataset, shard, rec.Epoch, snap.Epoch)
 				f.recordError(dataset, shard, err)
 				return err
+			}
+		}
+		if n := len(res.Records); n > 0 {
+			took := time.Since(replayStart)
+			f.replayed.Add(uint64(n))
+			f.replayLat.Observe(took)
+			if f.Observe != nil {
+				f.Observe(dataset, shard, n, took)
 			}
 		}
 		local := t.Handle.Snapshot().Epoch
@@ -210,6 +235,47 @@ func (f *Follower) bootstrap(dataset string, shard int, t *Target) error {
 	return nil
 }
 
+// MaxLag returns the worst per-shard lag across every registered
+// dataset, by epochs behind (sync errors and bootstraps tie-break
+// upward so a shard that cannot sync at all surfaces even when its last
+// known epoch gap was zero). ok is false when no shard is registered.
+func (f *Follower) MaxLag() (dataset string, shard int, lag Lag, ok bool) {
+	f.lagMu.Lock()
+	defer f.lagMu.Unlock()
+	for name, ls := range f.lag {
+		for i := range ls {
+			if !ok || ls[i].EpochsBehind > lag.EpochsBehind {
+				dataset, shard, lag, ok = name, i, ls[i], true
+			}
+		}
+	}
+	return
+}
+
+// CollectMetrics emits the follower's replication metrics onto e — the
+// replica subsystem's follower-side contribution to /metricsz.
+func (f *Follower) CollectMetrics(e *obs.Exporter) {
+	f.lagMu.Lock()
+	lags := make(map[string][]Lag, len(f.lag))
+	for name, ls := range f.lag {
+		out := make([]Lag, len(ls))
+		copy(out, ls)
+		lags[name] = out
+	}
+	f.lagMu.Unlock()
+	for name, ls := range lags {
+		for i, l := range ls {
+			labels := []obs.Label{{Name: "dataset", Value: name}, {Name: "shard", Value: fmt.Sprint(i)}}
+			e.Gauge("xmatch_replica_lag_epochs", "Epochs the follower shard is behind the primary.", float64(l.EpochsBehind), labels...)
+			e.Gauge("xmatch_replica_local_epoch", "Follower shard's current epoch.", float64(l.LocalEpoch), labels...)
+			e.Counter("xmatch_replica_bootstraps_total", "Checkpoint bootstraps taken.", float64(l.Bootstraps), labels...)
+			e.Counter("xmatch_replica_sync_errors_total", "Failed sync attempts.", float64(l.SyncErrors), labels...)
+		}
+	}
+	e.Counter("xmatch_replica_replayed_records_total", "Edit records replayed onto local shards.", float64(f.replayed.Load()))
+	e.Histogram("xmatch_replica_replay_seconds", "Per-sync replay latency over applied records.", f.replayLat.Snapshot())
+}
+
 func (f *Follower) recordError(dataset string, shard int, err error) {
 	f.setLag(dataset, shard, func(l *Lag) {
 		l.SyncErrors++
@@ -231,7 +297,11 @@ func (f *Follower) Run(ctx context.Context, interval time.Duration) {
 			return
 		case <-tick.C:
 			if err := f.SyncAll(); err != nil {
-				log.Printf("replica: sync: %v", err)
+				lg := f.Logger
+				if lg == nil {
+					lg = slog.Default()
+				}
+				lg.Warn("replica sync failed", "err", err)
 			}
 		}
 	}

@@ -14,9 +14,11 @@ package replica
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"xmatch/internal/delta"
 	"xmatch/internal/index"
+	"xmatch/internal/obs"
 	"xmatch/internal/store"
 	"xmatch/internal/xmltree"
 )
@@ -44,6 +46,10 @@ type ShardLog struct {
 	recs    []store.EditRecord
 	frames  [][]byte
 	bytes   int64
+
+	// appendLat times the durable file append (fsync included) of each
+	// logged record; empty on memory-only logs.
+	appendLat *obs.Histogram
 }
 
 // Status is a point-in-time summary of a shard log, for /statsz.
@@ -60,7 +66,7 @@ type Status struct {
 // apply on top of epoch base. Volatile shards (no edit-log path) still
 // retain records so followers can stream them.
 func NewShardLog(base uint64) *ShardLog {
-	return &ShardLog{base: base}
+	return &ShardLog{base: base, appendLat: obs.NewHistogram(nil)}
 }
 
 // CheckpointPath derives the checkpoint blob path from an edit-log path.
@@ -84,7 +90,7 @@ func OpenShardLog(path string, syncEach bool, ckptEpoch uint64) (*ShardLog, erro
 	if lg.Base > ckptEpoch {
 		return nil, fmt.Errorf("replica: edit log %s starts at epoch %d but the checkpoint is at %d: compacted history is missing", path, lg.Base, ckptEpoch)
 	}
-	l := &ShardLog{path: path, ckpt: CheckpointPath(path), sync: syncEach, base: ckptEpoch}
+	l := &ShardLog{path: path, ckpt: CheckpointPath(path), sync: syncEach, base: ckptEpoch, appendLat: obs.NewHistogram(nil)}
 	for _, rec := range lg.Records {
 		if rec.Epoch <= ckptEpoch {
 			continue // already folded into the checkpoint
@@ -175,10 +181,12 @@ func (l *ShardLog) Append(epoch uint64, edits []delta.Edit) error {
 			}
 			l.repair = false
 		}
+		start := time.Now()
 		if err := store.AppendEditRecordFile(l.path, rec, l.sync); err != nil {
 			l.repair = true
 			return err
 		}
+		l.appendLat.Observe(time.Since(start))
 	}
 	l.recs = append(l.recs, rec)
 	l.frames = append(l.frames, frame)
@@ -259,6 +267,23 @@ func (l *ShardLog) ResetTo(epoch uint64) {
 	defer l.mu.Unlock()
 	l.base = epoch
 	l.recs, l.frames, l.bytes = nil, nil, 0
+}
+
+// AppendLatency snapshots the durable-append latency histogram (fsync
+// included); empty on memory-only logs.
+func (l *ShardLog) AppendLatency() obs.HistogramSnapshot { return l.appendLat.Snapshot() }
+
+// CollectMetrics emits the log's retention state and append latency onto
+// e under the given labels — the replica subsystem's primary-side
+// contribution to /metricsz.
+func (l *ShardLog) CollectMetrics(e *obs.Exporter, labels ...obs.Label) {
+	st := l.Status()
+	e.Gauge("xmatch_replica_log_epoch", "Shard log's current epoch.", float64(st.Epoch), labels...)
+	e.Gauge("xmatch_replica_log_retained_records", "Records retained since the last checkpoint.", float64(st.RetainedRecords), labels...)
+	e.Gauge("xmatch_replica_log_retained_bytes", "Framed bytes retained since the last checkpoint.", float64(st.RetainedBytes), labels...)
+	if st.Durable {
+		e.Histogram("xmatch_replica_log_append_seconds", "Durable edit-log append latency, fsync included.", l.appendLat.Snapshot(), labels...)
+	}
 }
 
 // Retire permanently refuses further appends and checkpoints. Reload

@@ -15,6 +15,7 @@ import (
 	"xmatch/internal/index"
 	"xmatch/internal/mapgen"
 	"xmatch/internal/mapping"
+	"xmatch/internal/obs"
 	"xmatch/internal/replica"
 	"xmatch/internal/schema"
 	"xmatch/internal/store"
@@ -40,7 +41,7 @@ type Shard struct {
 
 	// lat accumulates per-shard evaluation wall time, one observation per
 	// (embedding, shard) scatter unit.
-	lat histogram
+	lat *obs.Histogram
 }
 
 // EditLogPath returns the shard's resolved edit-log file path ("" when
@@ -110,7 +111,7 @@ func NewCollection(name string, set *mapping.Set, docs []*xmltree.Document, tau 
 		// The memory-only log starts at the document's current epoch (a
 		// checkpoint-restored document opens mid-history); durable logs
 		// replace it in buildDataset.
-		c.shards = append(c.shards, &Shard{Live: h, Log: replica.NewShardLog(h.Snapshot().Epoch)})
+		c.shards = append(c.shards, &Shard{Live: h, Log: replica.NewShardLog(h.Snapshot().Epoch), lat: obs.NewHistogram(nil)})
 	}
 	c.Live = c.shards[0].Live
 	return c, nil
@@ -207,7 +208,7 @@ func (d *Collection) CheckpointShard(shard int) (epoch uint64, freed int64, err 
 // observeShard records one per-shard evaluation timing; handed to
 // engine.Shards.Observe by the query handlers. Safe for concurrent use.
 func (d *Collection) observeShard(shard int, took time.Duration) {
-	d.shards[shard].lat.observe(took)
+	d.shards[shard].lat.Observe(took)
 }
 
 // Catalog is an immutable snapshot of the serving datasets, looked up by

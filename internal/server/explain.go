@@ -1,0 +1,90 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"xmatch/internal/delta"
+	"xmatch/internal/index"
+	"xmatch/internal/obs"
+)
+
+// Query EXPLAIN: a /v1/query carrying explain (body field or ?explain=1)
+// gets its response annotated with the request's trace — the same spans
+// the slow-query log retains — plus the index matcher's internal
+// counters, per shard, measured as the delta each shard's counter chain
+// moved while the request evaluated. The counters are shared by every
+// request on the same index, so under concurrent traffic the deltas are
+// best-effort attribution (they may include a neighbor's work); on a
+// quiet server they are exact.
+
+// ExplainShard is one shard's matcher-internals row of an EXPLAIN block.
+type ExplainShard struct {
+	Shard int `json:"shard"`
+	// Epoch is the snapshot epoch the request pinned for this shard.
+	Epoch uint64 `json:"epoch"`
+	// Counters are the matcher counters the evaluation moved: per-pass
+	// survivor counts, galloping vs linear merge choices, decoded postings
+	// blocks, memo hits — see index.CountersSnapshot.
+	Counters index.CountersSnapshot `json:"counters"`
+}
+
+// ExplainData is the explain block of a QueryResponse.
+type ExplainData struct {
+	Trace  obs.TraceData  `json:"trace"`
+	Shards []ExplainShard `json:"shards"`
+}
+
+// shardCounters snapshots every pinned shard's matcher counters — the
+// "before" edge of an EXPLAIN delta.
+func shardCounters(snaps []*delta.Snapshot) []index.CountersSnapshot {
+	out := make([]index.CountersSnapshot, len(snaps))
+	for i, sn := range snaps {
+		out[i] = sn.Index.Counters()
+	}
+	return out
+}
+
+// buildExplain closes the counter deltas over the pinned snapshots and
+// packages them with the trace so far.
+func buildExplain(tr *obs.Trace, snaps []*delta.Snapshot, before []index.CountersSnapshot) *ExplainData {
+	ex := &ExplainData{Trace: tr.Data(time.Since(tr.Start()))}
+	for i, sn := range snaps {
+		ex.Shards = append(ex.Shards, ExplainShard{
+			Shard:    i,
+			Epoch:    sn.Epoch,
+			Counters: sn.Index.Counters().Sub(before[i]),
+		})
+	}
+	return ex
+}
+
+// traceObserver wraps a dataset's per-shard latency observer so every
+// (embedding, shard) scatter unit also lands as a span on the request's
+// trace. With no trace in flight it returns the plain observer — the
+// scatter hot path pays nothing extra.
+func traceObserver(tr *obs.Trace, ds *Dataset) func(int, time.Duration) {
+	if tr == nil {
+		return ds.observeShard
+	}
+	return func(shard int, took time.Duration) {
+		ds.observeShard(shard, took)
+		tr.Add("shard_evaluate", "shard="+strconv.Itoa(shard), time.Now().Add(-took), took)
+	}
+}
+
+// handleTraces serves the slow-query log: the retained traces (newest
+// first) plus the sampling accounting, as JSON.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if !s.method(w, r, http.MethodGet) {
+		return
+	}
+	finished, sampled := s.traces.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"thresholdMs": float64(s.traces.Threshold().Microseconds()) / 1e3,
+		"finished":    finished,
+		"sampled":     sampled,
+		"traces":      s.traces.Snapshot(),
+	})
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xmatch/internal/index"
+	"xmatch/internal/obs"
+)
+
+// /metricsz: Prometheus text exposition over the same live state /statsz
+// reports, plus every subsystem's own collectors. The registry runs its
+// collectors at scrape time against the current catalog, so datasets that
+// appear or vanish on reload need no metric lifecycle management — and
+// the serving hot paths touch nothing but their existing atomics between
+// scrapes.
+
+// newRegistry wires the server's scrape-time collectors: the HTTP layer's
+// own counters and latency histograms, the global index-matcher counters,
+// per-dataset engine gauges, per-shard delta/replication collectors, and
+// the follower's lag accounting when this server is a replica.
+func (s *Server) newRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Collect(s.collectServer)
+	reg.Collect(index.CollectMetrics)
+	reg.Collect(s.collectCatalog)
+	reg.Collect(func(e *obs.Exporter) {
+		if s.follower != nil {
+			s.follower.CollectMetrics(e)
+		}
+	})
+	return reg
+}
+
+func (s *Server) collectServer(e *obs.Exporter) {
+	e.Gauge("xmatch_uptime_seconds", "Seconds since the server started.", time.Since(s.stats.start).Seconds())
+	e.Gauge("xmatch_http_in_flight", "Requests currently being served on the timed endpoints.", float64(s.stats.inFlight.Load()))
+	e.Counter("xmatch_http_requests_total", "Requests accepted per endpoint.", float64(s.stats.queries.Load()), obs.Label{Name: "endpoint", Value: "query"})
+	e.Counter("xmatch_http_requests_total", "Requests accepted per endpoint.", float64(s.stats.batches.Load()), obs.Label{Name: "endpoint", Value: "batch"})
+	e.Counter("xmatch_http_requests_total", "Requests accepted per endpoint.", float64(s.stats.mutates.Load()), obs.Label{Name: "endpoint", Value: "mutate"})
+	e.Counter("xmatch_http_errors_total", "Non-2xx responses across all endpoints.", float64(s.stats.errors.Load()))
+	e.Counter("xmatch_reloads_total", "Successful catalog reloads.", float64(s.stats.reloads.Load()))
+	e.Counter("xmatch_edits_applied_total", "Edits applied through /v1/admin/mutate.", float64(s.stats.edits.Load()))
+	e.Histogram("xmatch_http_request_seconds", "Request latency per endpoint.", s.stats.latQuery.Snapshot(), obs.Label{Name: "endpoint", Value: "query"})
+	e.Histogram("xmatch_http_request_seconds", "Request latency per endpoint.", s.stats.latBatch.Snapshot(), obs.Label{Name: "endpoint", Value: "batch"})
+	e.Histogram("xmatch_http_request_seconds", "Request latency per endpoint.", s.stats.latMutate.Snapshot(), obs.Label{Name: "endpoint", Value: "mutate"})
+	finished, sampled := s.traces.Counts()
+	e.Counter("xmatch_traces_finished_total", "Requests that finished through the trace middleware.", float64(finished))
+	e.Counter("xmatch_traces_sampled_total", "Traces retained by the slow-query tail sampler.", float64(sampled))
+}
+
+func (s *Server) collectCatalog(e *obs.Exporter) {
+	for _, d := range s.Catalog().Datasets() {
+		dsLabel := obs.Label{Name: "dataset", Value: d.Name}
+		d.Engine.CollectMetrics(e, dsLabel)
+		for i, sh := range d.Shards() {
+			labels := []obs.Label{dsLabel, {Name: "shard", Value: strconv.Itoa(i)}}
+			sh.Live.CollectMetrics(e, labels...)
+			if sh.Log != nil {
+				sh.Log.CollectMetrics(e, labels...)
+			}
+			e.Histogram("xmatch_shard_evaluate_seconds", "Per-shard evaluation wall time, one observation per (embedding, shard) scatter unit.", sh.lat.Snapshot(), labels...)
+		}
+	}
+}
+
+// handleMetricsz renders the registry. The exposition is buffered so a
+// collector error can still become a clean 500 instead of a torn body.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if !s.method(w, r, http.MethodGet) {
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.registry.WriteText(&buf); err != nil {
+		s.fail(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,410 @@
+package server_test
+
+// The observability surface: /metricsz exposition-format lint over a live
+// server (every subsystem's collectors render valid Prometheus text),
+// query EXPLAIN over an indexed sharded collection, slow-query trace
+// retention, follower /healthz lag degradation, and a concurrency hammer
+// that scrapes /metricsz and /statsz while queries, mutations, and
+// reloads race — asserting counters stay monotonic and histogram
+// snapshots are never torn. Run under -race in CI.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmatch/internal/delta"
+	"xmatch/internal/obs"
+	"xmatch/internal/server"
+)
+
+// scrapeMetrics fetches /metricsz and parses it against the exposition
+// grammar, failing the test on any malformed line.
+func scrapeMetrics(t *testing.T, base string) []obs.ExpositionMetric {
+	t.Helper()
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Fatalf("metricsz Content-Type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, buf.String())
+	}
+	return ms
+}
+
+// metricValue finds one sample by name and label subset; ok is false when
+// absent.
+func metricValue(ms []obs.ExpositionMetric, name string, labels ...obs.Label) (float64, bool) {
+outer:
+	for _, m := range ms {
+		if m.Name != name {
+			continue
+		}
+		for _, want := range labels {
+			found := false
+			for _, l := range m.Labels {
+				if l == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue outer
+			}
+		}
+		return m.Value, true
+	}
+	return 0, false
+}
+
+// textPath returns a text-bearing path of the dataset's document, for
+// valid SetText edits.
+func textPath(t *testing.T, ds *server.Dataset) string {
+	t.Helper()
+	for _, p := range ds.Doc().Paths() {
+		if ns := ds.Doc().NodesByPath(p); len(ns) > 0 && ns[0].Text != "" {
+			return p
+		}
+	}
+	t.Fatal("no text node in fixture document")
+	return ""
+}
+
+// TestMetricszExposition is the CI exposition-format lint: after real
+// traffic (queries and a mutation), /metricsz must render valid
+// Prometheus text covering every subsystem — server, engine, index,
+// delta, and replica.
+func TestMetricszExposition(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	f := env.fixtures[0]
+
+	for _, q := range f.queries[:2] {
+		resp, _ := postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: f.name, Pattern: q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+	}
+	resp, _, errMsg := mutateBody(t, env.ts.URL, server.MutateRequest{
+		Dataset: f.name,
+		Edits:   []delta.Edit{{Op: delta.OpSetText, Path: textPath(t, f.ds), Text: "observed"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status %d: %s", resp.StatusCode, errMsg)
+	}
+
+	ms := scrapeMetrics(t, env.ts.URL)
+	// One representative family per subsystem: a missing family means a
+	// subsystem's collector was never wired.
+	for _, want := range []string{
+		"xmatch_http_requests_total",  // server
+		"xmatch_engine_workers",       // engine
+		"xmatch_index_evals_total",    // index matcher
+		"xmatch_delta_epoch",          // delta (live mutation)
+		"xmatch_replica_log_epoch",    // replica (shard log, primary side)
+		"xmatch_http_request_seconds", // latency histograms render
+		"xmatch_shard_evaluate_seconds",
+	} {
+		found := false
+		for _, m := range ms {
+			if m.Name == want || strings.HasPrefix(m.Name, want+"_") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("metricsz lacks family %s", want)
+		}
+	}
+	if v, ok := metricValue(ms, "xmatch_http_requests_total", obs.Label{Name: "endpoint", Value: "query"}); !ok || v < 2 {
+		t.Errorf("query requests counter %v (present %v)", v, ok)
+	}
+	if v, ok := metricValue(ms, "xmatch_delta_epoch", obs.Label{Name: "dataset", Value: f.name}); !ok || v != 1 {
+		t.Errorf("delta epoch gauge %v (present %v) after one mutation", v, ok)
+	}
+	if v, ok := metricValue(ms, "xmatch_index_evals_total"); !ok || v == 0 {
+		t.Errorf("index evals counter %v (present %v) after queries", v, ok)
+	}
+}
+
+// TestQueryExplain asserts the EXPLAIN contract on an indexed, sharded
+// collection: ?explain=1 returns the request's spans (prepare, per-shard
+// evaluate, aggregate) plus per-shard matcher counters that moved.
+func TestQueryExplain(t *testing.T) {
+	ts, srv := newPrimary(t)
+	ds := srv.Catalog().Get("orders")
+	pattern := strings.ReplaceAll(ds.Set.Target.Leaves()[0].Path, ".", "/")
+
+	resp, raw := postJSON(t, ts.URL+"/v1/query?explain=1", server.QueryRequest{Dataset: "orders", Pattern: pattern})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain query status %d: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("response lacks X-Request-Id")
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Explain == nil {
+		t.Fatal("explain requested but absent from response")
+	}
+	ex := qr.Explain
+	if ex.Trace.ID == "" || ex.Trace.ID != resp.Header.Get("X-Request-Id") {
+		t.Errorf("trace id %q vs X-Request-Id %q", ex.Trace.ID, resp.Header.Get("X-Request-Id"))
+	}
+	spans := map[string]int{}
+	for _, sp := range ex.Trace.Spans {
+		spans[sp.Name]++
+	}
+	if spans["prepare"] != 1 || spans["evaluate"] != 1 || spans["aggregate"] != 1 {
+		t.Errorf("span census %v lacks prepare/evaluate/aggregate", spans)
+	}
+	if spans["shard_evaluate"] < ds.NumShards() {
+		t.Errorf("%d shard_evaluate spans for %d shards", spans["shard_evaluate"], ds.NumShards())
+	}
+	if len(ex.Shards) != ds.NumShards() {
+		t.Fatalf("%d explain shard rows for %d shards", len(ex.Shards), ds.NumShards())
+	}
+	for _, sh := range ex.Shards {
+		if sh.Counters.Evals == 0 {
+			t.Errorf("shard %d matcher counters did not move: %+v", sh.Shard, sh.Counters)
+		}
+	}
+
+	// Explain via the body field behaves identically.
+	resp, raw = postJSON(t, ts.URL+"/v1/query", server.QueryRequest{Dataset: "orders", Pattern: pattern, Explain: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("body-explain status %d", resp.StatusCode)
+	}
+	var qr2 server.QueryResponse
+	if err := json.Unmarshal(raw, &qr2); err != nil {
+		t.Fatal(err)
+	}
+	if qr2.Explain == nil {
+		t.Fatal("body-field explain absent")
+	}
+	// A plain query carries no explain block.
+	resp, raw = postJSON(t, ts.URL+"/v1/query", server.QueryRequest{Dataset: "orders", Pattern: pattern})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("plain query failed")
+	}
+	if bytes.Contains(raw, []byte(`"explain"`)) {
+		t.Error("unrequested explain block in response")
+	}
+}
+
+// TestTracesTailSampling asserts the slow-query log end: with a 1ns
+// threshold every request is retained on /v1/debug/traces, newest first,
+// with its spans intact.
+func TestTracesTailSampling(t *testing.T) {
+	env := newTestEnv(t, server.Options{TraceThreshold: time.Nanosecond})
+	f := env.fixtures[0]
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: f.name, Pattern: f.queries[0]})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+	}
+	resp, raw := getJSON(t, env.ts.URL+"/v1/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces status %d", resp.StatusCode)
+	}
+	var body struct {
+		ThresholdMs float64         `json:"thresholdMs"`
+		Finished    uint64          `json:"finished"`
+		Sampled     uint64          `json:"sampled"`
+		Traces      []obs.TraceData `json:"traces"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Finished < 3 || body.Sampled < 3 || len(body.Traces) < 3 {
+		t.Fatalf("finished=%d sampled=%d retained=%d, want >= 3 each", body.Finished, body.Sampled, len(body.Traces))
+	}
+	tr := body.Traces[0]
+	if tr.ID == "" || tr.Endpoint != "query" || tr.Dataset != f.name || len(tr.Spans) == 0 {
+		t.Fatalf("retained trace %+v lacks id/endpoint/dataset/spans", tr)
+	}
+}
+
+// TestFollowerHealthzDegraded asserts the follower liveness contract:
+// /healthz answers 503 with lag detail when the worst shard's revealed
+// lag exceeds MaxLagEpochs, and recovers to 200 once a sync catches up.
+func TestFollowerHealthzDegraded(t *testing.T) {
+	pts, psrv := newPrimary(t)
+	rts, _, f := newReplica(t, pts.URL, server.Options{MaxLagEpochs: 2})
+
+	// Build a 3-epoch gap on the single-shard dataset, unseen by the
+	// replica (its sync loop is not running).
+	path := textPath(t, psrv.Catalog().Get("small"))
+	for i := 0; i < 3; i++ {
+		resp, _, errMsg := mutateBody(t, pts.URL, server.MutateRequest{
+			Dataset: "small",
+			Edits:   []delta.Edit{{Op: delta.OpSetText, Path: path, Text: fmt.Sprintf("lagged-%d", i)}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("primary mutate %d: %d %s", i, resp.StatusCode, errMsg)
+		}
+	}
+	// The next sync reveals (and closes) the 3-epoch gap; the recorded
+	// lag reflects what this sync had to replay.
+	if err := f.Sync("small"); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := getJSON(t, rts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d (want 503): %s", resp.StatusCode, raw)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Lag    struct {
+			Dataset      string `json:"dataset"`
+			EpochsBehind uint64 `json:"epochsBehind"`
+		} `json:"lag"`
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Lag.Dataset != "small" || h.Lag.EpochsBehind != 3 {
+		t.Fatalf("degraded body %s", raw)
+	}
+	// Caught up: the next sync finds no gap and health recovers.
+	if err := f.Sync("small"); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw = getJSON(t, rts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"status":"ok"`) {
+		t.Fatalf("healthz after catch-up: %d %s", resp.StatusCode, raw)
+	}
+}
+
+// TestMetricsUnderConcurrency hammers queries, mutations, and reloads
+// while scraping /metricsz and /statsz, asserting on every scrape that
+// (a) the exposition parses, (b) counters are monotonic across scrapes —
+// including the index matcher counters, which must survive the reloads
+// swapping in fresh indexes — and (c) no histogram snapshot is torn
+// (count never exceeds the bucket total; see obs.Histogram).
+func TestMetricsUnderConcurrency(t *testing.T) {
+	env := newTestEnv(t, server.Options{})
+	f := env.fixtures[0]
+	path := textPath(t, f.ds)
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := f.queries[(i+w)%len(f.queries)]
+				resp, _ := postJSON(t, env.ts.URL+"/v1/query", server.QueryRequest{Dataset: f.name, Pattern: q})
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, _, _ := mutateBody(t, env.ts.URL, server.MutateRequest{
+				Dataset: f.name,
+				Edits:   []delta.Edit{{Op: delta.OpSetText, Path: path, Text: fmt.Sprintf("hammer-%d", i)}},
+			})
+			resp.Body.Close()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			resp, _ := postJSON(t, env.ts.URL+"/v1/admin/reload", struct{}{})
+			resp.Body.Close()
+		}
+	}()
+
+	checkHistogram := func(name string, h server.HistogramStats) {
+		var sum uint64
+		for _, b := range h.Buckets {
+			sum += b.Count
+		}
+		if h.Count > sum {
+			t.Errorf("torn %s histogram: count %d > bucket total %d", name, h.Count, sum)
+		}
+	}
+	prev := map[string]float64{}
+	monotonic := []struct {
+		name   string
+		labels []obs.Label
+	}{
+		{"xmatch_http_requests_total", []obs.Label{{Name: "endpoint", Value: "query"}}},
+		{"xmatch_http_requests_total", []obs.Label{{Name: "endpoint", Value: "mutate"}}},
+		{"xmatch_index_evals_total", nil},
+		{"xmatch_index_emitted_matches_total", nil},
+		{"xmatch_edits_applied_total", nil},
+	}
+	for i := 0; i < rounds; i++ {
+		ms := scrapeMetrics(t, env.ts.URL) // parse failure fails the test
+		for _, m := range monotonic {
+			key := fmt.Sprint(m.name, m.labels)
+			v, ok := metricValue(ms, m.name, m.labels...)
+			if !ok {
+				t.Fatalf("scrape %d lacks %s", i, key)
+			}
+			if v < prev[key] {
+				t.Fatalf("counter %s went backwards: %v -> %v", key, prev[key], v)
+			}
+			prev[key] = v
+		}
+		resp, raw := getJSON(t, env.ts.URL+"/statsz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("statsz status %d", resp.StatusCode)
+		}
+		var st server.Stats
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		for name, h := range st.Latency {
+			checkHistogram(name, h)
+		}
+		for _, d := range st.Datasets {
+			for _, sh := range d.Shards {
+				checkHistogram(fmt.Sprintf("%s/%d", d.Name, sh.Shard), sh.Latency)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"xmatch/internal/engine"
 	"xmatch/internal/replica"
@@ -234,6 +235,18 @@ func NewFollower(primary string, fopts FollowerOptions) (*Server, *replica.Follo
 		return nil, nil, err
 	}
 	f := replica.NewFollower(client)
+	f.Logger = srv.logger
+	// Replays land as structured log lines (debug — they are routine) with
+	// enough detail to correlate against the primary's mutate logs; the
+	// replay latency histogram lives in the follower itself and reaches
+	// /metricsz through its collector.
+	f.Observe = func(dataset string, shard int, records int, took time.Duration) {
+		srv.logger.Debug("replica replay",
+			"dataset", dataset,
+			"shard", shard,
+			"records", records,
+			"ms", float64(took.Microseconds())/1e3)
+	}
 	srv.follower = f
 	srv.wireFollower(srv.Catalog())
 	if err := f.SyncAll(); err != nil {

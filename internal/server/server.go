@@ -28,7 +28,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,8 @@ import (
 	"xmatch/internal/core"
 	"xmatch/internal/delta"
 	"xmatch/internal/engine"
+	"xmatch/internal/index"
+	"xmatch/internal/obs"
 	"xmatch/internal/replica"
 	"xmatch/internal/store"
 	"xmatch/internal/xmltree"
@@ -69,6 +73,20 @@ type Options struct {
 	// MinEpochWait bounds how long a query carrying min_epoch waits for
 	// the dataset to reach that epoch before answering 412. 0 means 2s.
 	MinEpochWait time.Duration
+	// TraceThreshold tail-samples the slow-query log: a request's trace is
+	// retained on /v1/debug/traces only when its total latency reaches the
+	// threshold. 0 means 100ms; negative disables retention (requests are
+	// still traced for EXPLAIN, just never retained).
+	TraceThreshold time.Duration
+	// TraceBufferSize bounds the retained slow traces; 0 means 64.
+	TraceBufferSize int
+	// MaxLagEpochs, on a follower, is the replication lag (epochs behind
+	// the primary, worst shard) beyond which /healthz reports degraded
+	// with a 503. 0 means 1000; negative disables the check.
+	MaxLagEpochs int64
+	// Logger receives the server's structured log lines (slow requests,
+	// replication replays, sync failures); nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Loader builds a fresh catalog: called once at startup and again on every
@@ -97,6 +115,12 @@ type Server struct {
 	// that replays the primary's edit streams into this catalog. A
 	// min_epoch query nudges it instead of waiting for the next tick.
 	follower *replica.Follower
+	// registry drives /metricsz: collectors read the server's live state
+	// at scrape time, so the hot paths pay nothing between scrapes.
+	registry *obs.Registry
+	// traces is the bounded slow-request ring behind /v1/debug/traces.
+	traces *obs.TraceLog
+	logger *slog.Logger
 }
 
 // New builds a server over the loader's initial catalog.
@@ -117,21 +141,34 @@ func New(loader Loader, opts Options) (*Server, error) {
 	if opts.MinEpochWait == 0 {
 		opts.MinEpochWait = 2 * time.Second
 	}
-	s := &Server{opts: opts, loader: loader}
-	s.stats.start = time.Now()
+	if opts.TraceThreshold == 0 {
+		opts.TraceThreshold = 100 * time.Millisecond
+	}
+	if opts.MaxLagEpochs == 0 {
+		opts.MaxLagEpochs = 1000
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	s := &Server{opts: opts, loader: loader, logger: opts.Logger}
+	s.stats.init()
+	s.traces = obs.NewTraceLog(opts.TraceBufferSize, opts.TraceThreshold)
+	s.registry = s.newRegistry()
 	s.cat.Store(cat)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/query", s.timed(&s.stats.latQuery, &s.stats.queries, s.handleQuery))
-	s.mux.HandleFunc("/v1/batch", s.timed(&s.stats.latBatch, &s.stats.batches, s.handleBatch))
+	s.mux.HandleFunc("/v1/query", s.timed("query", s.stats.latQuery, &s.stats.queries, s.handleQuery))
+	s.mux.HandleFunc("/v1/batch", s.timed("batch", s.stats.latBatch, &s.stats.batches, s.handleBatch))
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
-	s.mux.HandleFunc("/v1/admin/mutate", s.timed(&s.stats.latMutate, &s.stats.mutates, s.handleMutate))
+	s.mux.HandleFunc("/v1/admin/mutate", s.timed("mutate", s.stats.latMutate, &s.stats.mutates, s.handleMutate))
 	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc(replica.StreamEndpoint, s.handleReplicateStream)
 	s.mux.HandleFunc(replica.CheckpointEndpoint, s.handleReplicateCheckpoint)
 	s.mux.HandleFunc(replica.ManifestEndpoint, s.handleReplicateManifest)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/v1/debug/traces", s.handleTraces)
 	return s, nil
 }
 
@@ -207,6 +244,10 @@ type QueryRequest struct {
 	// replication has caught up with the write that produced the token —
 	// and answers 412 if it cannot. 0 reads whatever is current.
 	MinEpoch uint64 `json:"min_epoch,omitempty"`
+	// Explain asks for the response's Explain block: the request's trace
+	// plus per-shard index-matcher counters. ?explain=1 on the URL does
+	// the same.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /v1/query.
@@ -222,6 +263,8 @@ type QueryResponse struct {
 	Epoch   uint64            `json:"epoch"`
 	Results []core.WireResult `json:"results"`
 	Answers []core.WireAnswer `json:"answers"`
+	// Explain is present when the request asked for it; see ExplainData.
+	Explain *ExplainData `json:"explain,omitempty"`
 }
 
 // BatchQuery is one query of a POST /v1/batch body.
@@ -337,18 +380,35 @@ func (s *Server) method(w http.ResponseWriter, r *http.Request, want string) boo
 }
 
 // timed wraps a handler with method enforcement, the in-flight gauge, the
-// request counter, and the latency histogram.
-func (s *Server) timed(h *histogram, counter *atomic.Uint64, fn http.HandlerFunc) http.HandlerFunc {
+// request counter, the latency histogram, and request-scoped tracing: it
+// mints a request ID, threads a span recorder through the request
+// context (handlers and the engine's shard observer record into it), and
+// finishes the trace into the tail-sampled slow-query log. A retained
+// trace also emits one structured log line carrying the request ID, so
+// logs and /v1/debug/traces correlate.
+func (s *Server) timed(endpoint string, h *obs.Histogram, counter *atomic.Uint64, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.method(w, r, http.MethodPost) {
 			return
 		}
 		counter.Add(1)
 		s.stats.inFlight.Add(1)
+		id := obs.RequestID()
+		tr := obs.NewTrace(id)
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		start := time.Now()
 		defer func() {
-			h.observe(time.Since(start))
+			total := time.Since(start)
+			h.Observe(total)
 			s.stats.inFlight.Add(-1)
+			if s.traces.Finish(tr, total, tr.Dataset(), endpoint) {
+				s.logger.Info("slow request",
+					"id", id,
+					"endpoint", endpoint,
+					"dataset", tr.Dataset(),
+					"ms", float64(total.Microseconds())/1e3)
+			}
 		}()
 		fn(w, r)
 	}
@@ -383,7 +443,7 @@ func snapsEpoch(snaps []*delta.Snapshot) uint64 {
 // or query epoch token. On a follower each round nudges the sync engine
 // instead of waiting for its next tick, so the common catch-up is one
 // stream round-trip, not a poll timeout.
-func (s *Server) awaitEpoch(ds *Dataset, min uint64) bool {
+func (s *Server) awaitEpoch(tr *obs.Trace, ds *Dataset, min uint64) bool {
 	deadline := time.Now().Add(s.opts.MinEpochWait)
 	for {
 		if snapsEpoch(ds.Snapshots()) >= min {
@@ -393,23 +453,31 @@ func (s *Server) awaitEpoch(ds *Dataset, min uint64) bool {
 			return false
 		}
 		if s.follower != nil {
+			// An inline nudge replays the primary's pending records on this
+			// goroutine, so the replay shows up as a span of the request that
+			// demanded the epoch.
+			done := tr.Region("replica_sync", ds.Name)
 			_ = s.follower.Sync(ds.Name) // errors surface as lag; keep polling
+			done()
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	var req QueryRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.failBody(w, err)
 		return
 	}
+	explain := req.Explain || r.URL.Query().Get("explain") == "1"
 	ds := s.Catalog().Get(req.Dataset)
 	if ds == nil {
 		s.fail(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
 		return
 	}
+	tr.SetDataset(req.Dataset)
 	// Validate the mode before preparing: rejecting a bad request must not
 	// pay parse/resolve or churn the prepared-query cache.
 	mode := req.Mode
@@ -427,10 +495,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "unknown mode %q (want basic, compact, or topk)", mode)
 		return
 	}
-	if req.MinEpoch > 0 && !s.awaitEpoch(ds, req.MinEpoch) {
-		s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
-			req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
-		return
+	if req.MinEpoch > 0 {
+		done := tr.Region("await_epoch", "min_epoch="+strconv.FormatUint(req.MinEpoch, 10))
+		ok := s.awaitEpoch(tr, ds, req.MinEpoch)
+		done()
+		if !ok {
+			s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
+				req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
+			return
+		}
 	}
 	// Pin every shard's snapshot once: each evaluation below sees these
 	// exact (document, index) pairs even if a mutation lands mid-request.
@@ -438,12 +511,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// no more pool slots than a single-document dataset would.
 	snaps := ds.Snapshots()
 	eng := ds.Engine.Sub(s.budget(ds))
-	q, err := eng.Prepare(req.Pattern, ds.Set)
+	prepStart := time.Now()
+	q, cached, err := eng.PrepareCached(req.Pattern, ds.Set)
+	tr.Add("prepare", "cached="+strconv.FormatBool(cached), prepStart, time.Since(prepStart))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sh := engine.Shards{Docs: shardDocs(snaps), Observe: ds.observeShard}
+	var before []index.CountersSnapshot
+	if explain {
+		before = shardCounters(snaps)
+	}
+	sh := engine.Shards{Docs: shardDocs(snaps), Observe: traceObserver(tr, ds)}
+	evalDone := tr.Region("evaluate", mode)
 	var results []core.Result
 	switch mode {
 	case "basic":
@@ -453,7 +533,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default: // topk
 		results = eng.EvaluateTopKAcross(q, ds.Set, sh, ds.Tree, req.K)
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	evalDone()
+	aggDone := tr.Region("aggregate", "")
+	resp := QueryResponse{
 		Dataset: req.Dataset,
 		Pattern: req.Pattern,
 		Mode:    mode,
@@ -461,10 +543,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Epoch:   snapsEpoch(snaps),
 		Results: core.ToWire(results),
 		Answers: core.AnswersToWire(core.AggregateLeaf(q, results)),
-	})
+	}
+	aggDone()
+	if explain {
+		resp.Explain = buildExplain(tr, snaps, before)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	var req BatchRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.failBody(w, err)
@@ -475,6 +563,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
 		return
 	}
+	tr.SetDataset(req.Dataset)
 	if len(req.Queries) == 0 {
 		s.fail(w, http.StatusBadRequest, "batch has no queries")
 		return
@@ -483,22 +572,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "batch has %d queries, limit %d", len(req.Queries), s.opts.MaxBatchQueries)
 		return
 	}
-	if req.MinEpoch > 0 && !s.awaitEpoch(ds, req.MinEpoch) {
-		s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
-			req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
-		return
+	if req.MinEpoch > 0 {
+		done := tr.Region("await_epoch", "min_epoch="+strconv.FormatUint(req.MinEpoch, 10))
+		ok := s.awaitEpoch(tr, ds, req.MinEpoch)
+		done()
+		if !ok {
+			s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
+				req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
+			return
+		}
 	}
 	// One snapshot pin per shard for the whole batch: its queries are
 	// answered over a single consistent per-shard document state.
 	snaps := ds.Snapshots()
 	eng := ds.Engine.Sub(s.budget(ds))
-	sh := engine.Shards{Docs: shardDocs(snaps), Observe: ds.observeShard}
+	sh := engine.Shards{Docs: shardDocs(snaps), Observe: traceObserver(tr, ds)}
 	engReqs := make([]engine.Request, len(req.Queries))
 	for i, bq := range req.Queries {
 		engReqs[i] = engine.Request{Pattern: bq.Pattern, K: bq.K}
 	}
 	resp := BatchResponse{Dataset: req.Dataset, Epoch: snapsEpoch(snaps), Responses: make([]BatchAnswer, len(engReqs))}
-	for i, er := range eng.EvaluateBatchAcross(ds.Set, sh, ds.Tree, engReqs) {
+	evalDone := tr.Region("evaluate", "queries="+strconv.Itoa(len(engReqs)))
+	answers := eng.EvaluateBatchAcross(ds.Set, sh, ds.Tree, engReqs)
+	evalDone()
+	for i, er := range answers {
 		ba := BatchAnswer{Pattern: er.Pattern, K: er.K}
 		if er.Err != nil {
 			ba.Error = er.Err.Error()
@@ -582,6 +679,7 @@ func (s *Server) readOnly(w http.ResponseWriter) bool {
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	if s.readOnly(w) {
 		return
 	}
@@ -590,6 +688,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		s.failBody(w, err)
 		return
 	}
+	tr.SetDataset(req.Dataset)
 	if req.Shard < 0 {
 		s.fail(w, http.StatusBadRequest, "negative shard %d", req.Shard)
 		return
@@ -633,7 +732,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// from either way. A log retired by a concurrent reload refuses the
 	// append, failing the mutate instead of writing to a file the new
 	// catalog generation now owns.
+	applyDone := tr.Region("apply", "shard="+strconv.Itoa(req.Shard)+" edits="+strconv.Itoa(len(req.Edits)))
 	snap, err := shard.Live.ApplyLogged(req.Edits, shard.Log.Append)
+	applyDone()
 	s.reloadMu.RUnlock()
 	if err != nil {
 		var ee *delta.EditError
@@ -674,11 +775,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.method(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":        "ok",
 		"datasets":      len(s.Catalog().names),
 		"uptimeSeconds": time.Since(s.stats.start).Seconds(),
-	})
+	}
+	// A follower that has fallen too far behind the primary is alive but
+	// not healthy: it answers queries from stale state and min_epoch
+	// queries start timing out. Report degraded (503 keeps load balancers
+	// honest) with the worst shard's lag detail.
+	if s.follower != nil && s.opts.MaxLagEpochs > 0 {
+		if dsName, shard, lag, ok := s.follower.MaxLag(); ok && lag.EpochsBehind > uint64(s.opts.MaxLagEpochs) {
+			body["status"] = "degraded"
+			detail := map[string]any{
+				"dataset":      dsName,
+				"shard":        shard,
+				"epochsBehind": lag.EpochsBehind,
+				"primaryEpoch": lag.PrimaryEpoch,
+				"localEpoch":   lag.LocalEpoch,
+				"maxLagEpochs": s.opts.MaxLagEpochs,
+			}
+			if lag.LastError != "" {
+				detail["lastError"] = lag.LastError
+			}
+			body["lag"] = detail
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // DatasetStats is one dataset's /statsz row. The index fields describe the
@@ -797,9 +922,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Edits:         s.stats.edits.Load(),
 		Errors:        s.stats.errors.Load(),
 		Latency: map[string]HistogramStats{
-			"query":  s.stats.latQuery.snapshot(),
-			"batch":  s.stats.latBatch.snapshot(),
-			"mutate": s.stats.latMutate.snapshot(),
+			"query":  histogramStats(s.stats.latQuery.Snapshot()),
+			"batch":  histogramStats(s.stats.latBatch.Snapshot()),
+			"mutate": histogramStats(s.stats.latMutate.Snapshot()),
 		},
 	}
 	if s.follower != nil {
@@ -852,7 +977,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 				EditBatches:   ls.Batches,
 				EditsApplied:  ls.Edits,
 				EditLog:       sh.EditLogPath() != "",
-				Latency:       sh.lat.snapshot(),
+				Latency:       histogramStats(sh.lat.Snapshot()),
 				Replication:   rep,
 			})
 			// Dataset-level index and mutation fields aggregate across

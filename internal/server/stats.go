@@ -3,31 +3,14 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"xmatch/internal/obs"
 )
 
-// latencyBucketsMs are the histogram bucket upper bounds in milliseconds;
-// the implicit final bucket is +Inf.
-var latencyBucketsMs = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
-
-// histogram is a fixed-bucket latency histogram safe for concurrent
-// observation. sumMicros keeps the total in integer microseconds so the
-// hot path never does floating-point atomics.
-type histogram struct {
-	counts    [len(latencyBucketsMs) + 1]atomic.Uint64
-	total     atomic.Uint64
-	sumMicros atomic.Uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.total.Add(1)
-	h.sumMicros.Add(uint64(d / time.Microsecond))
-}
+// The server's latency histograms are obs.Histograms over the default
+// bucket bounds (obs.DefaultLatencyBucketsMs — the bounds /statsz has
+// always exposed); /statsz renders their snapshots through
+// histogramStats, /metricsz through the exposition exporter.
 
 // HistogramBucket is one cumulative-free histogram bucket in the /statsz
 // payload: the count of observations at most LeMs milliseconds (the last
@@ -44,23 +27,28 @@ type HistogramStats struct {
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
-func (h *histogram) snapshot() HistogramStats {
+// histogramStats converts an obs snapshot into the /statsz wire form the
+// server has always emitted: count, sum in milliseconds, and per-bucket
+// (non-cumulative) counts with the overflow bucket last at LeMs 0.
+func histogramStats(s obs.HistogramSnapshot) HistogramStats {
 	out := HistogramStats{
-		Count: h.total.Load(),
-		SumMs: float64(h.sumMicros.Load()) / 1e3,
+		Count:   s.Count,
+		SumMs:   s.SumMs,
+		Buckets: make([]HistogramBucket, len(s.Counts)),
 	}
-	out.Buckets = make([]HistogramBucket, len(h.counts))
-	for i := range h.counts {
-		b := HistogramBucket{Count: h.counts[i].Load()}
-		if i < len(latencyBucketsMs) {
-			b.LeMs = latencyBucketsMs[i]
+	for i, c := range s.Counts {
+		b := HistogramBucket{Count: c}
+		if i < len(s.BucketsMs) {
+			b.LeMs = s.BucketsMs[i]
 		}
 		out.Buckets[i] = b
 	}
 	return out
 }
 
-// serverStats aggregates the daemon's operational counters.
+// serverStats aggregates the daemon's operational counters. The latency
+// histograms are allocated by init (called once from New) so the hot
+// paths can Observe without nil checks.
 type serverStats struct {
 	start     time.Time
 	inFlight  atomic.Int64
@@ -70,7 +58,14 @@ type serverStats struct {
 	mutates   atomic.Uint64
 	edits     atomic.Uint64
 	errors    atomic.Uint64
-	latQuery  histogram
-	latBatch  histogram
-	latMutate histogram
+	latQuery  *obs.Histogram
+	latBatch  *obs.Histogram
+	latMutate *obs.Histogram
+}
+
+func (st *serverStats) init() {
+	st.start = time.Now()
+	st.latQuery = obs.NewHistogram(nil)
+	st.latBatch = obs.NewHistogram(nil)
+	st.latMutate = obs.NewHistogram(nil)
 }
