@@ -1027,3 +1027,61 @@ func BenchmarkCheckpoint(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFingerprint prices the per-request workload-fingerprint hash —
+// computed on every /v1/query after evaluation, so it must stay deep in
+// the noise floor of even the cheapest indexed query. The cycle covers
+// the Table III queries across the mode/k matrix, exercising the
+// canonical-pattern + mode + k framing.
+func BenchmarkFingerprint(b *testing.B) {
+	queries := dataset.Queries()
+	modes := []struct {
+		mode string
+		k    int
+	}{{"basic", 0}, {"compact", 0}, {"topk", 5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		m := modes[i%len(modes)]
+		if engine.FingerprintPattern("orders", q.Text, m.mode, m.k) == 0 {
+			b.Fatal("zero fingerprint")
+		}
+	}
+}
+
+// BenchmarkWorkloadCapture prices one capture-log append — the write a
+// sampled query pays inside the capture mutex. The record mirrors what
+// handleQuery logs for a Table III topk query; SetBytes reports the
+// framed record size so the trajectory tracks bytes-per-request too.
+func BenchmarkWorkloadCapture(b *testing.B) {
+	var buf bytes.Buffer
+	if err := store.CreateWorkload(&buf, 1); err != nil {
+		b.Fatal(err)
+	}
+	rec := store.WorkloadRecord{
+		Fingerprint: 0x9e3779b97f4a7c15,
+		Dataset:     "orders",
+		Pattern:     "PO/Line/Quantity",
+		Mode:        "topk",
+		K:           5,
+		Epoch:       42,
+		LatencyUs:   1375,
+		Digest:      0xcafef00ddeadbeef,
+	}
+	n, err := store.AppendWorkloadRecord(&buf, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf.Len() > 1<<20 {
+			buf.Reset()
+		}
+		if _, err := store.AppendWorkloadRecord(&buf, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,9 @@
 //	xmatch query    -remote http://localhost:8777 -d D7 -q 'Order//EMail'
 //	xmatch mutate   -remote http://localhost:8777 -d D7 -edits '[{"op":"settext","path":"Order.POLine.Quantity","text":"9"}]'
 //	xmatch match    -src a.spec -tgt b.spec   # run the COMA-style matcher
+//	xmatch workload info   -f queries.capture              # inspect a capture
+//	xmatch workload replay -f queries.capture              # re-run locally, diff digests
+//	xmatch workload replay -f queries.capture -remote http://localhost:8777
 //
 // Queries run on the concurrent engine of internal/engine; -workers bounds
 // its pool (0 = all cores) and -parallel=false forces sequential evaluation.
@@ -73,6 +76,8 @@ func main() {
 		err = runMatch(os.Args[2:])
 	case "keywords":
 		err = runKeywords(os.Args[2:])
+	case "workload":
+		err = runWorkload(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -84,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|index|mutate|checkpoint|match> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xmatch <stats|mappings|query|index|mutate|checkpoint|workload|match> [flags]
   stats    -d <D1..D10>                     matching and block-tree statistics
   mappings -d <D1..D10> [-n 10] [-m 100]    most probable mappings
   query    -d <D1..D10> -q <twig> [-k 0]    answer a PTQ (k>0 for top-k);
@@ -120,6 +125,18 @@ func usage() {
                                             epoch and truncates the shipped
                                             log; lagging followers bootstrap
                                             from the checkpoint
+  workload replay -f <capture>              re-run a daemon's workload capture
+           [-remote http://host:port]       and byte-diff every result digest:
+           [-manifest <cat>] [-datasets..]  remote replays against a live
+           [-limit N] [-diffs N]            daemon; local rebuilds the serving
+                                            catalog in-process (a manifest, or
+                                            builtin datasets matching the
+                                            capturing daemon's flags) and
+                                            replays through the same HTTP
+                                            handler; exits non-zero on any diff
+  workload info -f <capture>                summarize a capture file (records,
+                                            sampling, fingerprints, torn tail)
+                                            and its .profiles sidecar
   keywords -d <D1..D10> -w "a,b,c"          probabilistic keyword query
   match    -src <spec> -tgt <spec>          run the built-in matcher
            (files ending in .xsd are parsed as XML Schema)`)
@@ -142,7 +159,15 @@ func runStats(args []string) error {
 	id := fs.String("d", "D7", "dataset ID")
 	m := fs.Int("m", 100, "number of possible mappings")
 	tau := fs.Float64("tau", 0.2, "confidence threshold")
+	queries := fs.Bool("queries", false, "print the Table III workload queries, one per line, and exit (for scripting query drivers)")
 	fs.Parse(args)
+
+	if *queries {
+		for _, q := range dataset.Queries() {
+			fmt.Println(q.Text)
+		}
+		return nil
+	}
 
 	d, set, err := loadSet(*id, *m)
 	if err != nil {

@@ -33,6 +33,17 @@
 // X-Request-Id response header and /v1/debug/traces carry. -debug-addr
 // starts a second listener serving net/http/pprof (off by default).
 //
+// Workload intelligence: every query is fingerprinted (canonical pattern
+// + mode + k + dataset) and accounted per fingerprint; GET
+// /v1/debug/workload serves the hottest fingerprints with sliding-window
+// latency quantiles. -slo-target sets a query latency SLO: /metricsz
+// gains burn-rate gauges and /healthz reports "degraded" detail while
+// the error budget burns faster than it accrues (-slo-objective,
+// -slo-window tune it). -capture appends a sampled (-capture-sample),
+// disk-budgeted (-capture-budget) binary log of served queries — with a
+// selectivity-profile sidecar — that `xmatch workload replay` re-runs
+// against a daemon or a local catalog and byte-diffs.
+//
 // Query it with curl or the bundled client:
 //
 //	curl -s localhost:8777/v1/query -d '{"dataset":"D7","pattern":"Order/DeliverTo/Contact/EMail","k":5,"mode":"topk"}'
@@ -83,6 +94,12 @@ type config struct {
 	debugAddr      string
 	traceThreshold time.Duration
 	maxLag         int64
+	sloTarget      time.Duration
+	sloObjective   float64
+	sloWindow      time.Duration
+	capture        string
+	captureSample  int
+	captureBudget  int64
 }
 
 func main() {
@@ -108,6 +125,12 @@ func main() {
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on a separate listener at this address (empty = off)")
 	flag.DurationVar(&cfg.traceThreshold, "trace-threshold", 100*time.Millisecond, "retain a request's trace on /v1/debug/traces when its latency reaches this threshold; 0 retains every trace, negative disables retention")
 	flag.Int64Var(&cfg.maxLag, "max-lag", 1000, "in -follow mode, epochs behind the primary (worst shard) before /healthz reports degraded; negative disables the check")
+	flag.DurationVar(&cfg.sloTarget, "slo-target", 0, "query latency SLO target (e.g. 50ms): /metricsz exposes the error-budget burn rate and /healthz degrades while the budget burns hot; 0 disables")
+	flag.Float64Var(&cfg.sloObjective, "slo-objective", 0.99, "fraction of queries that must meet -slo-target")
+	flag.DurationVar(&cfg.sloWindow, "slo-window", 5*time.Minute, "sliding window behind the SLO burn rate and windowed latency quantiles")
+	flag.StringVar(&cfg.capture, "capture", "", "append a sampled binary log of served queries (fingerprint, pattern, epoch, latency, result digest) to this file for `xmatch workload replay`; truncated at start, empty disables")
+	flag.IntVar(&cfg.captureSample, "capture-sample", 1, "capture 1 in N queries")
+	flag.Int64Var(&cfg.captureBudget, "capture-budget", 64<<20, "stop capturing once the file reaches this many bytes")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -219,10 +242,16 @@ func run(cfg config) error {
 		traceThreshold = time.Nanosecond
 	}
 	sopts := server.Options{
-		RequestWorkers: cfg.reqWorkers,
-		TraceThreshold: traceThreshold,
-		MaxLagEpochs:   cfg.maxLag,
-		Logger:         logger,
+		RequestWorkers:     cfg.reqWorkers,
+		TraceThreshold:     traceThreshold,
+		MaxLagEpochs:       cfg.maxLag,
+		Logger:             logger,
+		SLOTarget:          cfg.sloTarget,
+		SLOObjective:       cfg.sloObjective,
+		SLOWindow:          cfg.sloWindow,
+		CapturePath:        cfg.capture,
+		CaptureSampleN:     cfg.captureSample,
+		CaptureBudgetBytes: cfg.captureBudget,
 	}
 
 	start := time.Now()
@@ -278,6 +307,9 @@ func run(cfg config) error {
 			"buildMs", float64(build.Microseconds())/1e3)
 	}
 	logger.Info("catalog ready", "elapsed", time.Since(start).Round(time.Millisecond).String())
+	if cfg.capture != "" {
+		logger.Info("workload capture enabled", "path", cfg.capture, "sample", cfg.captureSample, "budgetBytes", cfg.captureBudget)
+	}
 
 	if cfg.debugAddr != "" {
 		// pprof rides a separate listener so profiling exposure is an
@@ -305,6 +337,12 @@ func run(cfg config) error {
 		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return hs.Shutdown(ctx)
+		err := hs.Shutdown(ctx)
+		// Closing the server flushes the workload capture's final
+		// selectivity-profile sidecar.
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
 }

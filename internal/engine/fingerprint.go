@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"hash/fnv"
+	"io"
+	"strconv"
+
+	"xmatch/internal/core"
+)
+
+// Query fingerprinting. The PTQ model makes (pattern, mode, k) over a
+// dataset the unit of work — two requests with the same fingerprint do
+// the same evaluation — so the fingerprint is the key the serving
+// layer's workload accounting, capture log, and (eventually) the cost
+// planner all agree on. It is computed at prepare time from the parsed
+// pattern's canonical rendering, so textual variations that parse to the
+// same pattern (whitespace, say) collapse to one fingerprint.
+
+// Fingerprint returns the canonical workload fingerprint of a prepared
+// query evaluated in the given mode over the named dataset.
+func Fingerprint(dataset string, q *core.Query, mode string, k int) uint64 {
+	return FingerprintPattern(dataset, q.Pattern.String(), mode, k)
+}
+
+// FingerprintPattern is Fingerprint over an already-canonical pattern
+// rendering — the form workload-capture records carry, so a replay can
+// recompute the fingerprint it is about to re-run. K participates only
+// in topk mode (the other evaluators ignore it, so it must not split
+// their fingerprints). The hash is FNV-64a over the NUL-separated
+// fields; dotted paths and pattern text never contain NUL.
+func FingerprintPattern(dataset, canonicalPattern, mode string, k int) uint64 {
+	if mode != "topk" {
+		k = 0
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, dataset)
+	_, _ = h.Write([]byte{0})
+	_, _ = io.WriteString(h, canonicalPattern)
+	_, _ = h.Write([]byte{0})
+	_, _ = io.WriteString(h, mode)
+	_, _ = h.Write([]byte{0})
+	_, _ = io.WriteString(h, strconv.Itoa(k))
+	return h.Sum64()
+}

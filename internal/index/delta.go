@@ -52,6 +52,7 @@ func (ix *Index) ApplyChanges(newDoc *xmltree.Document, cs *xmltree.ChangeSet) *
 		values: make(map[valueKey]*PostingList),
 		texts:  make(map[string]*textEntry),
 		ctr:    ix.ctr,
+		prof:   ix.prof,
 		stats:  ix.stats,
 	}
 	nx.stats.Epoch = nx.epoch
@@ -338,7 +339,7 @@ func (ix *Index) flatten() *Index {
 		}
 	}
 	putPostingBuf(buf)
-	nx := &Index{doc: ix.doc, epoch: ix.epoch, paths: paths, values: values, texts: texts, ctr: ix.ctr}
+	nx := &Index{doc: ix.doc, epoch: ix.epoch, paths: paths, values: values, texts: texts, ctr: ix.ctr, prof: ix.prof}
 	nx.stats = nx.computeStats()
 	nx.stats.Epoch = ix.epoch
 	return nx

@@ -90,6 +90,10 @@ type Index struct {
 	// across overlay epochs and their flattened successors.
 	ctr *Counters
 
+	// prof accumulates the chain's per-path observed selectivity (see
+	// pathProfiles); shared exactly like ctr.
+	prof *pathProfiles
+
 	stats Stats
 }
 
@@ -178,6 +182,7 @@ func build(doc *xmltree.Document, compress bool) *Index {
 		paths:  make(map[string]*PostingList, len(paths)),
 		values: make(map[valueKey]*PostingList, len(values)),
 		ctr:    &Counters{},
+		prof:   &pathProfiles{},
 	}
 	if compress && len(nodes) >= parallelBuildThreshold && workers > 1 {
 		compressParallel(ix, paths, values, workers)
@@ -513,25 +518,55 @@ func (ix *Index) ValueTexts(path string) []string {
 }
 
 // PathStat is one path's row of the per-path postings report (the CLI's
-// index -stats mode).
+// index -stats mode): the static postings footprint joined with the
+// observed-selectivity funnel the workload has accumulated against the
+// path (zero for paths no evaluation has bound).
 type PathStat struct {
 	Path          string
 	Postings      int
 	ResidentBytes int // actual bytes (compressed blocks or flat slices)
 	FlatBytes     int // the same list in the flat-[]Posting layout
+
+	// Observed workload funnel (see PathProfile); zero-valued when the
+	// workload never bound this path.
+	Evals           uint64
+	Candidates      uint64
+	UsefulSurvivors uint64
+	ReachSurvivors  uint64
 }
 
-// PathStats reports per-path postings counts and compressed-vs-flat
-// footprints, sorted by path. Diagnostic; materializes overlay chains.
+// ObservedSelectivity is ReachSurvivors over Candidates — the observed
+// fraction of loaded postings that participated in a match. It reports
+// -1 when the path has no observations, so callers can tell "never
+// evaluated" from "everything pruned".
+func (s PathStat) ObservedSelectivity() float64 {
+	if s.Candidates == 0 {
+		return -1
+	}
+	return float64(s.ReachSurvivors) / float64(s.Candidates)
+}
+
+// PathStats reports per-path postings counts, compressed-vs-flat
+// footprints, and the observed workload funnel, sorted by path.
+// Diagnostic; materializes overlay chains.
 func (ix *Index) PathStats() []PathStat {
 	paths, _, _ := ix.materialize()
+	profiles := make(map[string]PathProfile)
+	for _, pp := range ix.PathProfiles() {
+		profiles[pp.Path] = pp
+	}
 	out := make([]PathStat, 0, len(paths))
 	for p, pl := range paths {
+		pp := profiles[p]
 		out = append(out, PathStat{
-			Path:          p,
-			Postings:      pl.Len(),
-			ResidentBytes: pl.residentBytes(),
-			FlatBytes:     pl.flatBytes(),
+			Path:            p,
+			Postings:        pl.Len(),
+			ResidentBytes:   pl.residentBytes(),
+			FlatBytes:       pl.flatBytes(),
+			Evals:           pp.Evals,
+			Candidates:      pp.Candidates,
+			UsefulSurvivors: pp.UsefulSurvivors,
+			ReachSurvivors:  pp.ReachSurvivors,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })

@@ -59,6 +59,7 @@ func (ix *Index) MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.Path
 	st := getTwigState()
 	defer putTwigState(st)
 	st.tally = tally{}
+	st.pathTallies = st.pathTallies[:0]
 	// Result memo: evaluation is a pure function of (index, pattern,
 	// binding), and PTQ workloads rewrite heavily overlapping mappings to
 	// a handful of distinct bindings — most evaluations over a hot index
@@ -85,6 +86,7 @@ func (ix *Index) MatchTwig(doc *xmltree.Document, qn *twig.Node, paths twig.Path
 	st.tally.decodedBlocks += st.prc.takeDecoded() + st.enc.takeDecoded()
 	ix.ctr.addEval(&st.tally)
 	globalCounters.addEval(&st.tally)
+	ix.prof.flush(st.pathTallies)
 	shard.mu.Lock()
 	if shard.m == nil {
 		shard.m = make(map[*twig.Node]map[string][]twig.Match)
@@ -122,6 +124,8 @@ func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding)
 		}
 		st.tally.fastPath = 1
 		st.tally.candidates = uint64(pl.Len())
+		n := uint64(pl.Len())
+		st.pathTallies = append(st.pathTallies, pathDelta{path: paths[qn], candidates: n, useful: n, reach: n})
 		return emitList(qn, pl)
 	}
 	st.collect(qn)
@@ -131,9 +135,14 @@ func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding)
 		}
 	}
 	for i := range st.nodes {
-		st.tally.candidates += uint64(st.clen(i))
+		c := uint64(st.clen(i))
+		st.tally.candidates += c
+		st.pathTallies = append(st.pathTallies, pathDelta{path: paths[st.nodes[i]], candidates: c})
 	}
 	if len(st.nodes) == 1 {
+		// No pruning passes ran: nothing was dropped.
+		st.pathTallies[0].useful = st.pathTallies[0].candidates
+		st.pathTallies[0].reach = st.pathTallies[0].candidates
 		return st.emitSingles(qn, 0)
 	}
 
@@ -146,7 +155,9 @@ func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding)
 		}
 	}
 	for i := range st.nodes {
-		st.tally.usefulSurvivors += uint64(st.clen(i))
+		u := uint64(st.clen(i))
+		st.tally.usefulSurvivors += u
+		st.pathTallies[i].useful = u
 	}
 	// Top-down reachability: preorder visits parents first.
 	for i, n := range st.nodes {
@@ -155,7 +166,9 @@ func (ix *Index) matchTwig(st *twigState, qn *twig.Node, paths twig.PathBinding)
 		}
 	}
 	for i := range st.nodes {
-		st.tally.reachSurvivors += uint64(st.clen(i))
+		r := uint64(st.clen(i))
+		st.tally.reachSurvivors += r
+		st.pathTallies[i].reach = r
 	}
 	return st.enumerate(qn)
 }
@@ -291,7 +304,8 @@ type twigState struct {
 
 	prc, enc cursor // probe / enumerate cursors for galloped access
 
-	tally tally // this evaluation's counter accumulator
+	tally       tally       // this evaluation's counter accumulator
+	pathTallies []pathDelta // this evaluation's per-path funnel, in node order
 
 	// enumerate scratch, per pattern node ordinal.
 	subs  [][][]twig.Match

@@ -108,6 +108,7 @@ func FromSnapshot(doc *xmltree.Document, snap *Snapshot) (*Index, error) {
 		paths:  make(map[string]*PostingList, len(snap.Paths)),
 		values: make(map[valueKey]*PostingList, len(snap.Values)),
 		ctr:    &Counters{},
+		prof:   &pathProfiles{},
 	}
 	total := 0
 	for _, sp := range snap.Paths {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -20,15 +21,18 @@ type ExpositionMetric struct {
 // grammar (version 0.0.4) strictly enough to catch the mistakes a
 // hand-rolled emitter can make: bad metric/label names, unescaped label
 // values, non-numeric sample values, TYPE lines naming a different
-// metric than the samples that follow, and duplicate TYPE declarations.
-// It returns every parsed sample. The CI lint feeds /metricsz output
-// through it so a malformed line fails a unit test rather than a
-// production scrape.
+// metric than the samples that follow, duplicate TYPE declarations, and
+// duplicate series (the same metric name with the same label set emitted
+// twice — Prometheus keeps one sample arbitrarily, so a duplicate is
+// always an emitter bug). It returns every parsed sample. The CI lint
+// feeds /metricsz output through it so a malformed line fails a unit
+// test rather than a production scrape.
 func ParseExposition(r io.Reader) ([]ExpositionMetric, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var out []ExpositionMetric
 	typed := map[string]string{} // family name -> type
+	seen := map[string]bool{}    // name + canonical label set
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -48,6 +52,11 @@ func ParseExposition(r io.Reader) ([]ExpositionMetric, error) {
 		}
 		if err := checkTyped(m, typed); err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if key := seriesKey(m); seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		} else {
+			seen[key] = true
 		}
 		out = append(out, m)
 	}
@@ -195,6 +204,32 @@ func parseLabels(s string) ([]Label, error) {
 		}
 	}
 	return out, nil
+}
+
+// seriesKey renders a sample's identity — metric name plus its label set
+// in sorted order, so the same pairs in a different order still collide —
+// for duplicate-series detection.
+func seriesKey(m ExpositionMetric) string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	labels := make([]Label, len(m.Labels))
+	copy(labels, m.Labels)
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // checkTyped verifies a sample belongs to a declared family when one was

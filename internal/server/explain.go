@@ -28,7 +28,16 @@ type ExplainShard struct {
 	// survivor counts, galloping vs linear merge choices, decoded postings
 	// blocks, memo hits — see index.CountersSnapshot.
 	Counters index.CountersSnapshot `json:"counters"`
+	// Profiles are the shard's observed per-path selectivity profiles —
+	// cumulative since the index was built (not this request's delta:
+	// profiles are how the paths have behaved, which is what a planner
+	// reading an EXPLAIN wants). Bounded to the hottest paths by
+	// candidate volume.
+	Profiles []index.PathProfile `json:"profiles,omitempty"`
 }
+
+// explainProfileCap bounds the per-shard profile rows an EXPLAIN carries.
+const explainProfileCap = 16
 
 // ExplainData is the explain block of a QueryResponse.
 type ExplainData struct {
@@ -51,10 +60,15 @@ func shardCounters(snaps []*delta.Snapshot) []index.CountersSnapshot {
 func buildExplain(tr *obs.Trace, snaps []*delta.Snapshot, before []index.CountersSnapshot) *ExplainData {
 	ex := &ExplainData{Trace: tr.Data(time.Since(tr.Start()))}
 	for i, sn := range snaps {
+		profiles := sn.Index.PathProfiles()
+		if len(profiles) > explainProfileCap {
+			profiles = profiles[:explainProfileCap]
+		}
 		ex.Shards = append(ex.Shards, ExplainShard{
 			Shard:    i,
 			Epoch:    sn.Epoch,
 			Counters: sn.Index.Counters().Sub(before[i]),
+			Profiles: profiles,
 		})
 	}
 	return ex

@@ -24,6 +24,7 @@ import (
 func (s *Server) newRegistry() *obs.Registry {
 	reg := obs.NewRegistry()
 	reg.Collect(s.collectServer)
+	reg.Collect(s.collectWorkload)
 	reg.Collect(index.CollectMetrics)
 	reg.Collect(s.collectCatalog)
 	reg.Collect(func(e *obs.Exporter) {
@@ -37,18 +38,74 @@ func (s *Server) newRegistry() *obs.Registry {
 func (s *Server) collectServer(e *obs.Exporter) {
 	e.Gauge("xmatch_uptime_seconds", "Seconds since the server started.", time.Since(s.stats.start).Seconds())
 	e.Gauge("xmatch_http_in_flight", "Requests currently being served on the timed endpoints.", float64(s.stats.inFlight.Load()))
-	e.Counter("xmatch_http_requests_total", "Requests accepted per endpoint.", float64(s.stats.queries.Load()), obs.Label{Name: "endpoint", Value: "query"})
-	e.Counter("xmatch_http_requests_total", "Requests accepted per endpoint.", float64(s.stats.batches.Load()), obs.Label{Name: "endpoint", Value: "batch"})
-	e.Counter("xmatch_http_requests_total", "Requests accepted per endpoint.", float64(s.stats.mutates.Load()), obs.Label{Name: "endpoint", Value: "mutate"})
+	endpoints := []struct {
+		name    string
+		counter uint64
+		lat     *obs.Windowed
+	}{
+		{"query", s.stats.queries.Load(), s.stats.latQuery},
+		{"batch", s.stats.batches.Load(), s.stats.latBatch},
+		{"mutate", s.stats.mutates.Load(), s.stats.latMutate},
+		{"checkpoint", s.stats.checkpoints.Load(), s.stats.latCheckpoint},
+		{"replicate", s.stats.replicates.Load(), s.stats.latReplicate},
+	}
+	for _, ep := range endpoints {
+		label := obs.Label{Name: "endpoint", Value: ep.name}
+		e.Counter("xmatch_http_requests_total", "Requests accepted per endpoint.", float64(ep.counter), label)
+		e.Histogram("xmatch_http_request_seconds", "Request latency per endpoint.", ep.lat.Snapshot(), label)
+		win := ep.lat.Window()
+		for _, q := range []struct {
+			q float64
+			s string
+		}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+			e.Gauge("xmatch_http_request_window_ms", "Sliding-window latency quantile per endpoint, in milliseconds.",
+				win.Quantile(q.q), label, obs.Label{Name: "quantile", Value: q.s})
+		}
+	}
 	e.Counter("xmatch_http_errors_total", "Non-2xx responses across all endpoints.", float64(s.stats.errors.Load()))
 	e.Counter("xmatch_reloads_total", "Successful catalog reloads.", float64(s.stats.reloads.Load()))
 	e.Counter("xmatch_edits_applied_total", "Edits applied through /v1/admin/mutate.", float64(s.stats.edits.Load()))
-	e.Histogram("xmatch_http_request_seconds", "Request latency per endpoint.", s.stats.latQuery.Snapshot(), obs.Label{Name: "endpoint", Value: "query"})
-	e.Histogram("xmatch_http_request_seconds", "Request latency per endpoint.", s.stats.latBatch.Snapshot(), obs.Label{Name: "endpoint", Value: "batch"})
-	e.Histogram("xmatch_http_request_seconds", "Request latency per endpoint.", s.stats.latMutate.Snapshot(), obs.Label{Name: "endpoint", Value: "mutate"})
 	finished, sampled := s.traces.Counts()
 	e.Counter("xmatch_traces_finished_total", "Requests that finished through the trace middleware.", float64(finished))
 	e.Counter("xmatch_traces_sampled_total", "Traces retained by the slow-query tail sampler.", float64(sampled))
+	if s.opts.SLOTarget > 0 {
+		win := s.stats.latQuery.Window()
+		slo := obs.SLO{Target: s.opts.SLOTarget, Objective: s.opts.SLOObjective}
+		bad, burn := slo.Burn(win)
+		e.Gauge("xmatch_slo_target_seconds", "Configured query latency SLO target.", s.opts.SLOTarget.Seconds())
+		e.Gauge("xmatch_slo_objective", "Configured fraction of queries that must meet the target.", s.opts.SLOObjective)
+		e.Gauge("xmatch_slo_window_seconds", "Sliding window the burn rate is computed over.", s.opts.SLOWindow.Seconds())
+		e.Gauge("xmatch_slo_window_requests", "Query requests inside the sliding window.", float64(win.Count))
+		e.Gauge("xmatch_slo_bad_fraction", "Fraction of windowed queries slower than the target.", bad)
+		e.Gauge("xmatch_slo_burn_rate", "Error-budget burn rate over the window; above 1 the budget shrinks.", burn)
+	}
+}
+
+// collectWorkload exposes the fingerprint table's head (bounded, so a
+// high-cardinality workload cannot explode the scrape) and the capture
+// log's progress.
+func (s *Server) collectWorkload(e *obs.Exporter) {
+	tracked, evicted := s.workload.size()
+	e.Gauge("xmatch_workload_fingerprints", "Distinct query fingerprints currently tracked.", float64(tracked))
+	e.Counter("xmatch_workload_evicted_total", "Fingerprints evicted from the bounded accounting table.", float64(evicted))
+	for _, entry := range s.workload.top(10) {
+		labels := []obs.Label{
+			{Name: "fingerprint", Value: entry.Fingerprint},
+			{Name: "dataset", Value: entry.Dataset},
+			{Name: "mode", Value: entry.Mode},
+		}
+		e.Counter("xmatch_workload_requests_total", "Requests per hot query fingerprint (top fingerprints only).", float64(entry.Requests), labels...)
+		e.Counter("xmatch_workload_prepare_hits_total", "Prepared-query cache hits per hot fingerprint.", float64(entry.PrepareHits), labels...)
+		e.Gauge("xmatch_workload_window_p95_ms", "Sliding-window p95 latency per hot fingerprint, in milliseconds.", entry.P95Ms, labels...)
+	}
+	if s.capture != nil {
+		st := s.capture.status()
+		e.Counter("xmatch_capture_records_total", "Workload records appended to the capture log.", float64(st.Records))
+		e.Counter("xmatch_capture_sampled_out_total", "Requests skipped by capture sampling.", float64(st.SampledOut))
+		e.Counter("xmatch_capture_dropped_total", "Requests dropped because the capture budget was exhausted.", float64(st.DroppedOver))
+		e.Gauge("xmatch_capture_bytes", "Bytes written to the capture log.", float64(st.BytesWritten))
+		e.Gauge("xmatch_capture_budget_bytes", "Configured capture disk budget.", float64(st.BudgetBytes))
+	}
 }
 
 func (s *Server) collectCatalog(e *obs.Exporter) {

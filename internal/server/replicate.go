@@ -40,10 +40,9 @@ func (s *Server) resolveShard(w http.ResponseWriter, dataset string, shard int) 
 // header carries the shard's current epoch so the follower knows when it
 // has caught up. 409 with the checkpoint epoch means the requested
 // history has been compacted away and the follower must bootstrap.
+// Method enforcement happens in the timed wrapper these handlers are
+// mounted under.
 func (s *Server) handleReplicateStream(w http.ResponseWriter, r *http.Request) {
-	if !s.method(w, r, http.MethodPost) {
-		return
-	}
 	var req replica.StreamRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.failBody(w, err)
@@ -80,9 +79,6 @@ func (s *Server) handleReplicateStream(w http.ResponseWriter, r *http.Request) {
 // for volatile shards that never wrote a checkpoint file, and always the
 // freshest state, which minimizes the replay after bootstrap.
 func (s *Server) handleReplicateCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if !s.method(w, r, http.MethodGet) {
-		return
-	}
 	shard := 0
 	if v := r.URL.Query().Get("shard"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -106,9 +102,6 @@ func (s *Server) handleReplicateCheckpoint(w http.ResponseWriter, r *http.Reques
 // handleReplicateManifest serves the manifest this server's catalog was
 // built from, so a follower can build the same datasets locally.
 func (s *Server) handleReplicateManifest(w http.ResponseWriter, r *http.Request) {
-	if !s.method(w, r, http.MethodGet) {
-		return
-	}
 	if s.opts.Manifest == nil {
 		s.fail(w, http.StatusNotFound, "replication manifest not configured on this server")
 		return
@@ -153,9 +146,6 @@ type CheckpointResponse struct {
 // a concurrent reload would otherwise rebuild the catalog from files
 // this operation is mid-way through replacing.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if !s.method(w, r, http.MethodPost) {
-		return
-	}
 	if s.readOnly(w) {
 		return
 	}

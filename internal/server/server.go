@@ -87,6 +87,34 @@ type Options struct {
 	// Logger receives the server's structured log lines (slow requests,
 	// replication replays, sync failures); nil means slog.Default().
 	Logger *slog.Logger
+	// SLOTarget is the query-latency objective: the server tracks, over
+	// SLOWindow, the fraction of /v1/query requests slower than the
+	// target and exposes the error-budget burn rate on /metricsz and
+	// /healthz (which reports "degraded" detail while the budget burns
+	// hotter than it accrues). 0 disables SLO evaluation.
+	SLOTarget time.Duration
+	// SLOObjective is the fraction of queries that must meet SLOTarget;
+	// 0 means 0.99.
+	SLOObjective float64
+	// SLOWindow is the sliding window behind the burn rate and the
+	// windowed latency quantiles; 0 means 5m.
+	SLOWindow time.Duration
+	// CapturePath enables the workload capture: a sampled, disk-budgeted
+	// binary log of /v1/query requests (fingerprint, pattern, mode,
+	// epoch, latency, result digest) that `xmatch workload replay` can
+	// re-run and byte-diff. The file is truncated at server start; a
+	// selectivity-profile sidecar at CapturePath+".profiles" is rewritten
+	// periodically alongside it. Empty disables capture.
+	CapturePath string
+	// CaptureSampleN records 1 in N queries; 0 or 1 records all.
+	CaptureSampleN int
+	// CaptureBudgetBytes stops appending (but keeps counting what was
+	// missed) once the capture file reaches this size; 0 means 64 MiB.
+	CaptureBudgetBytes int64
+	// WorkloadFingerprints caps the per-fingerprint accounting table
+	// behind /v1/debug/workload; the rarest fingerprint is evicted past
+	// the cap. 0 means 512.
+	WorkloadFingerprints int
 }
 
 // Loader builds a fresh catalog: called once at startup and again on every
@@ -120,7 +148,12 @@ type Server struct {
 	registry *obs.Registry
 	// traces is the bounded slow-request ring behind /v1/debug/traces.
 	traces *obs.TraceLog
-	logger *slog.Logger
+	// workload is the per-fingerprint accounting behind /v1/debug/workload
+	// and the xmatch_workload_* metrics; capture is the sampled on-disk
+	// request log (nil unless Options.CapturePath is set).
+	workload *workloadStats
+	capture  *captureLog
+	logger   *slog.Logger
 }
 
 // New builds a server over the loader's initial catalog.
@@ -150,26 +183,58 @@ func New(loader Loader, opts Options) (*Server, error) {
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
+	if opts.SLOObjective == 0 {
+		opts.SLOObjective = 0.99
+	}
+	if opts.SLOWindow == 0 {
+		opts.SLOWindow = 5 * time.Minute
+	}
+	if opts.CaptureBudgetBytes == 0 {
+		opts.CaptureBudgetBytes = 64 << 20
+	}
+	if opts.WorkloadFingerprints == 0 {
+		opts.WorkloadFingerprints = 512
+	}
 	s := &Server{opts: opts, loader: loader, logger: opts.Logger}
-	s.stats.init()
+	s.stats.init(opts.SLOWindow)
+	s.workload = newWorkloadStats(opts.WorkloadFingerprints, opts.SLOWindow)
 	s.traces = obs.NewTraceLog(opts.TraceBufferSize, opts.TraceThreshold)
 	s.registry = s.newRegistry()
 	s.cat.Store(cat)
+	if opts.CapturePath != "" {
+		cl, err := newCaptureLog(opts.CapturePath, opts.CaptureSampleN, opts.CaptureBudgetBytes, s.captureProfiles, opts.Logger)
+		if err != nil {
+			return nil, fmt.Errorf("workload capture: %w", err)
+		}
+		s.capture = cl
+	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/query", s.timed("query", s.stats.latQuery, &s.stats.queries, s.handleQuery))
-	s.mux.HandleFunc("/v1/batch", s.timed("batch", s.stats.latBatch, &s.stats.batches, s.handleBatch))
+	s.mux.HandleFunc("/v1/query", s.timed("query", http.MethodPost, s.stats.latQuery, &s.stats.queries, s.handleQuery))
+	s.mux.HandleFunc("/v1/batch", s.timed("batch", http.MethodPost, s.stats.latBatch, &s.stats.batches, s.handleBatch))
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
-	s.mux.HandleFunc("/v1/admin/mutate", s.timed("mutate", s.stats.latMutate, &s.stats.mutates, s.handleMutate))
-	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc(replica.StreamEndpoint, s.handleReplicateStream)
-	s.mux.HandleFunc(replica.CheckpointEndpoint, s.handleReplicateCheckpoint)
-	s.mux.HandleFunc(replica.ManifestEndpoint, s.handleReplicateManifest)
+	s.mux.HandleFunc("/v1/admin/mutate", s.timed("mutate", http.MethodPost, s.stats.latMutate, &s.stats.mutates, s.handleMutate))
+	s.mux.HandleFunc("/v1/admin/checkpoint", s.timed("checkpoint", http.MethodPost, s.stats.latCheckpoint, &s.stats.checkpoints, s.handleCheckpoint))
+	s.mux.HandleFunc(replica.StreamEndpoint, s.timed("replicate", http.MethodPost, s.stats.latReplicate, &s.stats.replicates, s.handleReplicateStream))
+	s.mux.HandleFunc(replica.CheckpointEndpoint, s.timed("replicate", http.MethodGet, s.stats.latReplicate, &s.stats.replicates, s.handleReplicateCheckpoint))
+	s.mux.HandleFunc(replica.ManifestEndpoint, s.timed("replicate", http.MethodGet, s.stats.latReplicate, &s.stats.replicates, s.handleReplicateManifest))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("/v1/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("/v1/debug/workload", s.handleDebugWorkload)
 	return s, nil
+}
+
+// Close releases the server's owned resources: today that is the
+// workload-capture file (flushing a final selectivity-profile sidecar).
+// Serving after Close keeps working; captures are just no longer
+// recorded.
+func (s *Server) Close() error {
+	if s.capture != nil {
+		return s.capture.close()
+	}
+	return nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -385,10 +450,12 @@ func (s *Server) method(w http.ResponseWriter, r *http.Request, want string) boo
 // context (handlers and the engine's shard observer record into it), and
 // finishes the trace into the tail-sampled slow-query log. A retained
 // trace also emits one structured log line carrying the request ID, so
-// logs and /v1/debug/traces correlate.
-func (s *Server) timed(endpoint string, h *obs.Histogram, counter *atomic.Uint64, fn http.HandlerFunc) http.HandlerFunc {
+// logs and /v1/debug/traces correlate. The admin and replication
+// endpoints run under the same wrapper as the query path, so a
+// checkpoint or replica pull is as traceable as any query.
+func (s *Server) timed(endpoint, method string, h *obs.Windowed, counter *atomic.Uint64, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.method(w, r, http.MethodPost) {
+		if !s.method(w, r, method) {
 			return
 		}
 		counter.Add(1)
@@ -465,6 +532,7 @@ func (s *Server) awaitEpoch(tr *obs.Trace, ds *Dataset, min uint64) bool {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	tr := obs.TraceFrom(r.Context())
 	var req QueryRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -548,6 +616,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if explain {
 		resp.Explain = buildExplain(tr, snaps, before)
 	}
+	// Workload accounting happens on the response the client is about to
+	// receive: the fingerprint keys the prepared query's canonical pattern
+	// (not the request text), and the capture's digest covers the exact
+	// wire results and answers, so a replay diffs against what was served.
+	canonical := q.Pattern.String()
+	fp := engine.FingerprintPattern(req.Dataset, canonical, mode, req.K)
+	latency := time.Since(start)
+	s.workload.record(fp, req.Dataset, canonical, mode, req.K, cached, len(resp.Results), resp.Epoch, latency)
+	s.capture.record(func() store.WorkloadRecord {
+		return store.WorkloadRecord{
+			Fingerprint: fp,
+			Dataset:     req.Dataset,
+			Pattern:     canonical,
+			Mode:        mode,
+			K:           req.K,
+			Epoch:       resp.Epoch,
+			LatencyUs:   latency.Microseconds(),
+			Digest:      DigestResults(resp.Results, resp.Answers),
+		}
+	})
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -780,6 +868,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"datasets":      len(s.Catalog().names),
 		"uptimeSeconds": time.Since(s.stats.start).Seconds(),
 	}
+	// When an SLO is configured, report how the error budget is burning
+	// over the sliding window. Burning faster than it accrues (rate > 1)
+	// flips the status to "degraded" but keeps the 200: latency pressure
+	// is an alert for operators, not a liveness failure — ejecting the
+	// replica from rotation would convert slow answers into no answers.
+	if s.opts.SLOTarget > 0 {
+		win := s.stats.latQuery.Window()
+		slo := obs.SLO{Target: s.opts.SLOTarget, Objective: s.opts.SLOObjective}
+		bad, burn := slo.Burn(win)
+		detail := map[string]any{
+			"targetMs":       float64(s.opts.SLOTarget.Microseconds()) / 1e3,
+			"objective":      s.opts.SLOObjective,
+			"windowSeconds":  s.opts.SLOWindow.Seconds(),
+			"windowRequests": win.Count,
+			"badFraction":    bad,
+			"burnRate":       burn,
+			"p50Ms":          win.Quantile(0.50),
+			"p95Ms":          win.Quantile(0.95),
+			"p99Ms":          win.Quantile(0.99),
+		}
+		body["slo"] = detail
+		if burn > 1 {
+			body["status"] = "degraded"
+		}
+	}
 	// A follower that has fallen too far behind the primary is alive but
 	// not healthy: it answers queries from stale state and min_epoch
 	// queries start timing out. Report degraded (503 keeps load balancers
@@ -896,15 +1009,17 @@ type Stats struct {
 	// URL on a follower.
 	Role      string                    `json:"role"`
 	Primary   string                    `json:"primary,omitempty"`
-	InFlight  int64                     `json:"inFlight"`
-	Queries   uint64                    `json:"queries"`
-	Batches   uint64                    `json:"batches"`
-	Reloads   uint64                    `json:"reloads"`
-	Mutations uint64                    `json:"mutations"`
-	Edits     uint64                    `json:"edits"`
-	Errors    uint64                    `json:"errors"`
-	Latency   map[string]HistogramStats `json:"latency"`
-	Datasets  []DatasetStats            `json:"datasets"`
+	InFlight    int64                     `json:"inFlight"`
+	Queries     uint64                    `json:"queries"`
+	Batches     uint64                    `json:"batches"`
+	Reloads     uint64                    `json:"reloads"`
+	Mutations   uint64                    `json:"mutations"`
+	Checkpoints uint64                    `json:"checkpoints"`
+	Replicates  uint64                    `json:"replicates"`
+	Edits       uint64                    `json:"edits"`
+	Errors      uint64                    `json:"errors"`
+	Latency     map[string]HistogramStats `json:"latency"`
+	Datasets    []DatasetStats            `json:"datasets"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -919,12 +1034,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Batches:       s.stats.batches.Load(),
 		Reloads:       s.stats.reloads.Load(),
 		Mutations:     s.stats.mutates.Load(),
+		Checkpoints:   s.stats.checkpoints.Load(),
+		Replicates:    s.stats.replicates.Load(),
 		Edits:         s.stats.edits.Load(),
 		Errors:        s.stats.errors.Load(),
 		Latency: map[string]HistogramStats{
-			"query":  histogramStats(s.stats.latQuery.Snapshot()),
-			"batch":  histogramStats(s.stats.latBatch.Snapshot()),
-			"mutate": histogramStats(s.stats.latMutate.Snapshot()),
+			"query":      histogramStats(s.stats.latQuery.Snapshot()),
+			"batch":      histogramStats(s.stats.latBatch.Snapshot()),
+			"mutate":     histogramStats(s.stats.latMutate.Snapshot()),
+			"checkpoint": histogramStats(s.stats.latCheckpoint.Snapshot()),
+			"replicate":  histogramStats(s.stats.latReplicate.Snapshot()),
 		},
 	}
 	if s.follower != nil {

@@ -48,24 +48,41 @@ func histogramStats(s obs.HistogramSnapshot) HistogramStats {
 
 // serverStats aggregates the daemon's operational counters. The latency
 // histograms are allocated by init (called once from New) so the hot
-// paths can Observe without nil checks.
+// paths can Observe without nil checks. Each is an obs.Windowed: the
+// embedded Histogram keeps the cumulative totals /statsz and /metricsz
+// have always exposed, while Window() gives the sliding view the SLO
+// burn rate and the windowed quantile gauges read.
 type serverStats struct {
-	start     time.Time
-	inFlight  atomic.Int64
-	queries   atomic.Uint64
-	batches   atomic.Uint64
-	reloads   atomic.Uint64
-	mutates   atomic.Uint64
-	edits     atomic.Uint64
-	errors    atomic.Uint64
-	latQuery  *obs.Histogram
-	latBatch  *obs.Histogram
-	latMutate *obs.Histogram
+	start       time.Time
+	inFlight    atomic.Int64
+	queries     atomic.Uint64
+	batches     atomic.Uint64
+	reloads     atomic.Uint64
+	mutates     atomic.Uint64
+	checkpoints atomic.Uint64
+	replicates  atomic.Uint64
+	edits       atomic.Uint64
+	errors      atomic.Uint64
+
+	latQuery      *obs.Windowed
+	latBatch      *obs.Windowed
+	latMutate     *obs.Windowed
+	latCheckpoint *obs.Windowed
+	latReplicate  *obs.Windowed
 }
 
-func (st *serverStats) init() {
+// windowSlots is the ring resolution of every windowed histogram: the
+// window ages out in window/windowSlots steps, so a 5m window advances
+// every 50s — coarse enough to stay cheap, fine enough that the burn
+// rate reacts within a minute.
+const windowSlots = 6
+
+func (st *serverStats) init(window time.Duration) {
 	st.start = time.Now()
-	st.latQuery = obs.NewHistogram(nil)
-	st.latBatch = obs.NewHistogram(nil)
-	st.latMutate = obs.NewHistogram(nil)
+	mk := func() *obs.Windowed { return obs.NewWindowed(nil, window, windowSlots) }
+	st.latQuery = mk()
+	st.latBatch = mk()
+	st.latMutate = mk()
+	st.latCheckpoint = mk()
+	st.latReplicate = mk()
 }

@@ -28,14 +28,17 @@ const (
 	// catalog manifests (CatalogEntry.Shards); version 6 added checkpoint
 	// blobs and made edit logs epoch-aware (a base-epoch meta message
 	// after the envelope, and an explicit epoch on every record — the
-	// replication substrate). Readers accept every version back to
-	// minVersion: v2/v3 index blobs still decode through the legacy
-	// snapshot payload, and gob ignores fields a payload lacks, so older
-	// blobs of the other kinds decode with the new fields zero-valued — a
-	// v4 manifest loads with Shards 0, meaning a single-document
-	// collection, and a v5 edit log loads with base 0 and its record
-	// epochs implicitly numbered 1..n.
-	version    = 6
+	// replication substrate); version 7 added workload-capture blobs (a
+	// sampled request log reusing the edit log's appendable framing) and
+	// selectivity-profile blobs (observed per-path candidate/survivor
+	// ratios persisted alongside a capture). Readers accept every version
+	// back to minVersion: v2/v3 index blobs still decode through the
+	// legacy snapshot payload, and gob ignores fields a payload lacks, so
+	// older blobs of the other kinds decode with the new fields
+	// zero-valued — a v4 manifest loads with Shards 0, meaning a
+	// single-document collection, and a v5 edit log loads with base 0 and
+	// its record epochs implicitly numbered 1..n.
+	version    = 7
 	minVersion = 1
 )
 
@@ -61,7 +64,7 @@ func formatErrorf(format string, args ...any) error {
 
 type header struct {
 	Version int
-	Kind    string // "schema", "matching", "mappingset", "catalog", "index", "editlog", "checkpoint"
+	Kind    string // "schema", "matching", "mappingset", "catalog", "index", "editlog", "checkpoint", "workload", "profiles"
 }
 
 type schemaDTO struct {

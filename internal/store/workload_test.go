@@ -1,0 +1,149 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleWorkloadRecords() []WorkloadRecord {
+	return []WorkloadRecord{
+		{Fingerprint: 0xdead, Dataset: "orders", Pattern: "order[date]/item", Mode: "full", Epoch: 3, LatencyUs: 1200, Digest: 0xbeef},
+		{Fingerprint: 0xfeed, Dataset: "orders", Pattern: "order/item", Mode: "topk", K: 5, Epoch: 3, LatencyUs: 800, Digest: 0xcafe},
+		{Fingerprint: 0xf00d, Dataset: "small", Pattern: "a/b", Mode: "compact", Epoch: 1, LatencyUs: 50, Digest: 0x1234},
+	}
+}
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateWorkload(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleWorkloadRecords()
+	for _, rec := range recs {
+		if _, err := AppendWorkloadRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wl, err := LoadWorkload(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Torn {
+		t.Fatal("clean capture reported torn")
+	}
+	if wl.SampleN != 4 {
+		t.Fatalf("SampleN = %d, want 4", wl.SampleN)
+	}
+	if len(wl.Records) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(wl.Records), len(recs))
+	}
+	for i, rec := range recs {
+		if wl.Records[i] != rec {
+			t.Fatalf("record %d = %+v, want %+v", i, wl.Records[i], rec)
+		}
+	}
+	if wl.ValidSize != int64(buf.Len()) {
+		t.Fatalf("ValidSize = %d, want %d", wl.ValidSize, buf.Len())
+	}
+}
+
+func TestWorkloadTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateWorkload(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleWorkloadRecords()
+	if _, err := AppendWorkloadRecord(&buf, recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Len()
+	if _, err := AppendWorkloadRecord(&buf, recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record at every byte offset: the loader must keep
+	// the first record, report Torn, and point ValidSize at the boundary.
+	full := buf.Bytes()
+	for cut := whole + 1; cut < len(full); cut++ {
+		wl, err := LoadWorkload(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !wl.Torn {
+			t.Fatalf("cut %d: not reported torn", cut)
+		}
+		if len(wl.Records) != 1 || wl.Records[0] != recs[0] {
+			t.Fatalf("cut %d: records = %+v", cut, wl.Records)
+		}
+		if wl.ValidSize != int64(whole) {
+			t.Fatalf("cut %d: ValidSize = %d, want %d", cut, wl.ValidSize, whole)
+		}
+	}
+}
+
+func TestWorkloadRejectsWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateEditLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var fe *FormatError
+	if _, err := LoadWorkload(bytes.NewReader(buf.Bytes())); !errors.As(err, &fe) {
+		t.Fatalf("LoadWorkload(editlog) err = %v, want FormatError", err)
+	}
+	if err := EncodeWorkloadRecordMustFail(); err == nil {
+		t.Fatal("empty pattern must not encode")
+	}
+}
+
+// EncodeWorkloadRecordMustFail exercises the empty-pattern guard.
+func EncodeWorkloadRecordMustFail() error {
+	_, err := EncodeWorkloadRecord(WorkloadRecord{})
+	return err
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "capture.profiles")
+	entries := []ProfileEntry{
+		{Dataset: "orders", Shard: 0, Path: "order.item", Evals: 10, Candidates: 500, UsefulSurvivors: 120, ReachSurvivors: 40},
+		{Dataset: "orders", Shard: 1, Path: "order.date", Evals: 10, Candidates: 300, UsefulSurvivors: 90, ReachSurvivors: 33},
+	}
+	if err := WriteProfilesFile(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfilesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("loaded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+	// Atomic replace: a second write must fully supersede the first.
+	if err := WriteProfilesFile(path, entries[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = LoadProfilesFile(path); err != nil || len(got) != 1 {
+		t.Fatalf("after rewrite: %d entries (%v), want 1", len(got), err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestProfilesRejectsWorkloadBlob(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CreateWorkload(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	var fe *FormatError
+	if _, err := LoadProfiles(bytes.NewReader(buf.Bytes())); !errors.As(err, &fe) {
+		t.Fatalf("LoadProfiles(workload) err = %v, want FormatError", err)
+	}
+}
