@@ -11,7 +11,8 @@
 //	xmatchd -follow http://primary:8777          # read replica of a primary
 //
 // Endpoints: POST /v1/query, POST /v1/batch, GET /v1/datasets, GET
-// /healthz, GET /statsz, GET /metricsz (Prometheus text exposition), GET
+// /healthz, GET /readyz (503 while draining for shutdown), GET /statsz,
+// GET /metricsz (Prometheus text exposition), GET
 // /v1/debug/traces (tail-sampled slow-query traces), POST /v1/admin/reload
 // (rebuilds the catalog from the manifest — edit the file, hit the
 // endpoint, no restart), POST /v1/admin/mutate, POST /v1/admin/checkpoint
@@ -100,6 +101,9 @@ type config struct {
 	capture        string
 	captureSample  int
 	captureBudget  int64
+	queryTimeout   time.Duration
+	maxInflight    int
+	maxQueue       int
 }
 
 func main() {
@@ -131,6 +135,9 @@ func main() {
 	flag.StringVar(&cfg.capture, "capture", "", "append a sampled binary log of served queries (fingerprint, pattern, epoch, latency, result digest) to this file for `xmatch workload replay`; truncated at start, empty disables")
 	flag.IntVar(&cfg.captureSample, "capture-sample", 1, "capture 1 in N queries")
 	flag.Int64Var(&cfg.captureBudget, "capture-budget", 64<<20, "stop capturing once the file reaches this many bytes")
+	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 30*time.Second, "request deadline for every /v1 endpoint; a request's timeout_ms may tighten but never exceed it; expired requests answer 503; negative disables")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrently evaluating query/batch requests before new ones queue (0 = 4x GOMAXPROCS, negative disables admission control)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "requests allowed to wait for an admission slot before the server sheds with 429 (0 = 2x -max-inflight)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -252,6 +259,14 @@ func run(cfg config) error {
 		CapturePath:        cfg.capture,
 		CaptureSampleN:     cfg.captureSample,
 		CaptureBudgetBytes: cfg.captureBudget,
+		QueryTimeout:       cfg.queryTimeout,
+		MaxInflight:        cfg.maxInflight,
+		MaxQueue:           cfg.maxQueue,
+	}
+	if cfg.queryTimeout == 0 {
+		// The flag's explicit 0 means "no deadline"; the Options zero value
+		// means "server default", so express disabled as negative.
+		sopts.QueryTimeout = -1
 	}
 
 	start := time.Now()
@@ -335,6 +350,10 @@ func run(cfg config) error {
 		return err
 	case sig := <-stop:
 		logger.Info("shutting down", "signal", sig.String())
+		// Flip /readyz to 503 before closing the listener: load balancers
+		// probing readiness stop routing here while Shutdown drains the
+		// requests already in flight.
+		srv.SetReady(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := hs.Shutdown(ctx)

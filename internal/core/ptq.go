@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"xmatch/internal/mapping"
 	"xmatch/internal/twig"
@@ -112,6 +113,16 @@ func Evaluate(q *Query, set *mapping.Set, doc *xmltree.Document, bt *BlockTree) 
 // internal/engine split the relevant mappings into chunks and evaluate the
 // chunks concurrently, each with its own memoization cache.
 func EvaluateSubset(q *Query, emb twig.Embedding, set *mapping.Set, doc *xmltree.Document, bt *BlockTree, relevant []int) map[int][]twig.Match {
+	return EvaluateSubsetStop(q, emb, set, doc, bt, relevant, nil)
+}
+
+// EvaluateSubsetStop is EvaluateSubset with a cooperative cancellation
+// flag: the per-mapping evaluation loops poll stop between units of work
+// and bail out with whatever they have computed so far. A caller that arms
+// stop must treat the output as partial once the flag is set — the serving
+// layer discards it and answers with a timeout instead. A nil stop is
+// never polled, so the uncancellable path pays one nil check per mapping.
+func EvaluateSubsetStop(q *Query, emb twig.Embedding, set *mapping.Set, doc *xmltree.Document, bt *BlockTree, relevant []int, stop *atomic.Bool) map[int][]twig.Match {
 	if len(relevant) == 0 {
 		return nil
 	}
@@ -119,7 +130,7 @@ func EvaluateSubset(q *Query, emb twig.Embedding, set *mapping.Set, doc *xmltree
 	for _, mi := range relevant {
 		relevantSet.Add(mi)
 	}
-	return evalTree(q, emb, q.Pattern.Root, set, doc, bt, relevant, relevantSet, &evalCache{matches: map[string][]twig.Match{}})
+	return evalTree(q, emb, q.Pattern.Root, set, doc, bt, relevant, relevantSet, &evalCache{matches: map[string][]twig.Match{}, stop: stop})
 }
 
 // EvaluateTopK answers the top-k PTQ (Definition 5): only the k relevant
@@ -240,7 +251,14 @@ func bindingNests(qn *twig.Node, binding twig.PathBinding) bool {
 // Algorithm 4 — and hence the sharing driven by c-blocks — is unaffected.
 type evalCache struct {
 	matches map[string][]twig.Match
+	// stop, when non-nil, is polled between per-mapping evaluation units;
+	// once set, evalTree returns partial output immediately (the caller
+	// discards it — see EvaluateSubsetStop).
+	stop *atomic.Bool
 }
+
+// stopped reports whether the evaluation's caller requested cancellation.
+func (c *evalCache) stopped() bool { return c.stop != nil && c.stop.Load() }
 
 func (c *evalCache) get(key string) ([]twig.Match, bool) {
 	m, ok := c.matches[key]
@@ -265,6 +283,9 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 		// block's relevant mappings.
 		covered := mapping.NewIDSet(set.Len())
 		for _, b := range bt.Blocks[t] {
+			if cache.stopped() {
+				return out
+			}
 			share := b.M.Intersect(relevantSet)
 			if share.IsEmpty() {
 				continue
@@ -278,6 +299,9 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 		// Mappings not covered by any block are evaluated directly.
 		rest := relevantSet.Clone().SubtractWith(covered)
 		for _, mi := range rest.IDs() {
+			if cache.stopped() {
+				return out
+			}
 			out[mi] = cachedSubtreeEval(q, emb, qn, mi, set, doc, cache)
 		}
 		return out
@@ -295,6 +319,9 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 		// matcher-level result memo instead of being re-joined per
 		// mapping.
 		for _, mi := range relevant {
+			if cache.stopped() {
+				return out
+			}
 			out[mi] = cachedSubtreeEval(q, emb, qn, mi, set, doc, cache)
 		}
 		return out
@@ -305,6 +332,9 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 	root0 := &twig.Node{Label: qn.Label, Axis: qn.Axis, Value: qn.Value, HasValue: qn.HasValue, Index: qn.Index}
 	r0 := make(map[int][]twig.Match, len(relevant))
 	for _, mi := range relevant {
+		if cache.stopped() {
+			return r0
+		}
 		m := set.Mappings[mi]
 		s, _ := m.SourceFor(elemID)
 		key := string(appendNodeKey(make([]byte, 0, 16), 'n', qn.Index, s))
@@ -324,6 +354,9 @@ func evalTree(q *Query, emb twig.Embedding, qn *twig.Node, set *mapping.Set,
 	}
 	joined := r0
 	for _, c := range qn.Children {
+		if cache.stopped() {
+			return joined
+		}
 		rc := evalTree(q, emb, c, set, doc, bt, relevant, relevantSet, cache)
 		next := make(map[int][]twig.Match, len(relevant))
 		// Mappings whose operand lists are the same slices (the subtree

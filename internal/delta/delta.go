@@ -126,6 +126,7 @@ type Stats struct {
 type Handle struct {
 	mu       sync.Mutex
 	cur      atomic.Pointer[Snapshot]
+	changed  atomic.Pointer[chan struct{}] // closed-and-replaced on publish
 	batches  atomic.Uint64
 	edits    atomic.Uint64
 	applyLat *obs.Histogram // per-batch apply latency, lock-wait excluded
@@ -142,12 +143,30 @@ func Open(doc *xmltree.Document) *Handle {
 	}
 	h := &Handle{applyLat: obs.NewHistogram(nil)}
 	h.cur.Store(&Snapshot{Doc: doc, Index: ix, Epoch: ix.Epoch()})
+	ch := make(chan struct{})
+	h.changed.Store(&ch)
 	return h
 }
 
 // Snapshot returns the current snapshot. The returned pair never changes;
 // later mutations publish new snapshots instead.
 func (h *Handle) Snapshot() *Snapshot { return h.cur.Load() }
+
+// Changed returns a channel closed the next time a snapshot is published
+// (ApplyLogged or Adopt). Each publication closes the current channel and
+// installs a fresh one, so an epoch waiter loops: read the epoch, grab
+// Changed(), re-check the epoch (a publish between the two steps would
+// otherwise be missed), then select on the channel alongside its
+// deadline/cancellation — no polling.
+func (h *Handle) Changed() <-chan struct{} { return *h.changed.Load() }
+
+// publish swaps in snap and wakes epoch waiters. Must run under h.mu.
+func (h *Handle) publish(snap *Snapshot) {
+	h.cur.Store(snap)
+	next := make(chan struct{})
+	old := h.changed.Swap(&next)
+	close(*old)
+}
 
 // Stats returns the handle's mutation counters.
 func (h *Handle) Stats() Stats {
@@ -214,7 +233,7 @@ func (h *Handle) ApplyLogged(edits []Edit, log func(epoch uint64, edits []Edit) 
 		}
 	}
 	snap := &Snapshot{Doc: doc, Index: ix, Epoch: ix.Epoch()}
-	h.cur.Store(snap)
+	h.publish(snap)
 	h.batches.Add(1)
 	h.edits.Add(uint64(len(edits)))
 	h.applyLat.Observe(time.Since(start))
@@ -247,7 +266,7 @@ func (h *Handle) Adopt(doc *xmltree.Document) (*Snapshot, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	snap := &Snapshot{Doc: doc, Index: ix, Epoch: ix.Epoch()}
-	h.cur.Store(snap)
+	h.publish(snap)
 	return snap, nil
 }
 

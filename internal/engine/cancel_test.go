@@ -1,0 +1,214 @@
+package engine_test
+
+// Cancellation tests: WithContext views must stop promptly once their
+// context ends, must release every admission slot they reserved (the
+// cancel-storm tests assert Busy() == 0 afterwards under -race), and
+// must change nothing when the context stays live — the differential
+// check pins canceled==never-canceled output equality.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xmatch/internal/core"
+	"xmatch/internal/dataset"
+	"xmatch/internal/engine"
+)
+
+func TestWithContextNoDeadlineIsIdentity(t *testing.T) {
+	e := engine.New(engine.Options{Workers: 4})
+	if got := e.WithContext(context.Background()); got != e {
+		t.Fatal("WithContext(Background) allocated a view")
+	}
+	if got := e.WithContext(nil); got != e { //nolint:staticcheck // nil ctx tolerance is part of the contract
+		t.Fatal("WithContext(nil) allocated a view")
+	}
+}
+
+func TestWithContextLiveIsTransparent(t *testing.T) {
+	fix := newDiffFixture(t)
+	set := randomSubSet(t, fix.base, newRng(3))
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range dataset.Queries() {
+		q, err := core.PrepareQuery(spec.Text, set)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		want := core.Evaluate(q, set, fix.doc, bt)
+		for _, w := range []int{1, 4} {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+			e := engine.New(engine.Options{Workers: w}).WithContext(ctx)
+			got := e.Evaluate(q, set, fix.doc, bt)
+			assertSameResults(t, fmt.Sprintf("%s workers=%d", spec.ID, w), want, got)
+			gotB := e.EvaluateBasic(q, set, fix.doc)
+			wantB := core.EvaluateBasic(q, set, fix.doc)
+			assertSameResults(t, fmt.Sprintf("%s basic workers=%d", spec.ID, w), wantB, gotB)
+			cancel()
+		}
+	}
+}
+
+func TestPreCanceledEvaluatesNothing(t *testing.T) {
+	fix := newDiffFixture(t)
+	set := randomSubSet(t, fix.base, newRng(5))
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := engine.New(engine.Options{Workers: 4}).WithContext(ctx)
+	// Evaluation on a dead context returns promptly; the (partial) output
+	// is unspecified and discarded by callers, so only termination and
+	// slot accounting are asserted here.
+	spec := dataset.Queries()[0]
+	q, err := core.PrepareQuery(spec.Text, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Evaluate(q, set, fix.doc, bt)
+	_ = e.EvaluateBasic(q, set, fix.doc)
+	resps := e.EvaluateBatch(set, fix.doc, bt, []engine.Request{{Pattern: spec.Text}})
+	if len(resps) != 1 || !errors.Is(resps[0].Err, engine.ErrCanceled) {
+		t.Fatalf("batch on dead context: want ErrCanceled, got %+v", resps)
+	}
+	if busy := e.Busy(); busy != 0 {
+		t.Fatalf("busy slots after canceled evaluation: %d", busy)
+	}
+}
+
+// TestCancelStormReleasesSlots is the admission-slot leak check from the
+// acceptance criteria: a storm of concurrent evaluations on Sub views is
+// canceled mid-flight, and once every call returns the engine's gate must
+// be empty — a canceled request frees all engine admission slots.
+func TestCancelStormReleasesSlots(t *testing.T) {
+	fix := newDiffFixture(t)
+	set := randomSubSet(t, fix.base, newRng(7))
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := dataset.Queries()
+	root := engine.New(engine.Options{Workers: 8, SlotWait: 50 * time.Millisecond})
+
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				e := root.Sub(2 + g%3).WithContext(ctx)
+				for i := 0; i < 8; i++ {
+					spec := specs[(g+i)%len(specs)]
+					q, err := e.Prepare(spec.Text, set)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					switch i % 3 {
+					case 0:
+						_ = e.Evaluate(q, set, fix.doc, bt)
+					case 1:
+						_ = e.EvaluateBasic(q, set, fix.doc)
+					default:
+						_ = e.EvaluateTopK(q, set, fix.doc, bt, 5)
+					}
+				}
+			}(g)
+		}
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		cancel()
+		wg.Wait()
+		if busy := root.Busy(); busy != 0 {
+			t.Fatalf("round %d: %d slots still reserved after cancel storm", round, busy)
+		}
+	}
+}
+
+// TestCancelStormAcrossReleasesSlots repeats the storm over a sharded
+// collection through the scatter-gather evaluators.
+func TestCancelStormAcrossReleasesSlots(t *testing.T) {
+	fix := newCollFixture(t, 4, 4000)
+	set := randomSubSet(t, fix.base, newRng(9))
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := dataset.Queries()
+	root := engine.New(engine.Options{Workers: 8})
+	sh := engine.Shards{Docs: fix.members}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e := root.Sub(4).WithContext(ctx)
+			for i := 0; i < 6; i++ {
+				spec := specs[(g+i)%len(specs)]
+				q, err := e.Prepare(spec.Text, set)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					_ = e.EvaluateAcross(q, set, sh, bt)
+				case 1:
+					_ = e.EvaluateBasicAcross(q, set, sh)
+				default:
+					_ = e.EvaluateTopKAcross(q, set, sh, bt, 5)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if busy := root.Busy(); busy != 0 {
+		t.Fatalf("%d slots still reserved after across cancel storm", busy)
+	}
+}
+
+// TestSlotWaitTransparent pins that a bounded slot wait changes admission
+// timing only, never results: a saturated pool with SlotWait armed still
+// returns output identical to the sequential oracle.
+func TestSlotWaitTransparent(t *testing.T) {
+	fix := newDiffFixture(t)
+	set := randomSubSet(t, fix.base, newRng(13))
+	bt, err := core.Build(set, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.Options{Workers: 2, SlotWait: 20 * time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, spec := range dataset.Queries() {
+				q, err := core.PrepareQuery(spec.Text, set)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := core.Evaluate(q, set, fix.doc, bt)
+				got := e.Evaluate(q, set, fix.doc, bt)
+				assertSameResults(t, fmt.Sprintf("goroutine %d %s", g, spec.ID), want, got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if busy := e.Busy(); busy != 0 {
+		t.Fatalf("%d slots still reserved after saturated slot-wait run", busy)
+	}
+}

@@ -72,15 +72,26 @@ func (e *Engine) EvaluateBasicAcross(q *core.Query, set *mapping.Set, sh Shards)
 	subs := e.shardSubs(len(sh.Docs))
 	results := core.NewResultMerger(set)
 	for _, emb := range q.Embeddings {
+		if e.canceled() {
+			break
+		}
 		relevant := core.FilterMappings(set, emb)
 		perShard := make([][][]twig.Match, len(sh.Docs))
 		e.parallelRanges(len(sh.Docs), len(sh.Docs), func(_, lo, hi int) {
 			for s := lo; s < hi; s++ {
+				if e.canceled() {
+					return
+				}
 				start := time.Now()
 				perShard[s] = subs[s].basicMatches(q, emb, relevant, set, sh.Docs[s])
 				sh.observe(s, time.Since(start))
 			}
 		})
+		if e.canceled() {
+			// A canceled scatter may have skipped shards entirely, leaving
+			// nil per-shard slices; the output is discarded anyway.
+			break
+		}
 		streams := make([][]twig.Match, len(sh.Docs))
 		for i, mi := range relevant {
 			for s := range perShard {
@@ -98,6 +109,9 @@ func (e *Engine) basicMatches(q *core.Query, emb twig.Embedding, relevant []int,
 	matches := make([][]twig.Match, len(relevant))
 	e.parallelRanges(len(relevant), 4*e.workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if e.canceled() {
+				return
+			}
 			matches[i] = core.EvaluateBasicMapping(q, emb, relevant[i], set, doc)
 		}
 	})
@@ -119,6 +133,9 @@ func (e *Engine) EvaluateAcross(q *core.Query, set *mapping.Set, sh Shards, bt *
 	subs := e.shardSubs(len(sh.Docs))
 	results := core.NewResultMerger(set)
 	for _, emb := range q.Embeddings {
+		if e.canceled() {
+			break
+		}
 		relevant := core.FilterMappings(set, emb)
 		if len(relevant) == 0 {
 			continue
@@ -151,6 +168,9 @@ func (e *Engine) EvaluateTopKAcross(q *core.Query, set *mapping.Set, sh Shards, 
 	subs := e.shardSubs(len(sh.Docs))
 	results := core.NewResultMerger(set)
 	for _, emb := range q.Embeddings {
+		if e.canceled() {
+			break
+		}
 		var relevant []int
 		for _, mi := range core.FilterMappings(set, emb) {
 			if keepSet[mi] {
@@ -175,11 +195,17 @@ func (e *Engine) gatherSubset(q *core.Query, emb twig.Embedding, set *mapping.Se
 	perShard := make([]map[int][]twig.Match, len(sh.Docs))
 	e.parallelRanges(len(sh.Docs), len(sh.Docs), func(_, lo, hi int) {
 		for s := lo; s < hi; s++ {
+			if e.canceled() {
+				return
+			}
 			start := time.Now()
 			perShard[s] = subs[s].subsetMap(q, emb, set, sh.Docs[s], bt, relevant)
 			sh.observe(s, time.Since(start))
 		}
 	})
+	if e.canceled() {
+		return
+	}
 	streams := make([][]twig.Match, len(sh.Docs))
 	for _, mi := range relevant {
 		for s := range perShard {
@@ -198,13 +224,16 @@ func (e *Engine) subsetMap(q *core.Query, emb twig.Embedding, set *mapping.Set,
 	doc *xmltree.Document, bt *core.BlockTree, relevant []int) map[int][]twig.Match {
 
 	if e.workers <= 1 || len(relevant) <= 1 {
-		return core.EvaluateSubset(q, emb, set, doc, bt, relevant)
+		return core.EvaluateSubsetStop(q, emb, set, doc, bt, relevant, e.stop)
 	}
 	chunks := make([]map[int][]twig.Match, min(e.workers, len(relevant)))
 	e.parallelRanges(len(relevant), len(chunks), func(part, lo, hi int) {
-		chunks[part] = core.EvaluateSubset(q, emb, set, doc, bt, relevant[lo:hi])
+		chunks[part] = core.EvaluateSubsetStop(q, emb, set, doc, bt, relevant[lo:hi], e.stop)
 	})
 	out := chunks[0]
+	if out == nil {
+		out = map[int][]twig.Match{}
+	}
 	for _, pm := range chunks[1:] {
 		for mi, m := range pm {
 			out[mi] = m
@@ -229,6 +258,9 @@ func (e *Engine) EvaluateBatchAcross(set *mapping.Set, sh Shards, bt *core.Block
 }
 
 func (e *Engine) answerAcross(set *mapping.Set, sh Shards, bt *core.BlockTree, req Request) Response {
+	if e.canceled() {
+		return Response{Request: req, Err: ErrCanceled}
+	}
 	q, err := e.Prepare(req.Pattern, set)
 	if err != nil {
 		return Response{Request: req, Err: err}

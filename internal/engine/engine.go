@@ -28,6 +28,8 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"xmatch/internal/core"
 	"xmatch/internal/mapping"
@@ -50,6 +52,15 @@ type Options struct {
 	// evicted, so a long-lived engine serving many short-lived sets
 	// should use a small capacity or disable caching.
 	CacheCapacity int
+	// SlotWait bounds how long a spawn may wait for a free pool slot
+	// before falling back to inline execution on the calling goroutine.
+	// 0 (the default) keeps the instant fallback — a spawn that finds the
+	// pool exhausted immediately does the work itself. A positive wait
+	// smooths admission under load bursts without risking deadlock: the
+	// inline fallback still guarantees progress, waits are cut short when
+	// a WithContext view's context is canceled, and the wait time and
+	// waiter count are exported by CollectMetrics.
+	SlotWait time.Duration
 }
 
 // DefaultCacheCapacity is the prepared-query cache capacity when Options
@@ -73,6 +84,21 @@ type Engine struct {
 	// parents' — a goroutine counts against every enclosing budget.
 	gates []chan struct{}
 	cache *queryCache
+
+	// slotWait is Options.SlotWait; waiters counts goroutines currently
+	// blocked in acquireWait and waitLat records how long successful
+	// waited acquisitions took. Both are owned by the root engine and
+	// shared (by pointer) with every Sub/WithContext view.
+	slotWait time.Duration
+	waiters  *atomic.Int64
+	waitLat  *obs.Histogram
+
+	// stop and done are set by WithContext: stop flips when the view's
+	// context ends (polled by evaluation loops), done is the context's
+	// Done channel (selected on by bounded slot waits). Both nil on an
+	// engine without a context view.
+	stop *atomic.Bool
+	done <-chan struct{}
 }
 
 // New returns an engine with the given options.
@@ -81,7 +107,13 @@ func New(opts Options) *Engine {
 	if w < 1 {
 		w = 1
 	}
-	e := &Engine{workers: w, cache: newQueryCache(opts.CacheCapacity)}
+	e := &Engine{
+		workers:  w,
+		cache:    newQueryCache(opts.CacheCapacity),
+		slotWait: opts.SlotWait,
+		waiters:  new(atomic.Int64),
+		waitLat:  obs.NewHistogram(nil),
+	}
 	if w > 1 {
 		e.gates = []chan struct{}{make(chan struct{}, w-1)}
 	}
@@ -103,16 +135,32 @@ func (e *Engine) Sub(n int) *Engine {
 	if n <= 0 || n >= e.workers {
 		return e
 	}
-	sub := &Engine{workers: n, cache: e.cache}
+	sub := *e
+	sub.workers = n
+	sub.gates = nil
 	if n > 1 {
 		sub.gates = append([]chan struct{}{make(chan struct{}, n-1)}, e.gates...)
 	}
-	return sub
+	return &sub
 }
 
-// acquire reserves one slot in every gate without blocking, releasing any
-// partial reservation on failure.
+// acquire reserves one slot in every gate, releasing any partial
+// reservation on failure. Without a slot-wait budget it never blocks; with
+// one it waits up to the budget — cut short when the view's context ends —
+// before giving up, so admission can slow a spawn but never wedge it (the
+// caller falls back to running the work inline either way).
 func (e *Engine) acquire() bool {
+	if e.acquireFast() {
+		return true
+	}
+	if e.slotWait <= 0 || e.canceled() {
+		return false
+	}
+	return e.acquireWait()
+}
+
+// acquireFast is the non-blocking admission pass.
+func (e *Engine) acquireFast() bool {
 	for i, g := range e.gates {
 		select {
 		case g <- struct{}{}:
@@ -123,6 +171,34 @@ func (e *Engine) acquire() bool {
 			return false
 		}
 	}
+	return true
+}
+
+// acquireWait is the bounded blocking admission pass: one timer spans all
+// gates, so the total wait never exceeds slotWait even on a Sub view's
+// chained gates.
+func (e *Engine) acquireWait() bool {
+	e.waiters.Add(1)
+	defer e.waiters.Add(-1)
+	start := time.Now()
+	timer := time.NewTimer(e.slotWait)
+	defer timer.Stop()
+	for i, g := range e.gates {
+		select {
+		case g <- struct{}{}:
+		case <-timer.C:
+			for j := 0; j < i; j++ {
+				<-e.gates[j]
+			}
+			return false
+		case <-e.done:
+			for j := 0; j < i; j++ {
+				<-e.gates[j]
+			}
+			return false
+		}
+	}
+	e.waitLat.Observe(time.Since(start))
 	return true
 }
 
@@ -181,6 +257,8 @@ func (e *Engine) CollectMetrics(x *obs.Exporter, labels ...obs.Label) {
 	x.Counter("xmatch_engine_prepare_cache_misses_total", "Prepared-query cache misses.", float64(cs.Misses), labels...)
 	x.Counter("xmatch_engine_prepare_cache_evictions_total", "Prepared-query cache evictions.", float64(cs.Evictions), labels...)
 	x.Gauge("xmatch_engine_prepare_cache_entries", "Prepared queries currently cached.", float64(cs.Entries), labels...)
+	x.Gauge("xmatch_engine_slot_waiters", "Goroutines currently waiting for a pool slot.", float64(e.waiters.Load()), labels...)
+	x.Histogram("xmatch_engine_slot_wait_seconds", "Wait time of pool-slot acquisitions that blocked and succeeded.", e.waitLat.Snapshot(), labels...)
 }
 
 // EvaluateBasic answers the PTQ with a parallel Algorithm 3: the relevant
@@ -188,16 +266,22 @@ func (e *Engine) CollectMetrics(x *obs.Exporter, labels ...obs.Label) {
 // concurrently, then merged in mapping order. Results are identical to
 // core.EvaluateBasic.
 func (e *Engine) EvaluateBasic(q *core.Query, set *mapping.Set, doc *xmltree.Document) []core.Result {
-	if e.workers <= 1 {
+	if e.workers <= 1 && e.stop == nil {
 		return core.EvaluateBasic(q, set, doc)
 	}
 	results := core.NewResultMerger(set)
 	for _, emb := range q.Embeddings {
+		if e.canceled() {
+			break
+		}
 		relevant := core.FilterMappings(set, emb)
 		matches := make([][]twig.Match, len(relevant))
 		// Per-mapping tasks are small, so over-chunk 4x for balance.
 		e.parallelRanges(len(relevant), 4*e.workers, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
+				if e.canceled() {
+					return
+				}
 				matches[i] = core.EvaluateBasicMapping(q, emb, relevant[i], set, doc)
 			}
 		})
@@ -215,11 +299,14 @@ func (e *Engine) EvaluateBasic(q *core.Query, set *mapping.Set, doc *xmltree.Doc
 // outputs — which are disjoint across chunks — are merged. Results are
 // identical to core.Evaluate.
 func (e *Engine) Evaluate(q *core.Query, set *mapping.Set, doc *xmltree.Document, bt *core.BlockTree) []core.Result {
-	if e.workers <= 1 {
+	if e.workers <= 1 && e.stop == nil {
 		return core.Evaluate(q, set, doc, bt)
 	}
 	results := core.NewResultMerger(set)
 	for _, emb := range q.Embeddings {
+		if e.canceled() {
+			break
+		}
 		e.evalSubsetChunked(q, emb, set, doc, bt, core.FilterMappings(set, emb), results)
 	}
 	return results.Finish()
@@ -229,7 +316,7 @@ func (e *Engine) Evaluate(q *core.Query, set *mapping.Set, doc *xmltree.Document
 // most probable relevant mappings. Results are identical to
 // core.EvaluateTopK.
 func (e *Engine) EvaluateTopK(q *core.Query, set *mapping.Set, doc *xmltree.Document, bt *core.BlockTree, k int) []core.Result {
-	if e.workers <= 1 {
+	if e.workers <= 1 && e.stop == nil {
 		return core.EvaluateTopK(q, set, doc, bt, k)
 	}
 	if k <= 0 {
@@ -241,6 +328,9 @@ func (e *Engine) EvaluateTopK(q *core.Query, set *mapping.Set, doc *xmltree.Docu
 	}
 	results := core.NewResultMerger(set)
 	for _, emb := range q.Embeddings {
+		if e.canceled() {
+			break
+		}
 		var relevant []int
 		for _, mi := range core.FilterMappings(set, emb) {
 			if keepSet[mi] {
@@ -266,7 +356,7 @@ func (e *Engine) evalSubsetChunked(q *core.Query, emb twig.Embedding, set *mappi
 	}
 	chunks := make([]map[int][]twig.Match, min(e.workers, len(relevant)))
 	e.parallelRanges(len(relevant), len(chunks), func(part, lo, hi int) {
-		chunks[part] = core.EvaluateSubset(q, emb, set, doc, bt, relevant[lo:hi])
+		chunks[part] = core.EvaluateSubsetStop(q, emb, set, doc, bt, relevant[lo:hi], e.stop)
 	})
 	for _, pm := range chunks {
 		for mi, matches := range pm {
@@ -315,6 +405,9 @@ func (e *Engine) EvaluateBatch(set *mapping.Set, doc *xmltree.Document, bt *core
 }
 
 func (e *Engine) answer(set *mapping.Set, doc *xmltree.Document, bt *core.BlockTree, req Request) Response {
+	if e.canceled() {
+		return Response{Request: req, Err: ErrCanceled}
+	}
 	q, err := e.Prepare(req.Pattern, set)
 	if err != nil {
 		return Response{Request: req, Err: err}
@@ -350,6 +443,9 @@ func (e *Engine) parallelRanges(n, parts int, fn func(part, lo, hi int)) {
 	}
 	var wg sync.WaitGroup
 	for p := 0; p < parts; p++ {
+		if e.canceled() {
+			break
+		}
 		p, lo, hi := p, p*n/parts, (p+1)*n/parts
 		if lo == hi {
 			continue

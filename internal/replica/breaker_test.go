@@ -1,0 +1,98 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, BaseCooldown: time.Second, MaxCooldown: time.Minute, Jitter: -1, Seed: 1})
+	now := time.Unix(0, 0)
+	if !b.Allow(now) {
+		t.Fatal("fresh breaker rejected")
+	}
+	b.Failure(now)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 1 failure: %v", b.State())
+	}
+	// Pre-threshold backoff: rejected until base elapses, admitted after.
+	if b.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("attempt admitted inside backoff window")
+	}
+	now = now.Add(time.Second)
+	if !b.Allow(now) {
+		t.Fatal("attempt rejected after backoff elapsed")
+	}
+	b.Failure(now)
+	now = now.Add(2 * time.Second) // 2nd failure backs off base*2
+	if !b.Allow(now) {
+		t.Fatal("attempt rejected after doubled backoff")
+	}
+	b.Failure(now)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after %d failures: %v", 3, b.State())
+	}
+	if b.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker admitted inside cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, BaseCooldown: time.Second, MaxCooldown: time.Minute, Jitter: -1, Seed: 1})
+	now := time.Unix(0, 0)
+	b.Failure(now)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state: %v", b.State())
+	}
+	now = now.Add(time.Second)
+	if !b.Allow(now) {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission: %v", b.State())
+	}
+	if b.Allow(now) {
+		t.Fatal("second probe admitted while first in flight")
+	}
+	// Failed probe reopens with doubled cooldown.
+	b.Failure(now)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe: %v", b.State())
+	}
+	if b.Allow(now.Add(1500 * time.Millisecond)) {
+		t.Fatal("reopened breaker admitted before doubled cooldown")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow(now) {
+		t.Fatal("probe rejected after doubled cooldown")
+	}
+	// Successful probe closes and resets.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after success: %v", b.State())
+	}
+	if !b.Allow(now) {
+		t.Fatal("closed breaker rejected")
+	}
+	st := b.Status(now)
+	if st.State != "closed" || st.ConsecutiveFailures != 0 || st.Opens != 2 {
+		t.Fatalf("status after recovery: %+v", st)
+	}
+}
+
+func TestBreakerCooldownCapped(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, BaseCooldown: time.Second, MaxCooldown: 4 * time.Second, Jitter: -1, Seed: 1})
+	now := time.Unix(0, 0)
+	b.Failure(now)
+	for i := 0; i < 6; i++ { // keep failing probes; cooldown must cap at 4s
+		now = now.Add(4 * time.Second)
+		if !b.Allow(now) {
+			t.Fatalf("probe %d rejected after max cooldown", i)
+		}
+		b.Failure(now)
+	}
+	st := b.Status(now)
+	if st.RetryInMs > 4000 {
+		t.Fatalf("cooldown exceeded cap: %+v", st)
+	}
+}

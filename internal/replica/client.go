@@ -60,6 +60,19 @@ type Client struct {
 	// HTTP is the underlying client; nil uses a default with a 30s
 	// timeout.
 	HTTP *http.Client
+	// Fault, when non-nil, is consulted before every HTTP operation with
+	// its name ("stream", "checkpoint", "manifest"); a returned error is
+	// surfaced as that operation's failure without touching the network —
+	// the chaos suites' injection point for partition and flake faults.
+	Fault func(op string) error
+}
+
+// fault applies the injection hook for one operation.
+func (c *Client) fault(op string) error {
+	if c.Fault == nil {
+		return nil
+	}
+	return c.Fault(op)
 }
 
 func (c *Client) http() *http.Client {
@@ -95,6 +108,9 @@ func parseEpochHeader(resp *http.Response) (uint64, error) {
 // response body is a literal edit-log blob based at from — the same
 // format the durable log uses on disk — so both sides share one codec.
 func (c *Client) Stream(dataset string, shard int, from uint64) (*StreamResult, error) {
+	if err := c.fault("stream"); err != nil {
+		return nil, fmt.Errorf("replica: stream %s/%d: %w", dataset, shard, err)
+	}
 	reqBody, err := json.Marshal(StreamRequest{Dataset: dataset, Shard: shard, From: from})
 	if err != nil {
 		return nil, err
@@ -151,6 +167,9 @@ func (c *Client) Stream(dataset string, shard int, from uint64) (*StreamResult, 
 // reassembled with its exact numbering, index verified against it, epoch
 // stamped.
 func (c *Client) Checkpoint(dataset string, shard int) (*store.Checkpoint, error) {
+	if err := c.fault("checkpoint"); err != nil {
+		return nil, fmt.Errorf("replica: checkpoint %s/%d: %w", dataset, shard, err)
+	}
 	url := fmt.Sprintf("%s%s?dataset=%s&shard=%d", c.Base, CheckpointEndpoint, dataset, shard)
 	resp, err := c.http().Get(url)
 	if err != nil {
@@ -171,6 +190,9 @@ func (c *Client) Checkpoint(dataset string, shard int) (*store.Checkpoint, error
 // builds the same datasets locally before replaying the primary's edits
 // on top.
 func (c *Client) Manifest() (*store.Catalog, error) {
+	if err := c.fault("manifest"); err != nil {
+		return nil, fmt.Errorf("replica: manifest: %w", err)
+	}
 	resp, err := c.http().Get(c.Base + ManifestEndpoint)
 	if err != nil {
 		return nil, fmt.Errorf("replica: manifest: %w", err)

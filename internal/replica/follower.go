@@ -38,6 +38,11 @@ type Lag struct {
 	Bootstraps uint64 `json:"bootstraps,omitempty"`
 	SyncErrors uint64 `json:"syncErrors,omitempty"`
 	LastError  string `json:"lastError,omitempty"`
+	// Breaker is the shard's sync circuit breaker as of the read —
+	// "closed" / "open" / "half-open", with its failure streak, cumulative
+	// opens, and the wait until the next admitted attempt. Populated by
+	// Lags/MaxLag, not stored.
+	Breaker *BreakerStatus `json:"breaker,omitempty"`
 }
 
 // Follower replays a primary's edit streams onto local handles. One
@@ -59,8 +64,16 @@ type Follower struct {
 	// slog.Default(). Set before Run starts.
 	Logger *slog.Logger
 
+	// BreakerConfig tunes the per-shard sync circuit breakers (zero
+	// values get defaults). Set before the first Sync; breakers are
+	// created lazily per shard with whatever the field holds then.
+	BreakerConfig BreakerConfig
+
 	mu      sync.Mutex // serializes sync passes
 	targets map[string][]*Target
+
+	bkMu     sync.Mutex
+	breakers map[string][]*Breaker
 
 	lagMu sync.Mutex
 	lag   map[string][]Lag
@@ -74,9 +87,22 @@ func NewFollower(client *Client) *Follower {
 	return &Follower{
 		client:    client,
 		targets:   make(map[string][]*Target),
+		breakers:  make(map[string][]*Breaker),
 		lag:       make(map[string][]Lag),
 		replayLat: obs.NewHistogram(nil),
 	}
+}
+
+// breaker returns (creating if needed) the circuit breaker of one shard.
+func (f *Follower) breaker(dataset string, shard int) *Breaker {
+	f.bkMu.Lock()
+	defer f.bkMu.Unlock()
+	bs := f.breakers[dataset]
+	for len(bs) <= shard {
+		bs = append(bs, NewBreaker(f.BreakerConfig))
+	}
+	f.breakers[dataset] = bs
+	return bs[shard]
 }
 
 // Primary returns the primary's base URL.
@@ -92,16 +118,23 @@ func (f *Follower) SetTargets(dataset string, ts []*Target) {
 	f.lagMu.Unlock()
 }
 
-// Lags returns the per-shard lag of one dataset (copy; nil if unknown).
+// Lags returns the per-shard lag of one dataset (copy; nil if unknown),
+// each row annotated with its breaker's current status.
 func (f *Follower) Lags(dataset string) []Lag {
 	f.lagMu.Lock()
-	defer f.lagMu.Unlock()
 	ls, ok := f.lag[dataset]
 	if !ok {
+		f.lagMu.Unlock()
 		return nil
 	}
 	out := make([]Lag, len(ls))
 	copy(out, ls)
+	f.lagMu.Unlock()
+	now := time.Now()
+	for i := range out {
+		st := f.breaker(dataset, i).Status(now)
+		out[i].Breaker = &st
+	}
 	return out
 }
 
@@ -116,7 +149,10 @@ func (f *Follower) setLag(dataset string, shard int, update func(*Lag)) {
 // Sync pulls one dataset level with the primary: every shard streams the
 // records above its current epoch and replays them in order; a shard
 // whose history has been compacted away bootstraps from a checkpoint
-// first. Returns the first error; remaining shards are still attempted.
+// first. A shard whose circuit breaker is cooling down is skipped — not
+// an error; the breaker admits a retry (or a half-open probe) once its
+// backoff elapses. Returns the first error; remaining shards are still
+// attempted.
 func (f *Follower) Sync(dataset string) error {
 	f.mu.Lock()
 	ts := f.targets[dataset]
@@ -126,8 +162,17 @@ func (f *Follower) Sync(dataset string) error {
 	}
 	var first error
 	for i, t := range ts {
-		if err := f.syncShard(dataset, i, t); err != nil && first == nil {
-			first = err
+		b := f.breaker(dataset, i)
+		if !b.Allow(time.Now()) {
+			continue
+		}
+		if err := f.syncShard(dataset, i, t); err != nil {
+			b.Failure(time.Now())
+			if first == nil {
+				first = err
+			}
+		} else {
+			b.Success()
 		}
 	}
 	f.mu.Unlock()
@@ -241,13 +286,17 @@ func (f *Follower) bootstrap(dataset string, shard int, t *Target) error {
 // known epoch gap was zero). ok is false when no shard is registered.
 func (f *Follower) MaxLag() (dataset string, shard int, lag Lag, ok bool) {
 	f.lagMu.Lock()
-	defer f.lagMu.Unlock()
 	for name, ls := range f.lag {
 		for i := range ls {
 			if !ok || ls[i].EpochsBehind > lag.EpochsBehind {
 				dataset, shard, lag, ok = name, i, ls[i], true
 			}
 		}
+	}
+	f.lagMu.Unlock()
+	if ok {
+		st := f.breaker(dataset, shard).Status(time.Now())
+		lag.Breaker = &st
 	}
 	return
 }
@@ -263,6 +312,7 @@ func (f *Follower) CollectMetrics(e *obs.Exporter) {
 		lags[name] = out
 	}
 	f.lagMu.Unlock()
+	now := time.Now()
 	for name, ls := range lags {
 		for i, l := range ls {
 			labels := []obs.Label{{Name: "dataset", Value: name}, {Name: "shard", Value: fmt.Sprint(i)}}
@@ -270,6 +320,16 @@ func (f *Follower) CollectMetrics(e *obs.Exporter) {
 			e.Gauge("xmatch_replica_local_epoch", "Follower shard's current epoch.", float64(l.LocalEpoch), labels...)
 			e.Counter("xmatch_replica_bootstraps_total", "Checkpoint bootstraps taken.", float64(l.Bootstraps), labels...)
 			e.Counter("xmatch_replica_sync_errors_total", "Failed sync attempts.", float64(l.SyncErrors), labels...)
+			st := f.breaker(name, i).Status(now)
+			open := 0.0
+			switch st.State {
+			case "open":
+				open = 2
+			case "half-open":
+				open = 1
+			}
+			e.Gauge("xmatch_replica_breaker_state", "Sync circuit breaker position (0 closed, 1 half-open, 2 open).", open, labels...)
+			e.Counter("xmatch_replica_breaker_opens_total", "Times the sync circuit breaker opened.", float64(st.Opens), labels...)
 		}
 	}
 	e.Counter("xmatch_replica_replayed_records_total", "Edit records replayed onto local shards.", float64(f.replayed.Load()))

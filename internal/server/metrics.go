@@ -63,6 +63,15 @@ func (s *Server) collectServer(e *obs.Exporter) {
 		}
 	}
 	e.Counter("xmatch_http_errors_total", "Non-2xx responses across all endpoints.", float64(s.stats.errors.Load()))
+	e.Counter("xmatch_requests_timeout", "Requests answered 503 because their deadline fired before the work finished.", float64(s.stats.timeouts.Load()))
+	e.Counter("xmatch_requests_shed_total", "Requests answered 429 by the admission gate (queue full).", float64(s.stats.shed.Load()))
+	e.Counter("xmatch_http_panics_total", "Handler panics recovered into 500 responses.", float64(s.stats.panics.Load()))
+	e.Gauge("xmatch_ready", "Whether /readyz reports ready (0 while draining for shutdown).", boolGauge(s.ready.Load()))
+	if s.adm != nil {
+		e.Gauge("xmatch_admission_in_flight", "Admitted query/batch evaluations currently holding a slot.", float64(s.adm.inFlight()))
+		e.Gauge("xmatch_admission_queue_depth", "Requests currently waiting for an admission slot.", float64(s.adm.queueDepth()))
+		e.Histogram("xmatch_admission_wait_seconds", "Time queued requests waited for an admission slot.", s.adm.waitLat.Snapshot())
+	}
 	e.Counter("xmatch_reloads_total", "Successful catalog reloads.", float64(s.stats.reloads.Load()))
 	e.Counter("xmatch_edits_applied_total", "Edits applied through /v1/admin/mutate.", float64(s.stats.edits.Load()))
 	finished, sampled := s.traces.Counts()
@@ -105,7 +114,15 @@ func (s *Server) collectWorkload(e *obs.Exporter) {
 		e.Counter("xmatch_capture_dropped_total", "Requests dropped because the capture budget was exhausted.", float64(st.DroppedOver))
 		e.Gauge("xmatch_capture_bytes", "Bytes written to the capture log.", float64(st.BytesWritten))
 		e.Gauge("xmatch_capture_budget_bytes", "Configured capture disk budget.", float64(st.BudgetBytes))
+		e.Gauge("xmatch_capture_disabled", "Whether a write error permanently disabled the capture log.", boolGauge(st.Disabled))
 	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (s *Server) collectCatalog(e *obs.Exporter) {

@@ -188,6 +188,14 @@ type FollowerOptions struct {
 	// HTTP overrides the client used to reach the primary (nil = default
 	// with a 30s timeout).
 	HTTP *http.Client
+	// Fault, when set, is consulted before every primary RPC — the
+	// replication fault-injection hook (see internal/fault): a returned
+	// error fails the call before it touches the network, exercising the
+	// follower's retry/backoff/breaker path deterministically.
+	Fault func(op string) error
+	// Breaker tunes the follower's per-shard sync circuit breakers; the
+	// zero value gets the replica package defaults.
+	Breaker replica.BreakerConfig
 }
 
 // NewFollower builds a read replica of the primary at the given base
@@ -200,7 +208,7 @@ type FollowerOptions struct {
 // would need the primary's files shipped, which log shipping does not
 // do.
 func NewFollower(primary string, fopts FollowerOptions) (*Server, *replica.Follower, error) {
-	client := &replica.Client{Base: primary, HTTP: fopts.HTTP}
+	client := &replica.Client{Base: primary, HTTP: fopts.HTTP, Fault: fopts.Fault}
 	loader := func() (*Catalog, error) {
 		man, err := client.Manifest()
 		if err != nil {
@@ -226,6 +234,7 @@ func NewFollower(primary string, fopts FollowerOptions) (*Server, *replica.Follo
 	}
 	f := replica.NewFollower(client)
 	f.Logger = srv.logger
+	f.BreakerConfig = fopts.Breaker
 	// Replays land as structured log lines (debug — they are routine) with
 	// enough detail to correlate against the primary's mutate logs; the
 	// replay latency histogram lives in the follower itself and reaches

@@ -25,11 +25,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -115,6 +118,22 @@ type Options struct {
 	// behind /v1/debug/workload; the rarest fingerprint is evicted past
 	// the cap. 0 means 512.
 	WorkloadFingerprints int
+	// QueryTimeout bounds every /v1 request end to end: the request
+	// context carries the deadline, the engine's evaluators observe it at
+	// their cancellation checkpoints, and an expired request answers 503
+	// with a structured timeout body. A request may tighten (never extend)
+	// the bound with its own timeout_ms. 0 means 30s; negative disables
+	// the server-wide deadline (requests still honor their own timeout_ms
+	// and client disconnects).
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrently evaluating /v1/query and /v1/batch
+	// requests; requests beyond it wait in a bounded queue for a slot.
+	// 0 means 4× GOMAXPROCS; negative disables admission control.
+	MaxInflight int
+	// MaxQueue bounds the requests waiting for an admission slot; past it
+	// the server sheds with 429 + Retry-After instead of queueing work it
+	// cannot drain before the deadline. 0 means 2× MaxInflight.
+	MaxQueue int
 }
 
 // Loader builds a fresh catalog: called once at startup and again on every
@@ -154,6 +173,13 @@ type Server struct {
 	workload *workloadStats
 	capture  *captureLog
 	logger   *slog.Logger
+	// adm is the overload gate for the evaluation-heavy endpoints; nil
+	// when Options.MaxInflight is negative (admission disabled).
+	adm *admission
+	// ready gates /readyz: flipped off by SetReady(false) at the start of
+	// a graceful shutdown so load balancers stop routing before the
+	// listener closes. Liveness (/healthz) is unaffected.
+	ready atomic.Bool
 }
 
 // New builds a server over the loader's initial catalog.
@@ -195,7 +221,20 @@ func New(loader Loader, opts Options) (*Server, error) {
 	if opts.WorkloadFingerprints == 0 {
 		opts.WorkloadFingerprints = 512
 	}
+	if opts.QueryTimeout == 0 {
+		opts.QueryTimeout = 30 * time.Second
+	}
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = 2 * opts.MaxInflight
+	}
 	s := &Server{opts: opts, loader: loader, logger: opts.Logger}
+	if opts.MaxInflight > 0 {
+		s.adm = newAdmission(opts.MaxInflight, opts.MaxQueue)
+	}
+	s.ready.Store(true)
 	s.stats.init(opts.SLOWindow)
 	s.workload = newWorkloadStats(opts.WorkloadFingerprints, opts.SLOWindow)
 	s.traces = obs.NewTraceLog(opts.TraceBufferSize, opts.TraceThreshold)
@@ -208,23 +247,36 @@ func New(loader Loader, opts Options) (*Server, error) {
 		}
 		s.capture = cl
 	}
+	// Every /v1 endpoint runs under guard (request deadline + panic
+	// recovery); the health/stats/metrics probes stay outside it so an
+	// operator can always inspect a struggling server.
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/query", s.timed("query", http.MethodPost, s.stats.latQuery, &s.stats.queries, s.handleQuery))
-	s.mux.HandleFunc("/v1/batch", s.timed("batch", http.MethodPost, s.stats.latBatch, &s.stats.batches, s.handleBatch))
-	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
-	s.mux.HandleFunc("/v1/admin/mutate", s.timed("mutate", http.MethodPost, s.stats.latMutate, &s.stats.mutates, s.handleMutate))
-	s.mux.HandleFunc("/v1/admin/checkpoint", s.timed("checkpoint", http.MethodPost, s.stats.latCheckpoint, &s.stats.checkpoints, s.handleCheckpoint))
-	s.mux.HandleFunc(replica.StreamEndpoint, s.timed("replicate", http.MethodPost, s.stats.latReplicate, &s.stats.replicates, s.handleReplicateStream))
-	s.mux.HandleFunc(replica.CheckpointEndpoint, s.timed("replicate", http.MethodGet, s.stats.latReplicate, &s.stats.replicates, s.handleReplicateCheckpoint))
-	s.mux.HandleFunc(replica.ManifestEndpoint, s.timed("replicate", http.MethodGet, s.stats.latReplicate, &s.stats.replicates, s.handleReplicateManifest))
+	s.mux.HandleFunc("/v1/query", s.timed("query", http.MethodPost, s.stats.latQuery, &s.stats.queries, s.guard("query", s.handleQuery)))
+	s.mux.HandleFunc("/v1/batch", s.timed("batch", http.MethodPost, s.stats.latBatch, &s.stats.batches, s.guard("batch", s.handleBatch)))
+	s.mux.HandleFunc("/v1/datasets", s.guard("datasets", s.handleDatasets))
+	s.mux.HandleFunc("/v1/admin/reload", s.guard("reload", s.handleReload))
+	s.mux.HandleFunc("/v1/admin/mutate", s.timed("mutate", http.MethodPost, s.stats.latMutate, &s.stats.mutates, s.guard("mutate", s.handleMutate)))
+	s.mux.HandleFunc("/v1/admin/checkpoint", s.timed("checkpoint", http.MethodPost, s.stats.latCheckpoint, &s.stats.checkpoints, s.guard("checkpoint", s.handleCheckpoint)))
+	s.mux.HandleFunc(replica.StreamEndpoint, s.timed("replicate", http.MethodPost, s.stats.latReplicate, &s.stats.replicates, s.guard("replicate", s.handleReplicateStream)))
+	s.mux.HandleFunc(replica.CheckpointEndpoint, s.timed("replicate", http.MethodGet, s.stats.latReplicate, &s.stats.replicates, s.guard("replicate", s.handleReplicateCheckpoint)))
+	s.mux.HandleFunc(replica.ManifestEndpoint, s.timed("replicate", http.MethodGet, s.stats.latReplicate, &s.stats.replicates, s.guard("replicate", s.handleReplicateManifest)))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
-	s.mux.HandleFunc("/v1/debug/traces", s.handleTraces)
-	s.mux.HandleFunc("/v1/debug/workload", s.handleDebugWorkload)
+	s.mux.HandleFunc("/v1/debug/traces", s.guard("traces", s.handleTraces))
+	s.mux.HandleFunc("/v1/debug/workload", s.guard("workload", s.handleDebugWorkload))
 	return s, nil
 }
+
+// SetReady flips the /readyz gate. xmatchd calls SetReady(false) when a
+// shutdown signal arrives — before http.Server.Shutdown closes the
+// listener — so load balancers drain the instance while in-flight
+// requests finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the /readyz gate's current position.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Close releases the server's owned resources: today that is the
 // workload-capture file (flushing a final selectivity-profile sidecar).
@@ -313,6 +365,10 @@ type QueryRequest struct {
 	// plus per-shard index-matcher counters. ?explain=1 on the URL does
 	// the same.
 	Explain bool `json:"explain,omitempty"`
+	// TimeoutMs tightens the server's request deadline for this query;
+	// values beyond the server-wide bound are capped to it. 0 uses the
+	// server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /v1/query.
@@ -347,6 +403,9 @@ type BatchRequest struct {
 	// MinEpoch demands read-your-writes for the whole batch; see
 	// QueryRequest.MinEpoch.
 	MinEpoch uint64 `json:"min_epoch,omitempty"`
+	// TimeoutMs tightens the server's request deadline for this batch;
+	// see QueryRequest.TimeoutMs.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // BatchAnswer is one per-query answer within a BatchResponse; Error is set
@@ -481,6 +540,113 @@ func (s *Server) timed(endpoint, method string, h *obs.Windowed, counter *atomic
 	}
 }
 
+// guard wraps a /v1 handler with the fault-tolerance envelope: the
+// server-wide request deadline (Options.QueryTimeout) on the request
+// context, and panic recovery that converts an evaluation panic into a
+// 500 carrying the request ID while the stack goes to the structured
+// log — one broken request must not take the daemon down with it.
+func (s *Server) guard(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.QueryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				id := w.Header().Get("X-Request-Id")
+				s.stats.panics.Add(1)
+				s.logger.Error("handler panic",
+					"endpoint", endpoint,
+					"id", id,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()))
+				s.fail(w, http.StatusInternalServerError, "internal error serving %s (request %s)", endpoint, id)
+			}
+		}()
+		fn(w, r)
+	}
+}
+
+// TimeoutResponse is the body of a 503 produced by an expired request
+// deadline (or a client that went away mid-request).
+type TimeoutResponse struct {
+	Error string `json:"error"`
+	// Stage names where the deadline fired: "queued" (still waiting for
+	// an admission slot), "await_epoch", or "evaluate".
+	Stage string `json:"stage"`
+	// TimeoutMs is the effective bound the request ran under (the
+	// tighter of the server-wide deadline and the request's timeout_ms);
+	// 0 when only the client's own cancellation applied.
+	TimeoutMs float64 `json:"timeoutMs,omitempty"`
+	RequestID string  `json:"requestId,omitempty"`
+}
+
+// failTimeout answers a request whose context ended before its work did:
+// 503 with a structured body naming the stage that was cut short. A
+// client disconnect takes the same path — there is nobody left to read
+// the body, but the counters and log line still record the abort.
+func (s *Server) failTimeout(w http.ResponseWriter, ctx context.Context, stage string, timeout time.Duration) {
+	s.stats.timeouts.Add(1)
+	s.stats.errors.Add(1)
+	msg := "request deadline exceeded"
+	if errors.Is(ctx.Err(), context.Canceled) {
+		msg = "request canceled by client"
+	}
+	resp := TimeoutResponse{
+		Error:     msg + " during " + stage,
+		Stage:     stage,
+		RequestID: w.Header().Get("X-Request-Id"),
+	}
+	if timeout > 0 {
+		resp.TimeoutMs = float64(timeout.Microseconds()) / 1e3
+	}
+	writeJSON(w, http.StatusServiceUnavailable, resp)
+}
+
+// queryTimeout resolves the effective deadline of a request carrying an
+// optional timeout_ms override: the override tightens the server-wide
+// bound, never extends it (the parent context already carries the
+// server's deadline, so an over-large override is a no-op).
+func (s *Server) queryTimeout(timeoutMs int64) time.Duration {
+	timeout := s.opts.QueryTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	if timeoutMs > 0 {
+		if d := time.Duration(timeoutMs) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	return timeout
+}
+
+// admit gates an evaluation-heavy request through the admission queue,
+// writing the shed or timeout response itself when the request cannot
+// proceed. The caller must defer release() when ok.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.adm == nil {
+		return func() {}, true
+	}
+	release, err := s.adm.acquire(r.Context())
+	switch {
+	case err == nil:
+		return release, true
+	case errors.Is(err, errQueueFull):
+		s.stats.shed.Add(1)
+		// A shed request should come back after the backlog drains, not
+		// instantly: one second is coarse but honest for a queue sized to
+		// the server's own drain rate.
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "server overloaded: %d requests evaluating, %d queued",
+			s.adm.inFlight(), s.adm.queueDepth())
+		return nil, false
+	default:
+		s.failTimeout(w, r.Context(), "queued", s.queryTimeout(0))
+		return nil, false
+	}
+}
+
 // shardDocs projects pinned snapshots onto the documents the engine's
 // Across evaluators scatter over.
 func shardDocs(snaps []*delta.Snapshot) []*xmltree.Document {
@@ -505,40 +671,109 @@ func snapsEpoch(snaps []*delta.Snapshot) uint64 {
 	return epoch
 }
 
-// awaitEpoch blocks until the dataset's epoch reaches min, or the
-// bounded wait expires — read-your-writes for a client holding a mutate
-// or query epoch token. On a follower each round nudges the sync engine
-// instead of waiting for its next tick, so the common catch-up is one
-// stream round-trip, not a poll timeout.
-func (s *Server) awaitEpoch(tr *obs.Trace, ds *Dataset, min uint64) bool {
-	deadline := time.Now().Add(s.opts.MinEpochWait)
+// awaitEpoch blocks until the dataset's epoch reaches min, the bounded
+// wait expires, or the request context ends — read-your-writes for a
+// client holding a mutate or query epoch token. The wait is event-driven:
+// each shard handle broadcasts a publish by closing its Changed()
+// channel, so a waiter wakes on the exact mutation that might satisfy it
+// instead of polling. On a follower each round additionally nudges the
+// sync engine inline (and re-nudges on a short ticker, since a lagging
+// follower's local publishes only happen when a nudge lands records), so
+// the common catch-up is one stream round-trip.
+func (s *Server) awaitEpoch(ctx context.Context, tr *obs.Trace, ds *Dataset, min uint64) bool {
+	deadline := time.NewTimer(s.opts.MinEpochWait)
+	defer deadline.Stop()
+	var nudgeC <-chan time.Time
+	if s.follower != nil {
+		nudge := time.NewTicker(25 * time.Millisecond)
+		defer nudge.Stop()
+		nudgeC = nudge.C
+	}
 	for {
+		// Grab every shard's change channel before reading the epochs: a
+		// publish after the read necessarily closes a channel already in
+		// hand, so a wake-up cannot be lost between check and wait.
+		shards := ds.Shards()
+		chans := make([]<-chan struct{}, len(shards))
+		for i, sh := range shards {
+			chans[i] = sh.Live.Changed()
+		}
 		if snapsEpoch(ds.Snapshots()) >= min {
 			return true
-		}
-		if time.Now().After(deadline) {
-			return false
 		}
 		if s.follower != nil {
 			// An inline nudge replays the primary's pending records on this
 			// goroutine, so the replay shows up as a span of the request that
 			// demanded the epoch.
 			done := tr.Region("replica_sync", ds.Name)
-			_ = s.follower.Sync(ds.Name) // errors surface as lag; keep polling
+			_ = s.follower.Sync(ds.Name) // errors surface as lag; keep waiting
 			done()
+			if snapsEpoch(ds.Snapshots()) >= min {
+				return true
+			}
 		}
-		time.Sleep(5 * time.Millisecond)
+		wake, stop := mergeChanged(chans)
+		select {
+		case <-wake:
+			stop()
+		case <-nudgeC:
+			stop()
+		case <-deadline.C:
+			stop()
+			return snapsEpoch(ds.Snapshots()) >= min
+		case <-ctx.Done():
+			stop()
+			return snapsEpoch(ds.Snapshots()) >= min
+		}
 	}
+}
+
+// mergeChanged folds per-shard change channels into one wake-up. The
+// single-shard case (nearly every dataset) selects on the handle's
+// channel directly; a multi-shard merge parks one goroutine per shard,
+// all released by stop() when the waiter moves on.
+func mergeChanged(chans []<-chan struct{}) (wake <-chan struct{}, stop func()) {
+	if len(chans) == 1 {
+		return chans[0], func() {}
+	}
+	merged := make(chan struct{})
+	quit := make(chan struct{})
+	var once sync.Once
+	for _, c := range chans {
+		go func(c <-chan struct{}) {
+			select {
+			case <-c:
+				once.Do(func() { close(merged) })
+			case <-quit:
+			}
+		}(c)
+	}
+	var stopOnce sync.Once
+	return merged, func() { stopOnce.Do(func() { close(quit) }) }
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	tr := obs.TraceFrom(r.Context())
 	var req QueryRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.failBody(w, err)
 		return
 	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		// The override only tightens: the context already carries the
+		// server-wide deadline, and WithTimeout never extends a parent.
+		tctx, cancel := context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+		ctx = tctx
+	}
+	timeout := s.queryTimeout(req.TimeoutMs)
 	explain := req.Explain || r.URL.Query().Get("explain") == "1"
 	ds := s.Catalog().Get(req.Dataset)
 	if ds == nil {
@@ -565,9 +800,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.MinEpoch > 0 {
 		done := tr.Region("await_epoch", "min_epoch="+strconv.FormatUint(req.MinEpoch, 10))
-		ok := s.awaitEpoch(tr, ds, req.MinEpoch)
+		ok := s.awaitEpoch(ctx, tr, ds, req.MinEpoch)
 		done()
 		if !ok {
+			if ctx.Err() != nil {
+				s.failTimeout(w, ctx, "await_epoch", timeout)
+				return
+			}
 			s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
 				req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
 			return
@@ -576,9 +815,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Pin every shard's snapshot once: each evaluation below sees these
 	// exact (document, index) pairs even if a mutation lands mid-request.
 	// The scatter runs under one Sub budget, so a sharded collection holds
-	// no more pool slots than a single-document dataset would.
+	// no more pool slots than a single-document dataset would; the context
+	// view makes the evaluators abandon work promptly once the deadline
+	// fires or the client goes away.
 	snaps := ds.Snapshots()
-	eng := ds.Engine.Sub(s.budget(ds))
+	eng := ds.Engine.Sub(s.budget(ds)).WithContext(ctx)
 	prepStart := time.Now()
 	q, cached, err := eng.PrepareCached(req.Pattern, ds.Set)
 	tr.Add("prepare", "cached="+strconv.FormatBool(cached), prepStart, time.Since(prepStart))
@@ -602,6 +843,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		results = eng.EvaluateTopKAcross(q, ds.Set, sh, ds.Tree, req.K)
 	}
 	evalDone()
+	// A fired deadline means the evaluators returned partial results;
+	// they are discarded, never served.
+	if ctx.Err() != nil {
+		s.failTimeout(w, ctx, "evaluate", timeout)
+		return
+	}
 	aggDone := tr.Region("aggregate", "")
 	resp := QueryResponse{
 		Dataset: req.Dataset,
@@ -640,12 +887,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	tr := obs.TraceFrom(r.Context())
 	var req BatchRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.failBody(w, err)
 		return
 	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		tctx, cancel := context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+		ctx = tctx
+	}
+	timeout := s.queryTimeout(req.TimeoutMs)
 	ds := s.Catalog().Get(req.Dataset)
 	if ds == nil {
 		s.fail(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
@@ -662,9 +921,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.MinEpoch > 0 {
 		done := tr.Region("await_epoch", "min_epoch="+strconv.FormatUint(req.MinEpoch, 10))
-		ok := s.awaitEpoch(tr, ds, req.MinEpoch)
+		ok := s.awaitEpoch(ctx, tr, ds, req.MinEpoch)
 		done()
 		if !ok {
+			if ctx.Err() != nil {
+				s.failTimeout(w, ctx, "await_epoch", timeout)
+				return
+			}
 			s.fail(w, http.StatusPreconditionFailed, "dataset %q at epoch %d, below requested min_epoch %d",
 				req.Dataset, snapsEpoch(ds.Snapshots()), req.MinEpoch)
 			return
@@ -673,7 +936,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One snapshot pin per shard for the whole batch: its queries are
 	// answered over a single consistent per-shard document state.
 	snaps := ds.Snapshots()
-	eng := ds.Engine.Sub(s.budget(ds))
+	eng := ds.Engine.Sub(s.budget(ds)).WithContext(ctx)
 	sh := engine.Shards{Docs: shardDocs(snaps), Observe: traceObserver(tr, ds)}
 	engReqs := make([]engine.Request, len(req.Queries))
 	for i, bq := range req.Queries {
@@ -683,6 +946,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	evalDone := tr.Region("evaluate", "queries="+strconv.Itoa(len(engReqs)))
 	answers := eng.EvaluateBatchAcross(ds.Set, sh, ds.Tree, engReqs)
 	evalDone()
+	if ctx.Err() != nil {
+		s.failTimeout(w, ctx, "evaluate", timeout)
+		return
+	}
 	for i, er := range answers {
 		ba := BatchAnswer{Pattern: er.Pattern, K: er.K}
 		if er.Err != nil {
@@ -859,6 +1126,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": names})
 }
 
+// handleReadyz answers whether this instance should receive traffic —
+// distinct from /healthz liveness: a draining server is perfectly alive,
+// it just wants the load balancer to look elsewhere while in-flight
+// requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.method(w, r, http.MethodGet) {
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.method(w, r, http.MethodGet) {
 		return
@@ -1000,6 +1282,11 @@ type ReplicationStats struct {
 	Bootstraps   uint64 `json:"bootstraps,omitempty"`
 	SyncErrors   uint64 `json:"syncErrors,omitempty"`
 	LastError    string `json:"lastError,omitempty"`
+
+	// Breaker is the shard's sync circuit breaker position (follower
+	// only): closed shards sync normally, open shards are skipping sync
+	// attempts until their cooldown elapses.
+	Breaker *replica.BreakerStatus `json:"breaker,omitempty"`
 }
 
 // Stats is the /statsz payload.
@@ -1007,19 +1294,31 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	// Role is "primary" or "follower"; Primary carries the upstream base
 	// URL on a follower.
-	Role      string                    `json:"role"`
-	Primary   string                    `json:"primary,omitempty"`
-	InFlight    int64                     `json:"inFlight"`
-	Queries     uint64                    `json:"queries"`
-	Batches     uint64                    `json:"batches"`
-	Reloads     uint64                    `json:"reloads"`
-	Mutations   uint64                    `json:"mutations"`
-	Checkpoints uint64                    `json:"checkpoints"`
-	Replicates  uint64                    `json:"replicates"`
-	Edits       uint64                    `json:"edits"`
-	Errors      uint64                    `json:"errors"`
-	Latency     map[string]HistogramStats `json:"latency"`
-	Datasets    []DatasetStats            `json:"datasets"`
+	Role        string `json:"role"`
+	Primary     string `json:"primary,omitempty"`
+	Ready       bool   `json:"ready"`
+	InFlight    int64  `json:"inFlight"`
+	Queries     uint64 `json:"queries"`
+	Batches     uint64 `json:"batches"`
+	Reloads     uint64 `json:"reloads"`
+	Mutations   uint64 `json:"mutations"`
+	Checkpoints uint64 `json:"checkpoints"`
+	Replicates  uint64 `json:"replicates"`
+	Edits       uint64 `json:"edits"`
+	Errors      uint64 `json:"errors"`
+	// Timeouts counts requests answered 503 because their deadline fired
+	// (or their client vanished) before the work finished; Shed counts
+	// requests answered 429 by the admission gate; Panics counts handler
+	// panics converted into 500s.
+	Timeouts uint64 `json:"timeouts"`
+	Shed     uint64 `json:"shed"`
+	Panics   uint64 `json:"panics"`
+	// AdmissionInFlight/AdmissionQueued are the overload gate's live
+	// occupancy (admitted evaluations and requests waiting for a slot).
+	AdmissionInFlight int                       `json:"admissionInFlight"`
+	AdmissionQueued   int64                     `json:"admissionQueued"`
+	Latency           map[string]HistogramStats `json:"latency"`
+	Datasets          []DatasetStats            `json:"datasets"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -1029,6 +1328,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st := Stats{
 		UptimeSeconds: time.Since(s.stats.start).Seconds(),
 		Role:          "primary",
+		Ready:         s.ready.Load(),
 		InFlight:      s.stats.inFlight.Load(),
 		Queries:       s.stats.queries.Load(),
 		Batches:       s.stats.batches.Load(),
@@ -1038,6 +1338,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Replicates:    s.stats.replicates.Load(),
 		Edits:         s.stats.edits.Load(),
 		Errors:        s.stats.errors.Load(),
+		Timeouts:      s.stats.timeouts.Load(),
+		Shed:          s.stats.shed.Load(),
+		Panics:        s.stats.panics.Load(),
 		Latency: map[string]HistogramStats{
 			"query":      histogramStats(s.stats.latQuery.Snapshot()),
 			"batch":      histogramStats(s.stats.latBatch.Snapshot()),
@@ -1045,6 +1348,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"checkpoint": histogramStats(s.stats.latCheckpoint.Snapshot()),
 			"replicate":  histogramStats(s.stats.latReplicate.Snapshot()),
 		},
+	}
+	if s.adm != nil {
+		st.AdmissionInFlight = s.adm.inFlight()
+		st.AdmissionQueued = s.adm.queueDepth()
 	}
 	if s.follower != nil {
 		st.Role = "follower"
@@ -1084,6 +1391,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 					rep.Bootstraps = lag.Bootstraps
 					rep.SyncErrors = lag.SyncErrors
 					rep.LastError = lag.LastError
+					rep.Breaker = lag.Breaker
 				}
 			}
 			row.Shards = append(row.Shards, ShardStats{

@@ -63,6 +63,12 @@ type serverStats struct {
 	replicates  atomic.Uint64
 	edits       atomic.Uint64
 	errors      atomic.Uint64
+	// timeouts counts 503s from fired request deadlines (or clients that
+	// went away mid-request); shed counts 429s from the admission gate;
+	// panics counts handler panics converted into 500s.
+	timeouts atomic.Uint64
+	shed     atomic.Uint64
+	panics   atomic.Uint64
 
 	latQuery      *obs.Windowed
 	latBatch      *obs.Windowed

@@ -302,6 +302,10 @@ func (c *captureLog) record(mk func() store.WorkloadRecord) {
 		return
 	}
 	if c.written >= c.budget {
+		if c.dropped == 0 {
+			c.logger.Warn("workload capture budget exhausted; further records dropped",
+				"path", c.path, "budgetBytes", c.budget, "records", c.records)
+		}
 		c.dropped++
 		return
 	}

@@ -145,6 +145,9 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 // temporary file, fsync, and rename — a crash leaves either the old
 // checkpoint or the new one, never a torn hybrid.
 func SaveCheckpointFile(path string, doc *xmltree.Document, ix *index.Index, epoch uint64) error {
+	if err := hookWriteFile(path); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {

@@ -232,7 +232,24 @@ func AppendEditRecordFile(path string, rec EditRecord, sync bool) error {
 			pre = st.Size()
 		}
 	}
-	if err := AppendEditRecord(f, rec); err != nil {
+	frame, err := EncodeEditRecord(rec)
+	if err != nil {
+		return err
+	}
+	if keep, herr := hookAppendFrame(path, frame); herr != nil {
+		// Injected fault. A torn variant (keep > 0) leaves a partial frame
+		// on disk and skips the truncate repair — the state a crash
+		// mid-write leaves; a clean variant writes nothing. Either way the
+		// append fails, so the batch is not acknowledged.
+		if keep > 0 {
+			if keep > len(frame) {
+				keep = len(frame)
+			}
+			_, _ = f.Write(frame[:keep])
+		}
+		return herr
+	}
+	if _, err := f.Write(frame); err != nil {
 		// Best effort: a tail we cannot truncate is still recoverable on
 		// load (torn-tail tolerance) as long as no later append lands
 		// after it; returning the error makes the mutate fail, so the
@@ -292,6 +309,9 @@ func RecoverEditLogFile(path string) (*EditLog, error) {
 // the new one — never a hybrid. Checkpointing uses this to truncate the
 // shipped history.
 func WriteEditLogFile(path string, base uint64, frames [][]byte) error {
+	if err := hookWriteFile(path); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
